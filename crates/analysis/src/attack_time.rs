@@ -1,0 +1,145 @@
+//! Expected attack-time model for Algorithm 1 (section 5).
+
+use crate::params::SystemShape;
+
+/// Nanoseconds per day.
+const DAY_NS: f64 = 86_400.0 * 1e9;
+
+/// The three measured step costs of Algorithm 1 (i7-6700 prototype):
+/// filling `ZONE_PTP` with PTEs for a target page (~184 ms), hammering one
+/// row (≥ one refresh interval, 64 ms), and checking one PTE (~600 ns).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AttackTiming {
+    /// Step (1) per target page, nanoseconds.
+    pub fill_ns: f64,
+    /// Step (2) per row, nanoseconds.
+    pub hammer_row_ns: f64,
+    /// Step (3) per PTE, nanoseconds.
+    pub check_pte_ns: f64,
+}
+
+impl Default for AttackTiming {
+    fn default() -> Self {
+        AttackTiming { fill_ns: 184e6, hammer_row_ns: 64e6, check_pte_ns: 600.0 }
+    }
+}
+
+impl AttackTiming {
+    /// Worst-case whole-sweep duration in days.
+    pub fn worst_case_days(&self, shape: &SystemShape) -> f64 {
+        let per_row = self.hammer_row_ns + shape.ptes_per_row() as f64 * self.check_pte_ns;
+        let per_target = self.fill_ns + shape.zone_rows() as f64 * per_row;
+        shape.target_pages() as f64 * per_target / DAY_NS
+    }
+
+    /// Expected attack duration in days (section 5):
+    /// `worst / (⌈E⌉ + 1)` when exploitable locations are expected
+    /// (`E ≥ 1`), `worst / 2` in the rare-success regime (conditioned on
+    /// the system being one of the vulnerable few, with exactly one
+    /// exploitable location).
+    pub fn expected_days(&self, shape: &SystemShape, expected_exploitable: f64) -> f64 {
+        let worst = self.worst_case_days(shape);
+        if expected_exploitable >= 1.0 {
+            worst / (expected_exploitable.ceil() + 1.0)
+        } else {
+            worst / 2.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exploit::{expected_exploitable_ptes, Restriction};
+    use crate::params::FlipStats;
+
+    fn shape(gb: u64, mb: u64) -> SystemShape {
+        SystemShape::new(gb << 30, mb << 20)
+    }
+
+    #[test]
+    fn table2_attack_days() {
+        let t = AttackTiming::default();
+        let stats = FlipStats::paper_default();
+        // (GB, MB, restriction, paper days)
+        let cases: [(u64, u64, Restriction, f64); 6] = [
+            (8, 32, Restriction::None, 57.6),
+            (8, 64, Restriction::None, 70.3),
+            (16, 32, Restriction::None, 102.7),
+            (16, 64, Restriction::None, 122.4),
+            (32, 32, Restriction::None, 185.1),
+            (32, 64, Restriction::None, 216.5),
+        ];
+        for (gb, mb, r, paper) in cases {
+            let s = shape(gb, mb);
+            let e = expected_exploitable_ptes(&s, &stats, r);
+            let days = t.expected_days(&s, e);
+            assert!(
+                (days - paper).abs() / paper < 0.02,
+                "{gb}GB/{mb}MB: model={days:.1} paper={paper}"
+            );
+        }
+    }
+
+    #[test]
+    fn table2_restricted_days() {
+        let t = AttackTiming::default();
+        let cases: [(u64, u64, f64); 6] = [
+            (8, 32, 230.7),
+            (8, 64, 457.3),
+            (16, 32, 462.3),
+            (16, 64, 918.3),
+            (32, 32, 925.5),
+            (32, 64, 1840.3),
+        ];
+        for (gb, mb, paper) in cases {
+            let s = shape(gb, mb);
+            // Restricted case: E « 1, conditioned on one exploitable PTE.
+            let days = t.expected_days(&s, 1e-6);
+            assert!(
+                (days - paper).abs() / paper < 0.02,
+                "{gb}GB/{mb}MB restricted: model={days:.1} paper={paper}"
+            );
+        }
+    }
+
+    #[test]
+    fn table3_days_match_where_e_changes() {
+        // Table 3's unrestricted attack times shrink because E grows.
+        let t = AttackTiming::default();
+        let stats = FlipStats::pessimistic();
+        let cases: [(u64, u64, f64); 3] = [(8, 32, 5.42), (16, 32, 9.73), (32, 32, 17.46)];
+        for (gb, mb, paper) in cases {
+            let s = shape(gb, mb);
+            let e = expected_exploitable_ptes(&s, &stats, Restriction::None);
+            let days = t.expected_days(&s, e);
+            assert!(
+                (days - paper).abs() / paper < 0.03,
+                "{gb}GB/{mb}MB: model={days:.2} paper={paper}"
+            );
+        }
+    }
+
+    #[test]
+    fn anti_cell_baseline_attack_time_is_hours() {
+        // Section 5: ~3354.7 exploitable ⇒ expected time ≈ 3.2 hours.
+        let t = AttackTiming::default();
+        let s = shape(8, 32);
+        let days = t.expected_days(&s, 3354.7);
+        let hours = days * 24.0;
+        assert!((hours - 3.3).abs() < 0.4, "hours={hours:.2}");
+    }
+
+    #[test]
+    fn speedup_vs_fastest_reported_attack() {
+        // The paper: CTA slows the 20-second fastest attack by ~6 orders of
+        // magnitude.
+        let t = AttackTiming::default();
+        let s = shape(8, 32);
+        let stats = FlipStats::paper_default();
+        let e = expected_exploitable_ptes(&s, &stats, Restriction::None);
+        let seconds = t.expected_days(&s, e) * 86_400.0;
+        let slowdown = seconds / 20.0;
+        assert!(slowdown > 1e5, "slowdown {slowdown:.2e}");
+    }
+}

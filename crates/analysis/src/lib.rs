@@ -1,0 +1,32 @@
+//! Analytic security evaluation of CTA (paper section 5, Tables 2–3).
+//!
+//! The paper quantifies the residual attack surface of a CTA system with a
+//! closed-form model over the measured RowHammer flip statistics:
+//!
+//! - [`FlipStats`]: `Pf` (fraction of vulnerable cells), `P0→1`/`P1→0`
+//!   (direction split in true-cells);
+//! - [`exploit`]: the probability that a PTE location in `ZONE_PTP` is
+//!   *exploitable* — its PTP-indicator bits can be driven to all-ones —
+//!   and the expected number of exploitable locations per system;
+//! - [`attack_time`]: the expected duration of the Algorithm 1 brute-force
+//!   attack built from the three measured step costs;
+//! - [`tables`]: generators that reproduce every cell of Tables 2 and 3;
+//! - [`monte_carlo`]: an independent sampling model cross-validating the
+//!   closed form;
+//! - [`capacity`]: the section 6.2 effective-memory-capacity loss model.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod attack_time;
+pub mod capacity;
+pub mod exploit;
+pub mod monte_carlo;
+pub mod params;
+pub mod tables;
+
+pub use attack_time::AttackTiming;
+pub use exploit::{expected_exploitable_ptes, p_exploitable, Restriction};
+pub use monte_carlo::{monte_carlo_p_exploitable, MonteCarloResult};
+pub use params::{FlipStats, SystemShape};
+pub use tables::{table2, table3, EvalRow, TableSpec};

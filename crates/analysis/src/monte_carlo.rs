@@ -1,0 +1,130 @@
+//! Monte Carlo cross-validation of the exploitable-PTE model.
+//!
+//! Independent generative model: each of the `n` indicator bits of a PTE
+//! location is vulnerable with probability `Pf`; a vulnerable bit is a
+//! `0→1` flipper with probability `P0→1`, else a `1→0` flipper. The
+//! location is exploitable iff the attacker can supply a legal pointer
+//! whose corruption reaches all-ones:
+//!
+//! - every `1→0` flipper poisons the location (a supplied `1` decays, a
+//!   supplied `0` never rises), so there must be none;
+//! - at least [`Restriction::min_flips`] `0→1` flippers must exist (the
+//!   attacker-supplied address must carry that many `0`s).
+//!
+//! This set-based model is derived independently of the paper's binomial
+//! sum; agreement between the two (see tests) validates both.
+
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+
+use crate::exploit::Restriction;
+#[cfg(test)]
+use crate::exploit::p_exploitable;
+use crate::params::FlipStats;
+
+/// Result of a Monte Carlo estimation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MonteCarloResult {
+    /// Estimated probability a location is exploitable.
+    pub p_hat: f64,
+    /// Number of locations sampled.
+    pub samples: u64,
+    /// Number of exploitable locations observed.
+    pub hits: u64,
+}
+
+impl MonteCarloResult {
+    /// Approximate standard error of `p_hat`.
+    pub fn std_error(&self) -> f64 {
+        (self.p_hat * (1.0 - self.p_hat) / self.samples as f64).sqrt()
+    }
+}
+
+/// Estimates the exploitable-location probability by sampling `samples`
+/// locations with indicator width `n`.
+pub fn monte_carlo_p_exploitable(
+    n: u32,
+    stats: &FlipStats,
+    restriction: Restriction,
+    samples: u64,
+    seed: u64,
+) -> MonteCarloResult {
+    use rand::SeedableRng;
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut hits = 0u64;
+    for _ in 0..samples {
+        let mut up_flippers = 0u32;
+        let mut down_flippers = 0u32;
+        for _ in 0..n {
+            if rng.gen::<f64>() < stats.pf {
+                if rng.gen::<f64>() < stats.p0_to_1 {
+                    up_flippers += 1;
+                } else {
+                    down_flippers += 1;
+                }
+            }
+        }
+        if down_flippers == 0 && up_flippers >= restriction.min_flips() {
+            hits += 1;
+        }
+    }
+    MonteCarloResult { p_hat: hits as f64 / samples as f64, samples, hits }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn agrees_with_closed_form_for_anti_cell_stats() {
+        // Use inverted (anti-cell) statistics where P is large enough to
+        // estimate cheaply: P ≈ 8e-4 at n=8.
+        let stats = FlipStats::paper_default().inverted();
+        let analytic = p_exploitable(8, &stats, Restriction::None);
+        let mc = monte_carlo_p_exploitable(8, &stats, Restriction::None, 2_000_000, 42);
+        let diff = (mc.p_hat - analytic).abs();
+        assert!(
+            diff < 4.0 * mc.std_error().max(1e-6),
+            "mc={:.3e} analytic={analytic:.3e} se={:.1e}",
+            mc.p_hat,
+            mc.std_error()
+        );
+    }
+
+    #[test]
+    fn agrees_with_closed_form_for_scaled_true_cell_stats() {
+        // Scale Pf up so the true-cell probability is measurable, keeping
+        // the direction split: the agreement is structural, not accidental.
+        let stats = FlipStats { pf: 0.05, p0_to_1: 0.2, p1_to_0: 0.8 };
+        let analytic = p_exploitable(8, &stats, Restriction::None);
+        let mc = monte_carlo_p_exploitable(8, &stats, Restriction::None, 500_000, 7);
+        let rel = (mc.p_hat - analytic).abs() / analytic;
+        assert!(rel < 0.1, "mc={:.4e} analytic={analytic:.4e}", mc.p_hat);
+    }
+
+    #[test]
+    fn restriction_suppresses_hits() {
+        let stats = FlipStats { pf: 0.05, p0_to_1: 0.5, p1_to_0: 0.5 };
+        let none = monte_carlo_p_exploitable(8, &stats, Restriction::None, 200_000, 1);
+        let two = monte_carlo_p_exploitable(8, &stats, Restriction::AtLeastTwoZeros, 200_000, 1);
+        assert!(two.p_hat < none.p_hat);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let stats = FlipStats::paper_default().inverted();
+        let a = monte_carlo_p_exploitable(8, &stats, Restriction::None, 10_000, 9);
+        let b = monte_carlo_p_exploitable(8, &stats, Restriction::None, 10_000, 9);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn std_error_shrinks_with_samples() {
+        let stats = FlipStats::paper_default().inverted();
+        let small = monte_carlo_p_exploitable(8, &stats, Restriction::None, 50_000, 3);
+        let large = monte_carlo_p_exploitable(8, &stats, Restriction::None, 1_000_000, 3);
+        if small.hits > 0 && large.hits > 0 {
+            assert!(large.std_error() < small.std_error());
+        }
+    }
+}

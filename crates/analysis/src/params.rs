@@ -1,0 +1,124 @@
+//! Model parameters: measured flip statistics and system shapes.
+
+/// RowHammer-induced bit-flip statistics (section 5, citing Kim et al. and
+/// Drammer measurements).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FlipStats {
+    /// Probability that a cell is vulnerable to RowHammer at all (`Pf`).
+    pub pf: f64,
+    /// Probability a vulnerable *true-cell* flips `0→1` (against leakage).
+    pub p0_to_1: f64,
+    /// Probability a vulnerable *true-cell* flips `1→0` (with leakage).
+    pub p1_to_0: f64,
+}
+
+impl FlipStats {
+    /// The measured statistics Tables 2 uses: `Pf = 1e-4`, `P0→1 = 0.2%`.
+    pub fn paper_default() -> Self {
+        FlipStats { pf: 1e-4, p0_to_1: 0.002, p1_to_0: 0.998 }
+    }
+
+    /// The pessimistic scaling scenario of Table 3: `Pf = 5e-4`,
+    /// `P0→1 = 0.5%`.
+    pub fn pessimistic() -> Self {
+        FlipStats { pf: 5e-4, p0_to_1: 0.005, p1_to_0: 0.995 }
+    }
+
+    /// The same statistics as seen by a value stored in *anti-cells*, where
+    /// the leakage direction is `0→1` (used for the anti-cell `ZONE_PTP`
+    /// baseline).
+    pub fn inverted(self) -> Self {
+        FlipStats { pf: self.pf, p0_to_1: self.p1_to_0, p1_to_0: self.p0_to_1 }
+    }
+}
+
+/// Physical shape of the evaluated system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SystemShape {
+    /// Total physical memory in bytes (power of two).
+    pub phys_bytes: u64,
+    /// `ZONE_PTP` size in bytes (power of two).
+    pub ptp_bytes: u64,
+    /// DRAM row size in bytes (the paper uses 128 KiB).
+    pub row_bytes: u64,
+}
+
+impl SystemShape {
+    /// A paper-style shape with 128 KiB rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both sizes are powers of two and
+    /// `ptp_bytes < phys_bytes`.
+    pub fn new(phys_bytes: u64, ptp_bytes: u64) -> Self {
+        assert!(phys_bytes.is_power_of_two() && ptp_bytes.is_power_of_two());
+        assert!(ptp_bytes < phys_bytes);
+        SystemShape { phys_bytes, ptp_bytes, row_bytes: 128 * 1024 }
+    }
+
+    /// PTP-indicator width: `n = log2(phys / ptp)`.
+    pub fn indicator_bits(&self) -> u32 {
+        (self.phys_bytes / self.ptp_bytes).trailing_zeros()
+    }
+
+    /// Number of 8-byte PTE slots in `ZONE_PTP`.
+    pub fn total_ptes(&self) -> u64 {
+        self.ptp_bytes / 8
+    }
+
+    /// DRAM rows spanned by `ZONE_PTP`.
+    pub fn zone_rows(&self) -> u64 {
+        self.ptp_bytes / self.row_bytes
+    }
+
+    /// PTE slots per row.
+    pub fn ptes_per_row(&self) -> u64 {
+        self.row_bytes / 8
+    }
+
+    /// 4 KiB target pages below the mark the brute-force attack iterates
+    /// over (`phys/4096 − ptp/4096`).
+    pub fn target_pages(&self) -> u64 {
+        self.phys_bytes / 4096 - self.ptp_bytes / 4096
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults() {
+        let s = FlipStats::paper_default();
+        assert_eq!(s.pf, 1e-4);
+        assert_eq!(s.p0_to_1 + s.p1_to_0, 1.0);
+        let p = FlipStats::pessimistic();
+        assert_eq!(p.pf, 5e-4);
+        assert_eq!(p.p0_to_1 + p.p1_to_0, 1.0);
+    }
+
+    #[test]
+    fn inverted_swaps_directions() {
+        let s = FlipStats::paper_default().inverted();
+        assert_eq!(s.p0_to_1, 0.998);
+        assert_eq!(s.p1_to_0, 0.002);
+    }
+
+    #[test]
+    fn paper_shape_8gb_32mb() {
+        let s = SystemShape::new(8 << 30, 32 << 20);
+        assert_eq!(s.indicator_bits(), 8);
+        assert_eq!(s.total_ptes(), 4_194_304);
+        assert_eq!(s.zone_rows(), 256);
+        assert_eq!(s.ptes_per_row(), 16_384);
+        assert_eq!(s.target_pages(), (1 << 21) - 8192);
+    }
+
+    #[test]
+    fn paper_shape_64mb_zone() {
+        let s = SystemShape::new(8 << 30, 64 << 20);
+        assert_eq!(s.indicator_bits(), 7);
+        assert_eq!(s.zone_rows(), 512);
+        assert_eq!(s.total_ptes(), 8_388_608);
+    }
+}

@@ -1,0 +1,179 @@
+//! Generators for the paper's evaluation tables.
+
+use std::fmt;
+
+use crate::attack_time::AttackTiming;
+use crate::exploit::{expected_exploitable_ptes, Restriction};
+use crate::params::{FlipStats, SystemShape};
+
+/// One cell pair of Table 2/3: the expected number of exploitable PTEs and
+/// the expected attack time for one configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EvalRow {
+    /// Physical memory in GiB.
+    pub phys_gib: u64,
+    /// `ZONE_PTP` size in MiB.
+    pub ptp_mib: u64,
+    /// Indicator restriction in force.
+    pub restriction: Restriction,
+    /// Expected exploitable PTE locations.
+    pub exploitable: f64,
+    /// Expected attack time in days.
+    pub attack_days: f64,
+}
+
+/// Parameters for generating a table.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TableSpec {
+    /// Flip statistics (Table 2 vs Table 3).
+    pub stats: FlipStats,
+    /// Step-cost model.
+    pub timing: AttackTiming,
+}
+
+impl TableSpec {
+    /// Generates all 12 cells (3 memory sizes × 2 zone sizes × 2
+    /// restrictions) for this spec.
+    pub fn generate(&self) -> Vec<EvalRow> {
+        let mut rows = Vec::new();
+        for phys_gib in [8u64, 16, 32] {
+            for restriction in [Restriction::None, Restriction::AtLeastTwoZeros] {
+                for ptp_mib in [32u64, 64] {
+                    let shape = SystemShape::new(phys_gib << 30, ptp_mib << 20);
+                    let exploitable = expected_exploitable_ptes(&shape, &self.stats, restriction);
+                    let attack_days = self.timing.expected_days(&shape, exploitable);
+                    rows.push(EvalRow {
+                        phys_gib,
+                        ptp_mib,
+                        restriction,
+                        exploitable,
+                        attack_days,
+                    });
+                }
+            }
+        }
+        rows
+    }
+
+    /// Renders the table in the paper's layout.
+    pub fn render(&self, title: &str) -> String {
+        let rows = self.generate();
+        let mut s = String::new();
+        s.push_str(&format!(
+            "{title} (Pf = {:.0e}, P0→1 = {:.1}%)\n",
+            self.stats.pf,
+            self.stats.p0_to_1 * 100.0
+        ));
+        s.push_str(
+            "Physical Memory | Metric                  | No Restriction        | ≥ Two '0's in PTP Indicator\n",
+        );
+        s.push_str(
+            "                |                         | 32MB PTP | 64MB PTP   | 32MB PTP | 64MB PTP\n",
+        );
+        for phys_gib in [8u64, 16, 32] {
+            let cell = |r: Restriction, mb: u64| {
+                rows.iter()
+                    .find(|x| x.phys_gib == phys_gib && x.ptp_mib == mb && x.restriction == r)
+                    .copied()
+                    .expect("generated")
+            };
+            let (u32m, u64m) = (cell(Restriction::None, 32), cell(Restriction::None, 64));
+            let (r32m, r64m) = (
+                cell(Restriction::AtLeastTwoZeros, 32),
+                cell(Restriction::AtLeastTwoZeros, 64),
+            );
+            s.push_str(&format!(
+                "{phys_gib:>4}GB          | # of Exploitable PTEs   | {:>8} | {:>10} | {:>8} | {:>8}\n",
+                fmt_count(u32m.exploitable),
+                fmt_count(u64m.exploitable),
+                fmt_count(r32m.exploitable),
+                fmt_count(r64m.exploitable),
+            ));
+            s.push_str(&format!(
+                "                | Attack Time (Days)      | {:>8.1} | {:>10.1} | {:>8.1} | {:>8.1}\n",
+                u32m.attack_days, u64m.attack_days, r32m.attack_days, r64m.attack_days,
+            ));
+        }
+        s
+    }
+}
+
+fn fmt_count(x: f64) -> String {
+    if x >= 0.01 {
+        format!("{x:.2}")
+    } else {
+        format!("{x:.2e}")
+    }
+}
+
+/// Table 2: the measured flip statistics.
+pub fn table2() -> TableSpec {
+    TableSpec { stats: FlipStats::paper_default(), timing: AttackTiming::default() }
+}
+
+/// Table 3: the pessimistic technology-scaling scenario.
+pub fn table3() -> TableSpec {
+    TableSpec { stats: FlipStats::pessimistic(), timing: AttackTiming::default() }
+}
+
+impl fmt::Display for EvalRow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}GB/{}MB {:?}: E={} days={:.1}",
+            self.phys_gib,
+            self.ptp_mib,
+            self.restriction,
+            fmt_count(self.exploitable),
+            self.attack_days
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tables_have_twelve_cells() {
+        assert_eq!(table2().generate().len(), 12);
+        assert_eq!(table3().generate().len(), 12);
+    }
+
+    #[test]
+    fn render_includes_every_memory_size() {
+        let s = table2().render("Table 2");
+        assert!(s.contains("8GB"));
+        assert!(s.contains("16GB"));
+        assert!(s.contains("32GB"));
+        assert!(s.contains("Exploitable"));
+    }
+
+    #[test]
+    fn table3_counts_exceed_table2() {
+        let t2 = table2().generate();
+        let t3 = table3().generate();
+        for (a, b) in t2.iter().zip(t3.iter()) {
+            assert!(b.exploitable > a.exploitable, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn restricted_attack_times_match_between_tables() {
+        // The paper notes restricted-case times are identical in Tables 2
+        // and 3 (conditioned on exactly one exploitable location).
+        let t2 = table2().generate();
+        let t3 = table3().generate();
+        for (a, b) in t2.iter().zip(t3.iter()) {
+            if a.restriction == Restriction::AtLeastTwoZeros {
+                assert!((a.attack_days - b.attack_days).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn display_row() {
+        let row = table2().generate()[0];
+        assert!(row.to_string().contains("8GB/32MB"));
+    }
+}

@@ -1,0 +1,96 @@
+//! Property-based tests of the analytic security model.
+
+use cta_analysis::{
+    expected_exploitable_ptes, p_exploitable, AttackTiming, FlipStats, Restriction, SystemShape,
+};
+use proptest::prelude::*;
+
+fn stats_strategy() -> impl Strategy<Value = FlipStats> {
+    (1e-6f64..1e-2, 1e-4f64..0.5).prop_map(|(pf, p01)| FlipStats {
+        pf,
+        p0_to_1: p01,
+        p1_to_0: 1.0 - p01,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    /// P is a probability.
+    #[test]
+    fn p_exploitable_is_a_probability(n in 1u32..24, stats in stats_strategy()) {
+        for r in [Restriction::None, Restriction::AtLeastTwoZeros] {
+            let p = p_exploitable(n, &stats, r);
+            prop_assert!((0.0..=1.0).contains(&p), "p={p}");
+        }
+    }
+
+    /// The restriction can only reduce exposure.
+    #[test]
+    fn restriction_monotone(n in 2u32..24, stats in stats_strategy()) {
+        let none = p_exploitable(n, &stats, Restriction::None);
+        let two = p_exploitable(n, &stats, Restriction::AtLeastTwoZeros);
+        prop_assert!(two <= none);
+    }
+
+    /// P grows with Pf (more vulnerable cells) and with P0→1.
+    #[test]
+    fn p_monotone_in_parameters(n in 2u32..16, stats in stats_strategy()) {
+        let base = p_exploitable(n, &stats, Restriction::None);
+        let more_pf = FlipStats { pf: stats.pf * 2.0, ..stats };
+        prop_assert!(p_exploitable(n, &more_pf, Restriction::None) >= base);
+        let more_up = FlipStats {
+            p0_to_1: (stats.p0_to_1 * 2.0).min(1.0),
+            p1_to_0: 1.0 - (stats.p0_to_1 * 2.0).min(1.0),
+            ..stats
+        };
+        prop_assert!(p_exploitable(n, &more_up, Restriction::None) >= base);
+    }
+
+    /// Anti-cells (inverted stats) are always at least as exploitable as
+    /// true-cells — the defense's reason for existing.
+    #[test]
+    fn anti_cells_never_better(n in 1u32..16, stats in stats_strategy()) {
+        let true_cells = p_exploitable(n, &stats, Restriction::None);
+        let anti_cells = p_exploitable(n, &stats.inverted(), Restriction::None);
+        // Inversion swaps p0_to_1 and p1_to_0; with p01 < 0.5 the inverted
+        // (anti) direction has more upward mass.
+        if stats.p0_to_1 < 0.5 {
+            prop_assert!(anti_cells >= true_cells);
+        }
+    }
+
+    /// Expected attack time decreases as the expected exploitable count
+    /// rises, and never exceeds the worst case.
+    #[test]
+    fn attack_time_monotone_in_exposure(e1 in 1.0f64..100.0, delta in 1.0f64..100.0) {
+        let shape = SystemShape::new(8 << 30, 32 << 20);
+        let t = AttackTiming::default();
+        let fast = t.expected_days(&shape, e1 + delta);
+        let slow = t.expected_days(&shape, e1);
+        prop_assert!(fast <= slow);
+        prop_assert!(slow <= t.worst_case_days(&shape));
+    }
+
+    /// More physical memory ⇒ more target pages ⇒ longer worst case.
+    #[test]
+    fn worst_case_grows_with_memory(gb_exp in 3u32..8) {
+        let t = AttackTiming::default();
+        let small = SystemShape::new(1u64 << (30 + gb_exp), 32 << 20);
+        let large = SystemShape::new(1u64 << (31 + gb_exp), 32 << 20);
+        prop_assert!(t.worst_case_days(&large) > t.worst_case_days(&small));
+    }
+
+    /// Expected counts scale linearly with the PTE population for fixed n:
+    /// doubling the zone (at fixed indicator width by doubling memory too)
+    /// doubles the expectation.
+    #[test]
+    fn expectation_scales_with_zone(stats in stats_strategy()) {
+        let a = SystemShape::new(8 << 30, 32 << 20);
+        let b = SystemShape::new(16 << 30, 64 << 20); // same n, twice the PTEs
+        prop_assert_eq!(a.indicator_bits(), b.indicator_bits());
+        let ea = expected_exploitable_ptes(&a, &stats, Restriction::None);
+        let eb = expected_exploitable_ptes(&b, &stats, Restriction::None);
+        prop_assert!((eb / ea - 2.0).abs() < 1e-9);
+    }
+}

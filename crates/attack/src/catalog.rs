@@ -1,0 +1,114 @@
+//! The Table 1 registry: published RowHammer attacks.
+
+use std::fmt;
+
+/// What data the attack corrupts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum VictimData {
+    /// Page-table entries.
+    Ptes,
+    /// Instruction opcodes.
+    Opcodes,
+    /// RSA key material.
+    RsaKeys,
+    /// Intel SGX enclave state.
+    Sgx,
+}
+
+impl fmt::Display for VictimData {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            VictimData::Ptes => "PTEs",
+            VictimData::Opcodes => "Opcodes",
+            VictimData::RsaKeys => "RSA Keys",
+            VictimData::Sgx => "Intel SGX",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Platform the attack was demonstrated on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Platform {
+    /// Native x86.
+    X86,
+    /// Virtual machines.
+    Vm,
+    /// ARM (mobile).
+    Arm,
+}
+
+impl fmt::Display for Platform {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Platform::X86 => "x86",
+            Platform::Vm => "VM",
+            Platform::Arm => "ARM",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One published attack (a row of Table 1).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KnownAttack {
+    /// Short citation tag as used in the paper.
+    pub reference: &'static str,
+    /// Corrupted data.
+    pub victim: VictimData,
+    /// Attack effect.
+    pub effect: &'static str,
+    /// Demonstration platform.
+    pub platform: Platform,
+    /// Whether CTA's PTE protection addresses this attack family directly.
+    pub mitigated_by_cta: bool,
+}
+
+/// The Table 1 rows.
+pub fn catalog() -> Vec<KnownAttack> {
+    vec![
+        KnownAttack { reference: "Seaborn & Dullien '15", victim: VictimData::Ptes, effect: "Privilege Escalation", platform: Platform::X86, mitigated_by_cta: true },
+        KnownAttack { reference: "Seaborn & Dullien '15", victim: VictimData::Opcodes, effect: "Sandbox Escapes", platform: Platform::X86, mitigated_by_cta: false },
+        KnownAttack { reference: "Cheng et al. '18", victim: VictimData::Ptes, effect: "Privilege Escalation", platform: Platform::X86, mitigated_by_cta: true },
+        KnownAttack { reference: "Xiao et al. '16", victim: VictimData::Ptes, effect: "Privilege Escalation", platform: Platform::Vm, mitigated_by_cta: true },
+        KnownAttack { reference: "Gruss et al. '16 (rowhammer.js)", victim: VictimData::Ptes, effect: "Privilege Escalation", platform: Platform::X86, mitigated_by_cta: true },
+        KnownAttack { reference: "Razavi et al. '16 (Flip Feng Shui)", victim: VictimData::RsaKeys, effect: "Compromised Authentication", platform: Platform::Vm, mitigated_by_cta: false },
+        KnownAttack { reference: "van der Veen et al. '16 (Drammer)", victim: VictimData::Ptes, effect: "Privilege Escalation", platform: Platform::Arm, mitigated_by_cta: true },
+        KnownAttack { reference: "Gruss et al. '17", victim: VictimData::Opcodes, effect: "Denial-of-Service and Privilege Escalation", platform: Platform::X86, mitigated_by_cta: false },
+        KnownAttack { reference: "Bhattacharya & Mukhopadhyay '16", victim: VictimData::RsaKeys, effect: "Fault Analysis", platform: Platform::X86, mitigated_by_cta: false },
+        KnownAttack { reference: "Jang et al. '17 (SGX-Bomb)", victim: VictimData::Sgx, effect: "Denial-of-Service", platform: Platform::X86, mitigated_by_cta: false },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_has_ten_rows() {
+        assert_eq!(catalog().len(), 10);
+    }
+
+    #[test]
+    fn pte_attacks_are_the_majority_and_mitigated() {
+        let rows = catalog();
+        let pte_rows: Vec<_> = rows.iter().filter(|a| a.victim == VictimData::Ptes).collect();
+        assert_eq!(pte_rows.len(), 5);
+        assert!(pte_rows.iter().all(|a| a.mitigated_by_cta));
+    }
+
+    #[test]
+    fn non_pte_attacks_not_claimed() {
+        for row in catalog() {
+            if row.victim != VictimData::Ptes {
+                assert!(!row.mitigated_by_cta, "{} over-claims", row.reference);
+            }
+        }
+    }
+
+    #[test]
+    fn displays() {
+        assert_eq!(VictimData::Ptes.to_string(), "PTEs");
+        assert_eq!(Platform::Arm.to_string(), "ARM");
+    }
+}

@@ -1,0 +1,42 @@
+//! RowHammer attacks against the simulated kernel.
+//!
+//! Attack code in this crate plays by *attacker rules*: a malicious
+//! user-mode process that can only map, read, write, and hammer memory it
+//! owns, flush the TLB, and observe the contents of its own mappings. The
+//! only simulator affordance is the hammer primitive itself
+//! ([`hammer::HammerDriver`]), which stands in for the cache-flush +
+//! alternating-access loops of real exploits.
+//!
+//! Implemented attack families:
+//!
+//! - [`spray::SprayAttack`] — the probabilistic PTE-spray privilege
+//!   escalation of Seaborn & Dullien (Figure 3): spray page tables, hammer
+//!   owned rows, scan for PTE-looking data, then run the full exploit chain
+//!   to read the kernel secret;
+//! - [`templating::TemplatingAttack`] — Drammer-style deterministic attack:
+//!   template flippable bits in owned memory, free the chosen victim frame,
+//!   massage a page table onto it, hammer once;
+//! - [`brute::BruteForceCtaAttack`] — the paper's Algorithm 1, tailored to
+//!   CTA systems, with the section 5 attack-time accounting;
+//! - [`catalog()`] — the Table 1 registry of published RowHammer attacks.
+//!
+//! Every attack returns an [`outcome::AttackOutcome`] scoring success by
+//! *observed behavior* (kernel secret leaked / overwritten), cross-checked
+//! against the [`cta_core::verify`] self-reference detector.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod brute;
+pub mod catalog;
+pub mod hammer;
+pub mod outcome;
+pub mod spray;
+pub mod templating;
+
+pub use brute::BruteForceCtaAttack;
+pub use catalog::{catalog, KnownAttack, Platform, VictimData};
+pub use hammer::HammerDriver;
+pub use outcome::{AttackOutcome, AttackTimeModel};
+pub use spray::SprayAttack;
+pub use templating::TemplatingAttack;

@@ -1,0 +1,149 @@
+//! Attack outcomes and the section 5 attack-time accounting.
+
+use std::fmt;
+
+/// Result of running an attack.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct AttackOutcome {
+    /// The attacker demonstrated privilege escalation: it *read* the kernel
+    /// secret through its own mappings.
+    pub secret_read: bool,
+    /// The attacker also *overwrote* the kernel secret (full write
+    /// primitive).
+    pub secret_overwritten: bool,
+    /// A self-referencing PTE was found by scanning the attacker's
+    /// mappings.
+    pub self_reference_found: bool,
+    /// Rows the attacker hammered.
+    pub rows_hammered: u64,
+    /// Disturbance flips the module recorded during the attack.
+    pub flips_induced: u64,
+    /// Mappings the attacker created (spray width).
+    pub mappings_created: u64,
+    /// Simulated time consumed, nanoseconds.
+    pub sim_time_ns: u64,
+    /// Human-readable trace of the attack's phases.
+    pub log: Vec<String>,
+}
+
+impl AttackOutcome {
+    /// Overall success: privilege escalation demonstrated.
+    pub fn success(&self) -> bool {
+        self.secret_read
+    }
+
+    pub(crate) fn note(&mut self, msg: impl Into<String>) {
+        self.log.push(msg.into());
+    }
+}
+
+impl fmt::Display for AttackOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{}: self-ref={} flips={} rows={} mappings={} sim_time={:.3}s",
+            if self.success() { "SUCCESS" } else { "FAILED" },
+            self.self_reference_found,
+            self.flips_induced,
+            self.rows_hammered,
+            self.mappings_created,
+            self.sim_time_ns as f64 / 1e9,
+        )?;
+        for line in &self.log {
+            writeln!(f, "  - {line}")?;
+        }
+        Ok(())
+    }
+}
+
+/// The section 5 attack-time accounting for Algorithm 1.
+///
+/// The paper measures three step costs on an i7-6700 prototype and projects
+/// the brute-force attack time from them:
+///
+/// - step (1), refilling `ZONE_PTP` with PTEs for a new target page:
+///   ≈ 184 ms;
+/// - step (2), hammering one row: at least one refresh interval, 64 ms;
+/// - step (3), checking one PTE for self-reference: ≈ 600 ns.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AttackTimeModel {
+    /// Step (1) cost per target page, nanoseconds.
+    pub fill_ns: u64,
+    /// Step (2) cost per hammered row, nanoseconds.
+    pub hammer_row_ns: u64,
+    /// Step (3) cost per PTE checked, nanoseconds.
+    pub check_pte_ns: u64,
+}
+
+impl Default for AttackTimeModel {
+    fn default() -> Self {
+        AttackTimeModel { fill_ns: 184_000_000, hammer_row_ns: 64_000_000, check_pte_ns: 600 }
+    }
+}
+
+impl AttackTimeModel {
+    /// Worst-case time for Algorithm 1 in nanoseconds:
+    /// `target_pages × (fill + rows × (hammer + ptes_per_row × check))`.
+    pub fn worst_case_ns(&self, target_pages: u64, zone_rows: u64, ptes_per_row: u64) -> u128 {
+        let per_row = self.hammer_row_ns as u128 + ptes_per_row as u128 * self.check_pte_ns as u128;
+        target_pages as u128 * (self.fill_ns as u128 + zone_rows as u128 * per_row)
+    }
+
+    /// Expected attack time in days given the expected number of
+    /// exploitable PTE locations (section 5: `worst / (⌈E⌉ + 1)` when
+    /// `E ≥ 1`, `worst / 2` for the rare-success regime).
+    pub fn expected_days(
+        &self,
+        target_pages: u64,
+        zone_rows: u64,
+        ptes_per_row: u64,
+        expected_exploitable: f64,
+    ) -> f64 {
+        let worst = self.worst_case_ns(target_pages, zone_rows, ptes_per_row) as f64;
+        let divisor = if expected_exploitable >= 1.0 {
+            expected_exploitable.ceil() + 1.0
+        } else {
+            2.0
+        };
+        worst / divisor / 1e9 / 86_400.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_8gb_32mb_unrestricted_time() {
+        // 2^21 - 8192 target pages, 256 rows, 16384 PTEs/row, E=6.7 ⇒ 57.6 d.
+        let m = AttackTimeModel::default();
+        let days = m.expected_days((1 << 21) - 8192, 256, 16384, 6.7);
+        assert!((days - 57.6).abs() < 0.7, "days={days}");
+    }
+
+    #[test]
+    fn paper_8gb_32mb_restricted_time() {
+        // Same worst case halved: 230.7 days.
+        let m = AttackTimeModel::default();
+        let days = m.expected_days((1 << 21) - 8192, 256, 16384, 4.69e-6);
+        assert!((days - 230.7).abs() < 2.5, "days={days}");
+    }
+
+    #[test]
+    fn paper_8gb_64mb_unrestricted_time() {
+        // 64 MiB zone: 512 rows, 2^21-16384 pages, E=11.73 ⇒ 70.3 days.
+        let m = AttackTimeModel::default();
+        let days = m.expected_days((1 << 21) - 16384, 512, 16384, 11.73);
+        assert!((days - 70.3).abs() < 1.0, "days={days}");
+    }
+
+    #[test]
+    fn outcome_display() {
+        let mut o = AttackOutcome::default();
+        o.note("phase 1");
+        assert!(o.to_string().contains("FAILED"));
+        o.secret_read = true;
+        assert!(o.to_string().contains("SUCCESS"));
+        assert!(!o.success() || o.secret_read);
+    }
+}

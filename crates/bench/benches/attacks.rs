@@ -1,0 +1,64 @@
+//! Benchmarks of the attack machinery — spray-phase cost, hammer driver,
+//! and the verifier that scores outcomes.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use cta_attack::{HammerDriver, SprayAttack};
+use cta_core::verify::verify_system;
+use cta_core::SystemBuilder;
+use cta_dram::DisturbanceParams;
+use cta_mem::PAGE_SIZE;
+use cta_vm::{Kernel, VirtAddr};
+
+fn machine(protected: bool) -> Kernel {
+    SystemBuilder::new(8 << 20)
+        .ptp_bytes(512 * 1024)
+        .seed(5)
+        .protected(protected)
+        .disturbance(DisturbanceParams { pf: 0.05, ..DisturbanceParams::default() })
+        .build()
+        .unwrap()
+}
+
+fn bench_spray_attack(c: &mut Criterion) {
+    let mut group = c.benchmark_group("attack");
+    group.sample_size(10);
+    for protected in [false, true] {
+        let label = if protected { "cta" } else { "stock" };
+        group.bench_function(format!("spray_full_run_{label}"), |b| {
+            b.iter_batched(
+                || machine(protected),
+                |mut k| SprayAttack::default().run(&mut k).unwrap(),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_hammer_driver(c: &mut Criterion) {
+    c.bench_function("attack/hammer_row_of", |b| {
+        b.iter_batched(
+            || {
+                let mut k = machine(false);
+                let pid = k.create_process(false).unwrap();
+                k.mmap_anonymous(pid, VirtAddr(0x4000_0000), PAGE_SIZE, true).unwrap();
+                (k, pid)
+            },
+            |(mut k, pid)| {
+                HammerDriver::new().hammer_row_of(&mut k, pid, VirtAddr(0x4000_0000)).unwrap()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_verifier(c: &mut Criterion) {
+    c.bench_function("attack/verify_system_after_attack", |b| {
+        let mut k = machine(true);
+        let _ = SprayAttack::default().run(&mut k).unwrap();
+        b.iter(|| verify_system(&k).unwrap())
+    });
+}
+
+criterion_group!(benches, bench_spray_attack, bench_hammer_driver, bench_verifier);
+criterion_main!(benches);

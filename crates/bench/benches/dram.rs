@@ -1,0 +1,76 @@
+//! Benchmarks of the DRAM substrate: access paths, hammer bursts, and the
+//! boot-time profiler.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use cta_dram::{
+    profile_cell_types, DisturbanceParams, DramConfig, DramModule, ProfilerConfig, RowId,
+};
+use std::hint::black_box;
+
+fn module() -> DramModule {
+    DramModule::new(DramConfig::small_test())
+}
+
+fn bench_access(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dram");
+    group.bench_function("write_u64", |b| {
+        let mut m = module();
+        let mut addr = 0u64;
+        b.iter(|| {
+            m.write_u64(black_box(addr % 200_000), 0xDEAD_BEEF).unwrap();
+            addr += 8;
+        })
+    });
+    group.bench_function("read_u64", |b| {
+        let mut m = module();
+        m.fill(0, 4096, 0xAB).unwrap();
+        let mut addr = 0u64;
+        b.iter(|| {
+            let v = m.read_u64(black_box(addr % 4000)).unwrap();
+            addr += 8;
+            v
+        })
+    });
+    group.bench_function("read_page_cross_row", |b| {
+        let mut m = module();
+        m.fill(0, 64 * 1024, 0x5A).unwrap();
+        let mut addr = 2048u64;
+        b.iter(|| {
+            let v = m.read(black_box(addr % 60_000), 4096).unwrap();
+            addr += 4096;
+            v
+        })
+    });
+    group.finish();
+}
+
+fn bench_hammer(c: &mut Criterion) {
+    c.bench_function("dram/hammer_burst_to_threshold", |b| {
+        b.iter_batched(
+            || {
+                let mut m = DramModule::new(DramConfig::small_test().with_disturbance(
+                    DisturbanceParams { pf: 0.02, ..DisturbanceParams::default() },
+                ));
+                m.fill(0, 16 * 4096, 0xFF).unwrap();
+                m
+            },
+            |mut m| m.hammer_double_sided(RowId(2)).unwrap(),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_profiler(c: &mut Criterion) {
+    c.bench_function("dram/profile_16_rows", |b| {
+        b.iter_batched(
+            module,
+            |mut m| {
+                profile_cell_types(&mut m, &ProfilerConfig::default().with_rows(0..16)).unwrap()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(benches, bench_access, bench_hammer, bench_profiler);
+criterion_main!(benches);

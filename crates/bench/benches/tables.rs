@@ -1,0 +1,39 @@
+//! Benchmarks of the analytic evaluation pipeline (Tables 2–3): how cheap
+//! the closed-form security model is, and the cost of its Monte Carlo
+//! validation.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use cta_analysis::{
+    monte_carlo_p_exploitable, p_exploitable, table2, table3, FlipStats, Restriction,
+};
+use std::hint::black_box;
+
+fn bench_closed_form(c: &mut Criterion) {
+    let stats = FlipStats::paper_default();
+    c.bench_function("analysis/p_exploitable_n8", |b| {
+        b.iter(|| p_exploitable(black_box(8), black_box(&stats), Restriction::None))
+    });
+    c.bench_function("analysis/p_exploitable_restricted_n10", |b| {
+        b.iter(|| p_exploitable(black_box(10), black_box(&stats), Restriction::AtLeastTwoZeros))
+    });
+}
+
+fn bench_table_generation(c: &mut Criterion) {
+    c.bench_function("analysis/generate_table2", |b| b.iter(|| black_box(table2()).generate()));
+    c.bench_function("analysis/generate_table3", |b| b.iter(|| black_box(table3()).generate()));
+    c.bench_function("analysis/render_table2", |b| {
+        b.iter_batched(table2, |t| t.render("Table 2"), BatchSize::SmallInput)
+    });
+}
+
+fn bench_monte_carlo(c: &mut Criterion) {
+    let stats = FlipStats::paper_default().inverted();
+    c.bench_function("analysis/monte_carlo_100k_samples", |b| {
+        b.iter(|| {
+            monte_carlo_p_exploitable(black_box(8), black_box(&stats), Restriction::None, 100_000, 7)
+        })
+    });
+}
+
+criterion_group!(benches, bench_closed_form, bench_table_generation, bench_monte_carlo);
+criterion_main!(benches);

@@ -1,0 +1,93 @@
+//! Benchmarks of the virtual-memory substrate: page-table walks, TLB-hit
+//! translation, and mapping churn — the operations whose Table 4 parity
+//! between stock and CTA kernels the workload harness aggregates.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use cta_core::SystemBuilder;
+use cta_mem::PAGE_SIZE;
+use cta_vm::{Access, Kernel, VirtAddr};
+use std::hint::black_box;
+
+fn machine(protected: bool) -> Kernel {
+    SystemBuilder::new(16 << 20)
+        .ptp_bytes(1 << 20)
+        .seed(3)
+        .protected(protected)
+        // Timing benches drive millions of walks through one machine; with
+        // a nonzero pf the benchmark itself RowHammers its page tables
+        // (cleared present bits abort the walk). Measure on a flip-free
+        // module — the timing paths are identical.
+        .disturbance(cta_dram::DisturbanceParams {
+            pf: 0.0,
+            ..cta_dram::DisturbanceParams::default()
+        })
+        .build()
+        .unwrap()
+}
+
+fn bench_translate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("vm");
+    for protected in [false, true] {
+        let label = if protected { "cta" } else { "stock" };
+        group.bench_function(format!("walk_cold_{label}"), |b| {
+            let mut k = machine(protected);
+            let pid = k.create_process(false).unwrap();
+            let va = VirtAddr(0x4000_0000);
+            k.mmap_anonymous(pid, va, 8 * PAGE_SIZE, true).unwrap();
+            b.iter(|| {
+                k.flush_tlb();
+                k.translate(black_box(pid), black_box(va), Access::user_read()).unwrap()
+            })
+        });
+        group.bench_function(format!("translate_tlb_hit_{label}"), |b| {
+            let mut k = machine(protected);
+            let pid = k.create_process(false).unwrap();
+            let va = VirtAddr(0x4000_0000);
+            k.mmap_anonymous(pid, va, PAGE_SIZE, true).unwrap();
+            k.translate(pid, va, Access::user_read()).unwrap();
+            b.iter(|| k.translate(black_box(pid), black_box(va), Access::user_read()).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_mapping_churn(c: &mut Criterion) {
+    let mut group = c.benchmark_group("vm");
+    for protected in [false, true] {
+        let label = if protected { "cta" } else { "stock" };
+        group.bench_function(format!("mmap_munmap_16_pages_{label}"), |b| {
+            b.iter_batched(
+                || {
+                    let mut k = machine(protected);
+                    let pid = k.create_process(false).unwrap();
+                    (k, pid)
+                },
+                |(mut k, pid)| {
+                    let va = VirtAddr(0x4000_0000);
+                    k.mmap_anonymous(pid, va, 16 * PAGE_SIZE, true).unwrap();
+                    k.munmap(pid, va, 16 * PAGE_SIZE).unwrap();
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_virt_io(c: &mut Criterion) {
+    c.bench_function("vm/write_read_4k_through_tables", |b| {
+        let mut k = machine(true);
+        let pid = k.create_process(false).unwrap();
+        let va = VirtAddr(0x4000_0000);
+        k.mmap_anonymous(pid, va, 4 * PAGE_SIZE, true).unwrap();
+        let data = vec![0xC3u8; 4096];
+        let mut buf = vec![0u8; 4096];
+        b.iter(|| {
+            k.write_virt(pid, va, black_box(&data), Access::user_write()).unwrap();
+            k.read_virt(pid, va, &mut buf, Access::user_read()).unwrap();
+        })
+    });
+}
+
+criterion_group!(benches, bench_translate, bench_mapping_churn, bench_virt_io);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! The section 5 defense-in-depth suggestion: couple CTA with an
+//! ANVIL-style activity detector. CTA slows the attack to days, so a
+//! low-rate sampler catches the sustained hammering long before it can
+//! matter; and for unprotected data rows, preemptive mitigation stops
+//! flips outright.
+
+use cta_bench::{header, kv};
+use cta_dram::{DisturbanceParams, DramConfig, DramModule, RowId};
+use cta_ext::{AnvilConfig, AnvilDetector};
+use cta_workloads::{spec2006, Runner};
+
+fn module(seed: u64) -> DramModule {
+    DramModule::new(DramConfig::small_test().with_seed(seed).with_disturbance(
+        DisturbanceParams { pf: 0.05, ..DisturbanceParams::default() },
+    ))
+}
+
+fn main() {
+    header("ANVIL-style detection of a hammering campaign (20 modules)");
+    let mut detected = 0;
+    let mut prevented = 0;
+    for seed in 0..20u64 {
+        let mut m = module(seed);
+        m.fill(2 * 4096, 4096, 0xFF).unwrap();
+        let mut detector = AnvilDetector::new(AnvilConfig::default());
+        let threshold = m.config().disturbance.hammer_threshold;
+        // The attacker hammers in bursts; the detector samples periodically.
+        for _ in 0..32 {
+            m.hammer(RowId(1), threshold / 8).unwrap();
+            m.hammer(RowId(3), threshold / 8).unwrap();
+            detector.sample_and_mitigate(&mut m).unwrap();
+        }
+        if !detector.alarms().is_empty() {
+            detected += 1;
+        }
+        if m.stats().total_flips() == 0 {
+            prevented += 1;
+        }
+    }
+    kv("campaigns detected", format!("{detected} / 20"));
+    kv("campaigns fully preempted (0 flips)", format!("{prevented} / 20"));
+    assert_eq!(detected, 20);
+    assert_eq!(prevented, 20);
+
+    header("False positives on benign workloads");
+    let mut kernel = cta_core::SystemBuilder::new(16 << 20)
+        .ptp_bytes(1 << 20)
+        .protected(true)
+        .build()
+        .unwrap();
+    let mut detector = AnvilDetector::new(AnvilConfig::default());
+    let runner = Runner { repetitions: 1, seed: 9 };
+    let mut false_positives = 0;
+    for spec in spec2006().iter().take(6) {
+        runner.run(&mut kernel, spec).unwrap();
+        false_positives += detector.sample(kernel.dram()).len();
+    }
+    kv("alarms across 6 SPEC-shaped workloads", false_positives);
+    assert_eq!(false_positives, 0, "benign work must not trip the detector");
+
+    header("Why CTA makes sampling cheap (the paper's §5 argument)");
+    kv("without CTA", "attack window ≈ 20 s — the sampler must run hot");
+    kv("with CTA", "attack takes days–years; sampling every few seconds suffices");
+    println!("\nOK: detector catches every campaign, flags nothing benign, and CTA buys it slack.");
+}

@@ -1,0 +1,42 @@
+//! Regenerates Figure 1: DRAM bank organization — rows, the row buffer
+//! abstraction, and which victim rows an aggressor disturbs.
+
+use cta_bench::{header, kv};
+use cta_dram::{DramConfig, DramModule, RowId};
+
+fn main() {
+    let module = DramModule::new(DramConfig::paper_scale(1 << 30, 7));
+    let g = module.geometry();
+    header("Figure 1: DRAM Bank Organization (1 GiB paper-scale module)");
+    kv("banks", g.banks());
+    kv("rows per bank", g.rows_per_bank());
+    kv("row size", format!("{} KiB", g.row_bytes() / 1024));
+    kv("cells per row", g.bits_per_row());
+    kv("capacity", format!("{} MiB", g.capacity_bytes() >> 20));
+
+    header("Aggressor/victim geometry");
+    for aggressor in [RowId(0), RowId(100), RowId(g.rows_per_bank() - 1)] {
+        let victims = g.adjacent_rows(aggressor).expect("row in range");
+        let coord = g.bank_coord(aggressor).expect("row in range");
+        kv(
+            &format!("aggressor {aggressor} (bank {}, in-bank row {})", coord.bank, coord.row_in_bank),
+            format!(
+                "victims: {}",
+                victims.iter().map(|r| r.to_string()).collect::<Vec<_>>().join(", ")
+            ),
+        );
+    }
+
+    header("Bank-boundary isolation");
+    let last_of_bank0 = RowId(g.rows_per_bank() - 1);
+    let first_of_bank1 = RowId(g.rows_per_bank());
+    kv(
+        &format!("{last_of_bank0} and {first_of_bank1}"),
+        "consecutive indices but different banks: not neighbors",
+    );
+    assert!(!g
+        .adjacent_rows(last_of_bank0)
+        .expect("in range")
+        .contains(&first_of_bank1));
+    println!("\nOK: adjacency respects bank boundaries.");
+}

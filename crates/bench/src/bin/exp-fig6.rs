@@ -1,0 +1,40 @@
+//! Regenerates Figure 6: the x86 (32-bit) and x86-64 physical memory zone
+//! layouts, plus the CTA variant with ZONE_PTP at the top.
+
+use cta_bench::{header, kv};
+use cta_dram::{AddressMapping, CellLayout, CellTypeMap, DramGeometry};
+use cta_mem::{MemoryMap, PtpLayout, PtpSpec};
+
+fn print_map(map: &MemoryMap) {
+    for (kind, specs) in map.zones() {
+        for spec in specs {
+            let start = spec.pfn_range.start * 4096;
+            let end = spec.pfn_range.end * 4096;
+            kv(
+                &format!("{kind}{}", if spec.trusted_only { " [trusted stripe]" } else { "" }),
+                format!("{:#012x} .. {:#012x} ({} MiB)", start, end, (end - start) >> 20),
+            );
+        }
+    }
+}
+
+fn main() {
+    header("Figure 6a: 32-bit x86 zones (2 GiB machine)");
+    print_map(&MemoryMap::x86_32(2 << 30));
+
+    header("Figure 6b: x86-64 zones (8 GiB machine)");
+    print_map(&MemoryMap::x86_64(8 << 30));
+
+    header("x86-64 zones with CTA (8 GiB, 32 MiB ZONE_PTP)");
+    let geometry = DramGeometry::new(128 * 1024, 8192, 8, AddressMapping::RowLinear);
+    let cells = CellTypeMap::from_layout(&geometry, CellLayout::alternating_512());
+    let layout =
+        PtpLayout::build(&cells, 8 << 30, &PtpSpec::paper_default()).expect("layout feasible");
+    kv("low water mark", format!("{:#012x}", layout.low_water_mark()));
+    kv("capacity loss (anti rows reserved)", format!(
+        "{} MiB ({:.2}%)",
+        layout.capacity_loss_bytes() >> 20,
+        layout.capacity_loss_fraction() * 100.0
+    ));
+    print_map(&MemoryMap::x86_64(8 << 30).with_cta(layout));
+}

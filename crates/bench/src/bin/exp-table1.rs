@@ -1,0 +1,19 @@
+//! Regenerates Table 1: the catalog of published RowHammer attacks.
+
+use cta_attack::catalog;
+use cta_bench::header;
+
+fn main() {
+    header("Table 1: Existing RowHammer Attacks");
+    println!("{:<36} {:<10} {:<44} {:<9} {}", "Techniques", "Victim", "Attacks", "Platform", "CTA mitigates");
+    for row in catalog() {
+        println!(
+            "{:<36} {:<10} {:<44} {:<9} {}",
+            row.reference,
+            row.victim.to_string(),
+            row.effect,
+            row.platform.to_string(),
+            if row.mitigated_by_cta { "yes" } else { "out of scope" }
+        );
+    }
+}

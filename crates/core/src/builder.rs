@@ -1,0 +1,230 @@
+//! One-stop construction of simulated machines, protected or not.
+
+use cta_dram::{CellLayout, CellType, DisturbanceParams, DramConfig};
+use cta_mem::PtpSpec;
+use cta_vm::{Kernel, KernelConfig, VmError};
+
+/// Builder for a complete simulated system: DRAM module + kernel, with or
+/// without CTA.
+///
+/// ```
+/// use cta_core::builder::SystemBuilder;
+///
+/// # fn main() -> Result<(), cta_vm::VmError> {
+/// let kernel = SystemBuilder::new(64 << 20)   // 64 MiB machine
+///     .seed(42)
+///     .protected(true)                        // enable CTA
+///     .ptp_bytes(1 << 20)                     // 1 MiB ZONE_PTP
+///     .build()?;
+/// assert!(kernel.cta_enabled());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct SystemBuilder {
+    memory_bytes: u64,
+    row_bytes: u64,
+    cell_period_rows: u64,
+    first_cell_type: CellType,
+    disturbance: DisturbanceParams,
+    seed: u64,
+    protected: bool,
+    ptp_bytes: u64,
+    multi_level: bool,
+    restrict_two_zeros: bool,
+    profile_cells: bool,
+    screen_ps_bit: bool,
+}
+
+impl SystemBuilder {
+    /// Starts a builder for a machine with `memory_bytes` of DRAM
+    /// (power of two), defaulting to 4 KiB rows alternating cell type every
+    /// 64 rows, a paper-default disturbance model with `pf` raised to 2%
+    /// (so small-scale attack experiments actually observe flips), CTA off.
+    pub fn new(memory_bytes: u64) -> Self {
+        SystemBuilder {
+            memory_bytes,
+            row_bytes: 4096,
+            cell_period_rows: 64,
+            first_cell_type: CellType::True,
+            disturbance: DisturbanceParams { pf: 0.02, ..DisturbanceParams::default() },
+            seed: 0xCA11_AB1E,
+            protected: false,
+            ptp_bytes: (memory_bytes / 64).max(256 * 1024),
+            multi_level: false,
+            restrict_two_zeros: false,
+            profile_cells: false,
+            screen_ps_bit: false,
+        }
+    }
+
+    /// An 8 MiB machine matching [`KernelConfig::small_test`] defaults.
+    pub fn small_test() -> Self {
+        SystemBuilder::new(8 << 20).ptp_bytes(256 * 1024)
+    }
+
+    /// DRAM row size in bytes (power of two).
+    pub fn row_bytes(mut self, row_bytes: u64) -> Self {
+        self.row_bytes = row_bytes;
+        self
+    }
+
+    /// Cell-type alternation period in rows.
+    pub fn cell_period(mut self, rows: u64) -> Self {
+        self.cell_period_rows = rows;
+        self
+    }
+
+    /// Polarity of row 0.
+    pub fn first_cell_type(mut self, cell_type: CellType) -> Self {
+        self.first_cell_type = cell_type;
+        self
+    }
+
+    /// Disturbance (RowHammer) model parameters.
+    pub fn disturbance(mut self, params: DisturbanceParams) -> Self {
+        self.disturbance = params;
+        self
+    }
+
+    /// Module seed (fixes the vulnerability map).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Enables or disables CTA.
+    pub fn protected(mut self, protected: bool) -> Self {
+        self.protected = protected;
+        self
+    }
+
+    /// `ZONE_PTP` size in bytes (power of two).
+    pub fn ptp_bytes(mut self, bytes: u64) -> Self {
+        self.ptp_bytes = bytes;
+        self
+    }
+
+    /// Per-level PTP sub-zones (section 7 extension).
+    pub fn multi_level(mut self, enabled: bool) -> Self {
+        self.multi_level = enabled;
+        self
+    }
+
+    /// The two-zeros indicator restriction (section 5 enhancement).
+    pub fn restrict_two_zeros(mut self, enabled: bool) -> Self {
+        self.restrict_two_zeros = enabled;
+        self
+    }
+
+    /// Identify cell types with the boot-time profiler rather than ground
+    /// truth.
+    pub fn profile_cells(mut self, enabled: bool) -> Self {
+        self.profile_cells = enabled;
+        self
+    }
+
+    /// Apply the section 7 page-size-bit screen at boot.
+    pub fn screen_ps_bit(mut self, enabled: bool) -> Self {
+        self.screen_ps_bit = enabled;
+        self
+    }
+
+    /// The kernel configuration this builder describes.
+    pub fn to_config(&self) -> KernelConfig {
+        use cta_dram::{AddressMapping, DramGeometry, RetentionParams};
+        let rows = self.memory_bytes / self.row_bytes;
+        let geometry = DramGeometry::new(self.row_bytes, rows, 1, AddressMapping::RowLinear);
+        let dram = DramConfig {
+            geometry,
+            layout: CellLayout::Alternating {
+                period_rows: self.cell_period_rows,
+                first: self.first_cell_type,
+            },
+            disturbance: self.disturbance,
+            retention: RetentionParams::default(),
+            refresh_interval_ns: 64_000_000,
+            seed: self.seed,
+        };
+        let cta = self.protected.then(|| {
+            PtpSpec::paper_default()
+                .with_size(self.ptp_bytes)
+                .with_multi_level(self.multi_level)
+                .with_two_zeros_restriction(self.restrict_two_zeros)
+        });
+        KernelConfig {
+            dram,
+            cta,
+            profile_cells: self.profile_cells,
+            tlb_entries: 64,
+            cell_map_override: None,
+            screen_ps_bit: self.screen_ps_bit,
+            memory_map_override: None,
+        }
+    }
+
+    /// Boots the machine.
+    ///
+    /// # Errors
+    ///
+    /// Propagates kernel boot failures (e.g. an infeasible `ZONE_PTP`).
+    pub fn build(&self) -> Result<Kernel, VmError> {
+        Kernel::new(self.to_config())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unprotected_build() {
+        let k = SystemBuilder::small_test().build().unwrap();
+        assert!(!k.cta_enabled());
+        assert_eq!(k.dram().capacity_bytes(), 8 << 20);
+    }
+
+    #[test]
+    fn protected_build_has_ptp_zone_at_top() {
+        let k = SystemBuilder::small_test().protected(true).build().unwrap();
+        assert!(k.cta_enabled());
+        let layout = k.ptp_layout().unwrap();
+        assert!(layout.low_water_mark() > 0);
+        assert_eq!(layout.ptp_bytes(), 256 * 1024);
+    }
+
+    #[test]
+    fn profiled_build_matches_ground_truth_build() {
+        let a = SystemBuilder::small_test().protected(true).build().unwrap();
+        let b = SystemBuilder::small_test().protected(true).profile_cells(true).build().unwrap();
+        assert_eq!(
+            a.ptp_layout().unwrap().low_water_mark(),
+            b.ptp_layout().unwrap().low_water_mark(),
+            "profiler and ground truth must agree on the zone layout"
+        );
+    }
+
+    #[test]
+    fn multi_level_and_restriction_flags_propagate() {
+        let k = SystemBuilder::small_test()
+            .protected(true)
+            .multi_level(true)
+            .restrict_two_zeros(true)
+            .build()
+            .unwrap();
+        let layout = k.ptp_layout().unwrap();
+        assert!(layout.subzones().iter().all(|(_, l)| l.is_some()));
+        assert!(!layout.trusted_ranges().is_empty());
+    }
+
+    #[test]
+    fn all_anti_module_cannot_be_protected() {
+        // Force every row anti by alternating with anti first and a period
+        // covering the whole module.
+        let b = SystemBuilder::small_test()
+            .protected(true)
+            .first_cell_type(CellType::Anti)
+            .cell_period(1 << 40);
+        assert!(b.build().is_err());
+    }
+}

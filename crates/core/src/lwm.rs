@@ -1,0 +1,130 @@
+//! Low-water-mark calculus: the PTP indicator and its zero count.
+//!
+//! Section 5 defines the *PTP indicator* as the high physical-address bits
+//! that must all be `1` for an address to lie in `ZONE_PTP` (when the zone
+//! is the top `2^k`-aligned slice of a `2^m`-byte memory, the indicator is
+//! bits `k..m`, `n = m − k` bits wide). An attacker's PTE must see its
+//! indicator driven to all-ones by `0→1` flips to achieve self-reference —
+//! the probability the analytic model (Tables 2–3) quantifies.
+
+use cta_mem::PtpLayout;
+
+/// The PTP-indicator view of a physical address space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PtpIndicator {
+    total_bytes: u64,
+    ptp_bytes: u64,
+}
+
+impl PtpIndicator {
+    /// Builds the indicator for a memory of `total_bytes` with a nominal
+    /// `ZONE_PTP` of `ptp_bytes`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both sizes are powers of two with
+    /// `ptp_bytes < total_bytes` — configuration errors.
+    pub fn new(total_bytes: u64, ptp_bytes: u64) -> Self {
+        assert!(total_bytes.is_power_of_two() && ptp_bytes.is_power_of_two());
+        assert!(ptp_bytes < total_bytes);
+        PtpIndicator { total_bytes, ptp_bytes }
+    }
+
+    /// The indicator of a live layout.
+    pub fn of_layout(layout: &PtpLayout) -> Self {
+        PtpIndicator::new(layout.total_bytes(), layout.ptp_bytes())
+    }
+
+    /// Width of the indicator in bits (`n` in the paper).
+    pub fn bits(self) -> u32 {
+        (self.total_bytes / self.ptp_bytes).trailing_zeros()
+    }
+
+    /// Bit position where the indicator starts (log2 of the PTP size).
+    pub fn shift(self) -> u32 {
+        self.ptp_bytes.trailing_zeros()
+    }
+
+    /// The indicator field of `addr`.
+    pub fn extract(self, addr: u64) -> u64 {
+        (addr >> self.shift()) & ((1u64 << self.bits()) - 1)
+    }
+
+    /// Number of `0` bits in `addr`'s indicator. A PTE whose frame address
+    /// has `z` zeros needs `z` distinct `0→1` flips to reach `ZONE_PTP`.
+    pub fn zeros(self, addr: u64) -> u32 {
+        self.bits() - self.extract(addr).count_ones()
+    }
+
+    /// Whether `addr`'s indicator is all-ones (the address lies in the
+    /// nominal top-`ptp_bytes` slice).
+    pub fn is_all_ones(self, addr: u64) -> bool {
+        self.zeros(addr) == 0
+    }
+
+    /// The lowest address whose indicator is all-ones.
+    pub fn all_ones_base(self) -> u64 {
+        self.total_bytes - self.ptp_bytes
+    }
+
+    /// Fraction of the address space whose indicator has fewer than two
+    /// zeros (the stripes the two-zeros restriction reserves):
+    /// `(1 + n) / 2^n`.
+    pub fn under_two_zeros_fraction(self) -> f64 {
+        let n = self.bits();
+        (1.0 + n as f64) / 2f64.powi(n as i32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_configuration_has_eight_bits() {
+        // 8 GiB memory, 32 MiB PTP ⇒ n = 8.
+        let ind = PtpIndicator::new(8 << 30, 32 << 20);
+        assert_eq!(ind.bits(), 8);
+        assert_eq!(ind.shift(), 25);
+    }
+
+    #[test]
+    fn extract_and_zeros() {
+        let ind = PtpIndicator::new(1 << 10, 1 << 6); // n = 4, shift = 6
+        assert_eq!(ind.extract(0b1111 << 6), 0b1111);
+        assert_eq!(ind.zeros(0b1111 << 6), 0);
+        assert!(ind.is_all_ones(0b1111 << 6));
+        assert_eq!(ind.zeros(0b1010 << 6), 2);
+        assert_eq!(ind.zeros(0), 4);
+    }
+
+    #[test]
+    fn all_ones_base_is_top_slice() {
+        let ind = PtpIndicator::new(1 << 10, 1 << 6);
+        assert_eq!(ind.all_ones_base(), (1 << 10) - (1 << 6));
+        assert!(ind.is_all_ones(ind.all_ones_base()));
+        assert!(!ind.is_all_ones(ind.all_ones_base() - 1));
+    }
+
+    #[test]
+    fn under_two_zero_fraction_matches_paper() {
+        // (1 + 8)/2^8 ≈ 3.5%; the paper quotes the one-zero portion
+        // (8/256 = 3.12%) plus the all-ones block.
+        let ind = PtpIndicator::new(8 << 30, 32 << 20);
+        let f = ind.under_two_zeros_fraction();
+        assert!((f - 9.0 / 256.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn indicator_monotone_under_zero_to_one_flips() {
+        // Flipping any 0→1 in the address can only reduce the zero count —
+        // the attack needs exactly `zeros` of them to hit all-ones.
+        let ind = PtpIndicator::new(1 << 10, 1 << 6);
+        let addr = 0b0101u64 << 6;
+        let z = ind.zeros(addr);
+        for bit in 6..10 {
+            let flipped = addr | (1 << bit);
+            assert!(ind.zeros(flipped) <= z);
+        }
+    }
+}

@@ -1,0 +1,181 @@
+//! The monotonicity property of values stored in single-polarity DRAM cells.
+//!
+//! A data object placed entirely in true-cells can only lose `1` bits under
+//! charge-leak-induced corruption (RowHammer or retention failure); in
+//! anti-cells it can only gain them. This module provides the value-level
+//! reasoning the paper's proof rests on.
+
+use cta_dram::{CellType, FlipDirection};
+
+/// Whether `to` is reachable from `from` using only flips in `direction`.
+///
+/// For `1→0` flips: every set bit of `to` must already be set in `from`
+/// (`to ⊆ from`). For `0→1`: `from ⊆ to`.
+pub fn can_reach(from: u64, to: u64, direction: FlipDirection) -> bool {
+    match direction {
+        FlipDirection::OneToZero => to & !from == 0,
+        FlipDirection::ZeroToOne => from & !to == 0,
+    }
+}
+
+/// The extreme value corruption can drive `value` to in `direction`
+/// (all flippable bits fired): 0 for true-cells, all-ones (within `width`
+/// bits) for anti-cells.
+pub fn corruption_limit(value: u64, direction: FlipDirection, width: u32) -> u64 {
+    match direction {
+        FlipDirection::OneToZero => 0,
+        FlipDirection::ZeroToOne => {
+            if width >= 64 {
+                u64::MAX
+            } else {
+                value | ((1u64 << width) - 1)
+            }
+        }
+    }
+}
+
+/// A value with a proof obligation attached: it is stored in cells of one
+/// polarity, so its set of reachable corruptions is known.
+///
+/// `MonotonicValue` is the paper's "monotonic pointer" abstraction: CTA
+/// guarantees PTE pointers behave like
+/// `MonotonicValue::new(p, CellType::True)`, whose
+/// [`max_reachable`](Self::max_reachable) equals `p` itself.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MonotonicValue {
+    value: u64,
+    cell_type: CellType,
+}
+
+impl MonotonicValue {
+    /// Wraps `value` as stored in cells of `cell_type`.
+    pub fn new(value: u64, cell_type: CellType) -> Self {
+        MonotonicValue { value, cell_type }
+    }
+
+    /// The stored value.
+    pub fn value(self) -> u64 {
+        self.value
+    }
+
+    /// The cell polarity holding the value.
+    pub fn cell_type(self) -> CellType {
+        self.cell_type
+    }
+
+    /// The direction corruption moves this value.
+    pub fn direction(self) -> FlipDirection {
+        FlipDirection::primary_for(self.cell_type)
+    }
+
+    /// Whether `corrupted` is a possible post-attack observation of this
+    /// value (ignoring the sub-percent reverse-rate, as the proof does).
+    pub fn may_become(self, corrupted: u64) -> bool {
+        can_reach(self.value, corrupted, self.direction())
+    }
+
+    /// The largest value any reachable corruption can have.
+    ///
+    /// For true-cells this is the value itself — the theorem's
+    /// `γ(p) ≤ p` step.
+    pub fn max_reachable(self) -> u64 {
+        match self.direction() {
+            FlipDirection::OneToZero => self.value,
+            FlipDirection::ZeroToOne => u64::MAX,
+        }
+    }
+
+    /// The smallest value any reachable corruption can have.
+    pub fn min_reachable(self) -> u64 {
+        match self.direction() {
+            FlipDirection::OneToZero => 0,
+            FlipDirection::ZeroToOne => self.value,
+        }
+    }
+
+    /// Number of distinct reachable corruptions (including the value
+    /// itself): `2^popcount` for true-cells, `2^zerocount` for anti-cells.
+    ///
+    /// Saturates at `u64::MAX` for wide values.
+    pub fn reachable_count(self) -> u64 {
+        let bits = match self.direction() {
+            FlipDirection::OneToZero => self.value.count_ones(),
+            FlipDirection::ZeroToOne => self.value.count_zeros(),
+        };
+        1u64.checked_shl(bits).unwrap_or(u64::MAX)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reachability_one_to_zero() {
+        assert!(can_reach(0b1011, 0b1010, FlipDirection::OneToZero));
+        assert!(can_reach(0b1011, 0b0000, FlipDirection::OneToZero));
+        assert!(can_reach(0b1011, 0b1011, FlipDirection::OneToZero));
+        assert!(!can_reach(0b1011, 0b1100, FlipDirection::OneToZero));
+        assert!(!can_reach(0b1011, 0b1111, FlipDirection::OneToZero));
+    }
+
+    #[test]
+    fn reachability_zero_to_one() {
+        assert!(can_reach(0b1000, 0b1010, FlipDirection::ZeroToOne));
+        assert!(can_reach(0b1000, u64::MAX, FlipDirection::ZeroToOne));
+        assert!(!can_reach(0b1000, 0b0111, FlipDirection::ZeroToOne));
+    }
+
+    #[test]
+    fn true_cell_corruption_never_increases() {
+        let m = MonotonicValue::new(0x0110_0000, CellType::True);
+        assert_eq!(m.max_reachable(), 0x0110_0000);
+        assert_eq!(m.min_reachable(), 0);
+        // The paper's example: 0x01100000 can only become these.
+        for target in [0x0010_0000u64, 0x0100_0000, 0x0000_0000, 0x0110_0000] {
+            assert!(m.may_become(target));
+        }
+        assert!(!m.may_become(0x0200_0000));
+        assert!(!m.may_become(0x0110_0001));
+    }
+
+    #[test]
+    fn anti_cell_corruption_never_decreases() {
+        let m = MonotonicValue::new(0x0110_0000, CellType::Anti);
+        assert_eq!(m.min_reachable(), 0x0110_0000);
+        assert_eq!(m.max_reachable(), u64::MAX);
+        assert!(m.may_become(0xFFFF_FFFF));
+        assert!(!m.may_become(0x0100_0000));
+    }
+
+    #[test]
+    fn reachable_count_is_powerset_of_flippable_bits() {
+        assert_eq!(MonotonicValue::new(0b1011, CellType::True).reachable_count(), 8);
+        assert_eq!(MonotonicValue::new(0, CellType::True).reachable_count(), 1);
+        assert_eq!(
+            MonotonicValue::new(u64::MAX, CellType::Anti).reachable_count(),
+            1
+        );
+    }
+
+    #[test]
+    fn corruption_limits() {
+        assert_eq!(corruption_limit(0xABCD, FlipDirection::OneToZero, 16), 0);
+        assert_eq!(corruption_limit(0x8000, FlipDirection::ZeroToOne, 16), 0xFFFF);
+        assert_eq!(corruption_limit(1, FlipDirection::ZeroToOne, 64), u64::MAX);
+    }
+
+    #[test]
+    fn theorem_step_gamma_p_le_p() {
+        // ∀p, ∀γ(p) reachable in true-cells: γ(p) ≤ p. Spot-check densely
+        // over a small domain (the exhaustive version lives in verify.rs).
+        for p in 0u64..512 {
+            let m = MonotonicValue::new(p, CellType::True);
+            for g in 0u64..512 {
+                if m.may_become(g) {
+                    assert!(g <= p);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,93 @@
+//! Page-size-bit screening (paper section 7).
+//!
+//! With multiple page sizes, PD/PDPT entries carry the **PS bit** (bit 7):
+//! `0` = pointer to a lower table, `1` = huge data page. A `1→0` flip is
+//! *valid in true-cells*, so CTA's direction argument does not forbid it —
+//! but the dangerous direction for an installed *table pointer* is `0→1`:
+//! it would convert a kernel-only table pointer into a user-accessible
+//! huge mapping covering page-table memory. Conversely a huge-page PDE's
+//! `1→0` PS flip turns attacker data into a "table".
+//!
+//! The paper's fix: a one-time system-level test finds the frames whose
+//! PS-bit cell positions are vulnerable at all, and the allocator never
+//! uses those frames for high-level page tables. This module implements
+//! that screen against the module's vulnerability map (the simulator's
+//! stand-in for the physical test — same observable: "does this cell flip
+//! when this frame's row is hammered").
+
+pub use cta_mem::screen_page_size_bit;
+
+#[cfg(test)]
+use cta_dram::{DramModule, RowId};
+#[cfg(test)]
+use cta_mem::{PtpLayout, PAGE_SIZE};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cta_dram::{CellLayout, DisturbanceParams, DramConfig};
+    use cta_mem::PtpSpec;
+
+    fn setup(pf: f64) -> (DramModule, PtpLayout) {
+        let cfg = DramConfig::small_test()
+            .with_layout(CellLayout::AllTrue)
+            .with_disturbance(DisturbanceParams { pf, ..DisturbanceParams::default() });
+        let module = DramModule::new(cfg);
+        let map = module.ground_truth_cell_map();
+        let layout = PtpLayout::build(
+            &map,
+            module.capacity_bytes(),
+            &PtpSpec::paper_default().with_size(64 * 1024).with_multi_level(true),
+        )
+        .unwrap();
+        (module, layout)
+    }
+
+    #[test]
+    fn screen_finds_ps_vulnerable_frames_at_high_pf() {
+        let (mut module, layout) = setup(0.10);
+        let screened = screen_page_size_bit(&mut module, &layout).unwrap();
+        // pf=10%: each frame has 512 PS-bit cells, P(none vulnerable) is
+        // (0.9)^512 ≈ 0 — effectively every PD/PDPT frame screens out.
+        assert!(!screened.is_empty());
+        for page in &screened {
+            assert_eq!(page % PAGE_SIZE, 0);
+        }
+    }
+
+    #[test]
+    fn screen_is_empty_at_zero_pf() {
+        let (mut module, layout) = setup(0.0);
+        assert!(screen_page_size_bit(&mut module, &layout).unwrap().is_empty());
+    }
+
+    #[test]
+    fn screened_frames_really_have_ps_flippers() {
+        let (mut module, layout) = setup(0.05);
+        let screened = screen_page_size_bit(&mut module, &layout).unwrap();
+        let row_bytes = module.geometry().row_bytes();
+        for page in screened {
+            let row = RowId(page / row_bytes);
+            let base = (page % row_bytes) * 8;
+            let hit = module
+                .vulnerable_bits(row)
+                .unwrap()
+                .iter()
+                .any(|vb| vb.bit >= base && vb.bit < base + 4096 * 8 && (vb.bit - base) % 64 == 7);
+            assert!(hit);
+        }
+    }
+
+    #[test]
+    fn screening_composes_with_layout_exclusion() {
+        let (mut module, layout) = setup(0.03);
+        let screened = screen_page_size_bit(&mut module, &layout).unwrap();
+        let before: u64 = layout.subzones().iter().map(|(r, _)| r.end - r.start).sum();
+        let cleaned = layout.with_screened_pages(&screened);
+        let after: u64 = cleaned.subzones().iter().map(|(r, _)| r.end - r.start).sum();
+        assert_eq!(before - after, screened.len() as u64 * PAGE_SIZE);
+        // And a rescan of the cleaned layout finds nothing.
+        let rescan = screen_page_size_bit(&mut module, &cleaned).unwrap();
+        assert!(rescan.is_empty(), "{rescan:?}");
+    }
+}

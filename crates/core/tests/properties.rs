@@ -1,0 +1,85 @@
+//! Property-based tests of the monotonicity calculus and the theorem.
+
+use cta_core::lwm::PtpIndicator;
+use cta_core::mono::{can_reach, MonotonicValue};
+use cta_core::verify::check_theorem_exhaustive;
+use cta_dram::{CellType, FlipDirection};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Reachability is reflexive and antisymmetric-by-direction: if both
+    /// directions can reach, the values are equal.
+    #[test]
+    fn reachability_order_properties(a in any::<u64>(), b in any::<u64>()) {
+        prop_assert!(can_reach(a, a, FlipDirection::OneToZero));
+        prop_assert!(can_reach(a, a, FlipDirection::ZeroToOne));
+        if can_reach(a, b, FlipDirection::OneToZero) && can_reach(b, a, FlipDirection::OneToZero) {
+            prop_assert_eq!(a, b);
+        }
+    }
+
+    /// Reachability is transitive.
+    #[test]
+    fn reachability_is_transitive(a in any::<u64>(), mask1 in any::<u64>(), mask2 in any::<u64>()) {
+        let b = a & !mask1; // reachable from a via 1→0
+        let c = b & !mask2; // reachable from b
+        prop_assert!(can_reach(a, b, FlipDirection::OneToZero));
+        prop_assert!(can_reach(b, c, FlipDirection::OneToZero));
+        prop_assert!(can_reach(a, c, FlipDirection::OneToZero));
+    }
+
+    /// The two directions are duals under complement.
+    #[test]
+    fn directions_are_duals(a in any::<u64>(), b in any::<u64>()) {
+        prop_assert_eq!(
+            can_reach(a, b, FlipDirection::OneToZero),
+            can_reach(!a, !b, FlipDirection::ZeroToOne)
+        );
+    }
+
+    /// γ(p) ≤ p for true-cells and γ(p) ≥ p for anti-cells, for arbitrary
+    /// corruptions sampled as submask/supermask.
+    #[test]
+    fn corruption_bounds(p in any::<u64>(), mask in any::<u64>()) {
+        let true_cell = MonotonicValue::new(p, CellType::True);
+        let down = p & !mask;
+        prop_assert!(true_cell.may_become(down));
+        prop_assert!(down <= true_cell.max_reachable());
+        let anti_cell = MonotonicValue::new(p, CellType::Anti);
+        let up = p | mask;
+        prop_assert!(anti_cell.may_become(up));
+        prop_assert!(up >= anti_cell.min_reachable());
+    }
+
+    /// The indicator's zero count falls by exactly one per upward flip of a
+    /// zero indicator bit — the quantity the section 5 model counts.
+    #[test]
+    fn indicator_zero_count_decrements(addr in 0u64..(1 << 30), bit in 0u32..8) {
+        let ind = PtpIndicator::new(1 << 30, 1 << 22); // n = 8
+        let mask = 1u64 << (22 + bit);
+        if addr & mask == 0 {
+            let flipped = addr | mask;
+            prop_assert_eq!(ind.zeros(flipped) + 1, ind.zeros(addr));
+        }
+    }
+
+    /// All-ones is reached exactly when every indicator zero has flipped.
+    #[test]
+    fn all_ones_requires_all_zeros_flipped(addr in 0u64..(1 << 30)) {
+        let ind = PtpIndicator::new(1 << 30, 1 << 22);
+        prop_assert_eq!(ind.is_all_ones(addr), ind.zeros(addr) == 0);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The No Self-Reference Theorem holds for random marks on a 10-bit
+    /// exhaustive model.
+    #[test]
+    fn theorem_holds_for_random_marks(mark in 1u64..1024) {
+        check_theorem_exhaustive(10, mark);
+    }
+}

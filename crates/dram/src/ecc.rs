@@ -1,0 +1,374 @@
+//! SECDED ECC over simulated DRAM words (paper section 2.3 context).
+//!
+//! The paper cites Aichinger's observation that RowHammer defeats ECC
+//! DIMMs: SECDED corrects one flip per 72-bit word and *detects* two, but
+//! multi-flip words — which heavy hammering produces — either crash the
+//! machine (detected-uncorrectable, a DoS) or, worse, alias to a valid
+//! single-bit syndrome and get silently *mis-corrected*. This module
+//! implements a real (72,64) SECDED code so that claim can be measured,
+//! and so CTA's orthogonality to ECC (it needs neither detection nor
+//! correction, only direction) can be demonstrated.
+//!
+//! Construction: the parity-check matrix uses 72 distinct odd-weight
+//! 8-bit columns (the 8 weight-1 columns serve the check bits themselves).
+//! Odd-weight columns give the classic SECDED property: single errors have
+//! odd-weight syndromes (correctable), double errors even-weight nonzero
+//! syndromes (detectable), and ≥3 errors may alias.
+
+use std::collections::HashMap;
+
+use crate::error::DramError;
+use crate::module::DramModule;
+
+/// Outcome of decoding one protected word.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EccResult {
+    /// Syndrome zero: word accepted as stored.
+    Clean,
+    /// A single-bit error was corrected (bit index 0–63 in data, 64–71 in
+    /// check bits).
+    Corrected {
+        /// The corrected codeword bit.
+        bit: u8,
+    },
+    /// An even-weight syndrome: double error detected, uncorrectable — a
+    /// real machine raises a machine-check (DoS).
+    DetectedUncorrectable,
+    /// An odd-weight syndrome matching no column: ≥3 errors detected.
+    DetectedMultiError,
+}
+
+/// The (72,64) SECDED code.
+#[derive(Debug, Clone)]
+pub struct Secded {
+    /// Column of the parity-check matrix for each of the 64 data bits.
+    data_columns: [u8; 64],
+}
+
+impl Default for Secded {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Secded {
+    /// Builds the code with a canonical odd-weight column assignment.
+    pub fn new() -> Self {
+        let mut columns = Vec::with_capacity(64);
+        // Weight-3 bytes first (there are 56), then weight-5 to fill 64.
+        for weight in [3u32, 5] {
+            for candidate in 1u16..=255 {
+                let c = candidate as u8;
+                if c.count_ones() == weight {
+                    columns.push(c);
+                    if columns.len() == 64 {
+                        break;
+                    }
+                }
+            }
+            if columns.len() == 64 {
+                break;
+            }
+        }
+        let mut data_columns = [0u8; 64];
+        data_columns.copy_from_slice(&columns);
+        Secded { data_columns }
+    }
+
+    /// Computes the 8 check bits for `data`.
+    pub fn encode(&self, data: u64) -> u8 {
+        let mut check = 0u8;
+        for (i, col) in self.data_columns.iter().enumerate() {
+            if data >> i & 1 == 1 {
+                check ^= col;
+            }
+        }
+        check
+    }
+
+    /// Decodes a possibly corrupted `(data, check)` pair, returning the
+    /// (possibly corrected) data and the classification.
+    pub fn decode(&self, data: u64, check: u8) -> (u64, EccResult) {
+        let syndrome = self.encode(data) ^ check;
+        if syndrome == 0 {
+            return (data, EccResult::Clean);
+        }
+        // Single check-bit error: syndrome is a weight-1 column.
+        if syndrome.count_ones() == 1 {
+            let bit = 64 + syndrome.trailing_zeros() as u8;
+            return (data, EccResult::Corrected { bit });
+        }
+        if syndrome.count_ones() % 2 == 1 {
+            // Odd weight: either a data-bit single error, or ≥3 aliasing.
+            if let Some(i) = self.data_columns.iter().position(|c| *c == syndrome) {
+                return (data ^ (1u64 << i), EccResult::Corrected { bit: i as u8 });
+            }
+            return (data, EccResult::DetectedMultiError);
+        }
+        (data, EccResult::DetectedUncorrectable)
+    }
+}
+
+/// Accumulated scrub statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EccScrubStats {
+    /// Words that decoded clean.
+    pub clean: u64,
+    /// Words with a corrected single-bit error.
+    pub corrected: u64,
+    /// Words with a detected-uncorrectable (double) error.
+    pub detected_double: u64,
+    /// Words with a detected multi-bit error.
+    pub detected_multi: u64,
+    /// Words whose *returned data* differs from what was written — silent
+    /// corruption the scrubber cannot see but the experiment's oracle can
+    /// (mis-corrections and undetected aliasing).
+    pub silent_corruptions: u64,
+}
+
+/// An ECC-protected region of a DRAM module.
+///
+/// Data words live in the module's addressable rows; the 8 check bits per
+/// word live in a *check region* of the same module (real ECC DIMMs carry
+/// an extra chip — also DRAM, also hammerable). Both regions are therefore
+/// subject to the same disturbance model.
+#[derive(Debug)]
+pub struct EccRegion {
+    code: Secded,
+    data_base: u64,
+    check_base: u64,
+    words: u64,
+    /// Written ground truth, for the experiment's silent-corruption oracle.
+    truth: HashMap<u64, u64>,
+}
+
+impl EccRegion {
+    /// Creates a region of `words` 64-bit words with data at `data_base`
+    /// and check bytes at `check_base`.
+    ///
+    /// # Errors
+    ///
+    /// [`DramError::OutOfBounds`] if either range exceeds the module.
+    pub fn new(
+        module: &mut DramModule,
+        data_base: u64,
+        check_base: u64,
+        words: u64,
+    ) -> Result<Self, DramError> {
+        // Validate bounds eagerly.
+        module.read(data_base, (words * 8) as usize)?;
+        module.read(check_base, words as usize)?;
+        Ok(EccRegion { code: Secded::new(), data_base, check_base, words, truth: HashMap::new() })
+    }
+
+    /// Number of words protected.
+    pub fn words(&self) -> u64 {
+        self.words
+    }
+
+    /// Writes a word with its check bits.
+    ///
+    /// # Errors
+    ///
+    /// [`DramError::OutOfBounds`] for `index >= words`.
+    pub fn write_word(&mut self, module: &mut DramModule, index: u64, data: u64) -> Result<(), DramError> {
+        self.check_index(module, index)?;
+        module.write_u64(self.data_base + index * 8, data)?;
+        module.write(self.check_base + index, &[self.code.encode(data)])?;
+        self.truth.insert(index, data);
+        Ok(())
+    }
+
+    /// Reads and decodes a word (correcting in place like a scrubber).
+    ///
+    /// # Errors
+    ///
+    /// [`DramError::OutOfBounds`] for `index >= words`.
+    pub fn read_word(&self, module: &mut DramModule, index: u64) -> Result<(u64, EccResult), DramError> {
+        self.check_index(module, index)?;
+        let data = module.read_u64(self.data_base + index * 8)?;
+        let check = module.read(self.check_base + index, 1)?[0];
+        Ok(self.code.decode(data, check))
+    }
+
+    /// Scrubs the whole region, classifying every word and checking the
+    /// returned data against the written ground truth.
+    ///
+    /// # Errors
+    ///
+    /// DRAM errors.
+    pub fn scrub(&self, module: &mut DramModule) -> Result<EccScrubStats, DramError> {
+        let mut stats = EccScrubStats::default();
+        for index in 0..self.words {
+            let (data, result) = self.read_word(module, index)?;
+            match result {
+                EccResult::Clean => stats.clean += 1,
+                EccResult::Corrected { .. } => stats.corrected += 1,
+                EccResult::DetectedUncorrectable => stats.detected_double += 1,
+                EccResult::DetectedMultiError => stats.detected_multi += 1,
+            }
+            if let Some(truth) = self.truth.get(&index) {
+                let accepted = !matches!(
+                    result,
+                    EccResult::DetectedUncorrectable | EccResult::DetectedMultiError
+                );
+                if accepted && data != *truth {
+                    stats.silent_corruptions += 1;
+                }
+            }
+        }
+        Ok(stats)
+    }
+
+    fn check_index(&self, module: &DramModule, index: u64) -> Result<(), DramError> {
+        if index >= self.words {
+            return Err(DramError::OutOfBounds {
+                addr: self.data_base + index * 8,
+                len: 8,
+                capacity: module.capacity_bytes(),
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DramConfig;
+
+    #[test]
+    fn columns_are_distinct_and_odd() {
+        let code = Secded::new();
+        let mut seen = std::collections::HashSet::new();
+        for c in code.data_columns {
+            assert_eq!(c.count_ones() % 2, 1);
+            assert!(c.count_ones() >= 3, "data columns must not collide with check columns");
+            assert!(seen.insert(c), "duplicate column {c:#x}");
+        }
+    }
+
+    #[test]
+    fn clean_round_trip() {
+        let code = Secded::new();
+        for data in [0u64, u64::MAX, 0xDEAD_BEEF_0BAD_F00D, 1, 1 << 63] {
+            let check = code.encode(data);
+            assert_eq!(code.decode(data, check), (data, EccResult::Clean));
+        }
+    }
+
+    #[test]
+    fn every_single_data_bit_error_is_corrected() {
+        let code = Secded::new();
+        let data = 0xA5A5_5A5A_0123_4567u64;
+        let check = code.encode(data);
+        for bit in 0..64u8 {
+            let corrupted = data ^ (1u64 << bit);
+            let (fixed, result) = code.decode(corrupted, check);
+            assert_eq!(fixed, data, "bit {bit}");
+            assert_eq!(result, EccResult::Corrected { bit });
+        }
+    }
+
+    #[test]
+    fn every_single_check_bit_error_is_corrected() {
+        let code = Secded::new();
+        let data = 0x0F0F_F0F0_1234_5678u64;
+        let check = code.encode(data);
+        for bit in 0..8u8 {
+            let (fixed, result) = code.decode(data, check ^ (1 << bit));
+            assert_eq!(fixed, data);
+            assert_eq!(result, EccResult::Corrected { bit: 64 + bit });
+        }
+    }
+
+    #[test]
+    fn every_double_error_is_detected_not_miscorrected() {
+        let code = Secded::new();
+        let data = 0x1122_3344_5566_7788u64;
+        let check = code.encode(data);
+        // All data-data pairs (spot a dense subset) and data-check pairs.
+        for i in 0..64u8 {
+            for j in (i + 1)..64 {
+                let corrupted = data ^ (1u64 << i) ^ (1u64 << j);
+                let (_, result) = code.decode(corrupted, check);
+                assert_eq!(result, EccResult::DetectedUncorrectable, "bits {i},{j}");
+            }
+            let (_, result) = code.decode(data ^ (1u64 << i), check ^ 1);
+            assert_eq!(result, EccResult::DetectedUncorrectable, "data {i} + check 0");
+        }
+    }
+
+    #[test]
+    fn triple_errors_can_alias_to_miscorrection() {
+        // The SECDED weakness RowHammer exploits: some 3-bit patterns decode
+        // as a "corrected" single bit, silently corrupting data.
+        let code = Secded::new();
+        let data = 0u64;
+        let check = code.encode(data);
+        let mut miscorrected = 0;
+        let mut detected = 0;
+        for i in 0..64u8 {
+            for j in (i + 1)..64 {
+                for k in (j + 1)..64 {
+                    let corrupted = data ^ (1u64 << i) ^ (1u64 << j) ^ (1u64 << k);
+                    let (fixed, result) = code.decode(corrupted, check);
+                    match result {
+                        EccResult::Corrected { .. } if fixed != data => miscorrected += 1,
+                        EccResult::DetectedMultiError | EccResult::DetectedUncorrectable => {
+                            detected += 1
+                        }
+                        _ => {}
+                    }
+                }
+            }
+        }
+        assert!(miscorrected > 0, "triple errors must sometimes alias");
+        assert!(detected > 0, "and sometimes be caught");
+    }
+
+    #[test]
+    fn region_round_trip_and_scrub() {
+        let mut m = DramModule::new(DramConfig::small_test());
+        let mut region = EccRegion::new(&mut m, 0, 3 * 4096, 256).unwrap();
+        for i in 0..256u64 {
+            region.write_word(&mut m, i, i.wrapping_mul(0x9E37_79B9_7F4A_7C15)).unwrap();
+        }
+        let stats = region.scrub(&mut m).unwrap();
+        assert_eq!(stats.clean, 256);
+        assert_eq!(stats.silent_corruptions, 0);
+        let (v, r) = region.read_word(&mut m, 7).unwrap();
+        assert_eq!(v, 7u64.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        assert_eq!(r, EccResult::Clean);
+    }
+
+    #[test]
+    fn region_rejects_out_of_range() {
+        let mut m = DramModule::new(DramConfig::small_test());
+        let mut region = EccRegion::new(&mut m, 0, 3 * 4096, 16).unwrap();
+        assert!(region.write_word(&mut m, 16, 1).is_err());
+        assert!(region.read_word(&mut m, 16).is_err());
+    }
+
+    #[test]
+    fn hammering_produces_corrections_and_detections() {
+        use crate::config::DisturbanceParams;
+        let cfg = DramConfig::small_test().with_disturbance(DisturbanceParams {
+            pf: 0.05,
+            reverse_rate: 0.0,
+            ..DisturbanceParams::default()
+        });
+        let mut m = DramModule::new(cfg);
+        // Data fills row 2 (4 KiB = 512 words); checks in row 12.
+        let mut region = EccRegion::new(&mut m, 2 * 4096, 12 * 4096, 512).unwrap();
+        for i in 0..512u64 {
+            region.write_word(&mut m, i, 0xFFFF_FFFF_FFFF_FFFF).unwrap();
+        }
+        m.hammer_double_sided(crate::RowId(2)).unwrap();
+        let stats = region.scrub(&mut m).unwrap();
+        // pf = 5% over 32768 bits ⇒ ~1600 flips spread over 512 words:
+        // plenty of multi-bit words.
+        assert!(stats.corrected > 0, "{stats:?}");
+        assert!(stats.detected_double + stats.detected_multi > 0, "{stats:?}");
+    }
+}

@@ -1,0 +1,945 @@
+use std::collections::HashMap;
+
+use crate::cells::{CellLayout, CellType, CellTypeMap};
+use crate::config::DramConfig;
+use crate::error::DramError;
+use crate::geometry::{DramGeometry, RowId};
+use crate::remap::RemapTable;
+use crate::retention::{get_bit, set_bit, RetentionModel};
+use crate::stats::{DramStats, FlipEvent};
+use crate::vuln::{VulnerabilityModel, VulnerableBit};
+
+/// Column-access latency charged per read/write operation, nanoseconds.
+const COL_ACCESS_NS: u64 = 10;
+
+#[derive(Debug)]
+struct RowState {
+    bytes: Box<[u8]>,
+    /// Simulated time the row's charge was last restored (activation or
+    /// refresh-epoch start).
+    last_charge_ns: u64,
+}
+
+/// A simulated DRAM module.
+///
+/// The module owns its cell contents (sparsely materialized by row), its
+/// fixed vulnerability and retention maps, its refresh machinery, and a
+/// simulated clock. All timing-relevant operations advance the clock:
+/// activations cost `tRC`, column accesses a fixed latency.
+///
+/// # RowHammer model
+///
+/// [`activate_row`](Self::activate_row) models a *forced* activation (the
+/// attacker defeats the row buffer with cache flushes or row conflicts).
+/// When an aggressor row accumulates `hammer_threshold` activations within
+/// one refresh window, its bank-adjacent neighbor rows are disturbed: every
+/// vulnerable cell whose stored value matches its flip direction's source
+/// value flips. True-cell rows flip almost exclusively `1→0`, anti-cell rows
+/// `0→1` (see [`VulnerabilityModel`]).
+///
+/// # Refresh and retention
+///
+/// While auto-refresh runs (64 ms windows), cells never decay — retention
+/// times are orders of magnitude longer than the refresh interval. Disabling
+/// refresh (as the cell-type profiler does) lets cells decay toward their
+/// polarity's discharged value on their individual retention schedules.
+/// Ordinary accesses recharge the accessed row.
+pub struct DramModule {
+    config: DramConfig,
+    rows: HashMap<u64, RowState>,
+    vuln: VulnerabilityModel,
+    retention: RetentionModel,
+    remap: RemapTable,
+    clock_ns: u64,
+    /// Some(t) when auto-refresh was disabled at time t.
+    refresh_disabled_at: Option<u64>,
+    /// Incremented on every refresh enable/disable toggle and power cycle so
+    /// stale activation windows can be detected lazily.
+    generation: u64,
+    /// Activation counts: row -> (generation, window_id, count).
+    activations: HashMap<u64, (u64, u64, u64)>,
+    /// Open row per bank for row-buffer-hit modeling of ordinary accesses.
+    open_rows: HashMap<u32, u64>,
+    stats: DramStats,
+}
+
+impl std::fmt::Debug for DramModule {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DramModule")
+            .field("capacity", &self.config.geometry.capacity_bytes())
+            .field("clock_ns", &self.clock_ns)
+            .field("materialized_rows", &self.rows.len())
+            .field("refresh_enabled", &self.refresh_disabled_at.is_none())
+            .field("stats", &format_args!("{}", self.stats))
+            .finish()
+    }
+}
+
+impl DramModule {
+    /// Creates a module from its configuration. All cells start at logic `0`.
+    pub fn new(config: DramConfig) -> Self {
+        let vuln = VulnerabilityModel::new(
+            &config.geometry,
+            config.layout,
+            config.disturbance,
+            config.seed,
+        );
+        let retention =
+            RetentionModel::new(config.retention, config.geometry.bits_per_row(), config.seed);
+        DramModule {
+            vuln,
+            retention,
+            config,
+            rows: HashMap::new(),
+            remap: RemapTable::new(),
+            clock_ns: 0,
+            refresh_disabled_at: None,
+            generation: 0,
+            activations: HashMap::new(),
+            open_rows: HashMap::new(),
+            stats: DramStats::default(),
+        }
+    }
+
+    /// The module's configuration.
+    pub fn config(&self) -> &DramConfig {
+        &self.config
+    }
+
+    /// The module's geometry.
+    pub fn geometry(&self) -> &DramGeometry {
+        &self.config.geometry
+    }
+
+    /// The module's cell layout.
+    pub fn layout(&self) -> CellLayout {
+        self.config.layout
+    }
+
+    /// Capacity in bytes.
+    pub fn capacity_bytes(&self) -> u64 {
+        self.config.geometry.capacity_bytes()
+    }
+
+    /// Current simulated time in nanoseconds.
+    pub fn now_ns(&self) -> u64 {
+        self.clock_ns
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &DramStats {
+        &self.stats
+    }
+
+    /// Clears the per-flip event log, keeping counters.
+    pub fn clear_flip_log(&mut self) {
+        self.stats.clear_flip_log();
+    }
+
+    /// Takes the flip log, leaving it empty.
+    pub fn take_flip_log(&mut self) -> Vec<FlipEvent> {
+        std::mem::take(&mut self.stats.flip_log)
+    }
+
+    /// Whether auto-refresh is currently running.
+    pub fn refresh_enabled(&self) -> bool {
+        self.refresh_disabled_at.is_none()
+    }
+
+    /// Ground-truth cell type of a (logical) row.
+    ///
+    /// Remapping preserves polarity, so the logical and backing rows agree.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DramError::RowOutOfBounds`] for rows outside the module.
+    pub fn cell_type_of_row(&self, row: RowId) -> Result<CellType, DramError> {
+        if row.0 >= self.config.geometry.total_rows() {
+            return Err(DramError::RowOutOfBounds { row, rows: self.config.geometry.total_rows() });
+        }
+        Ok(self.config.layout.cell_type(self.remap.resolve(row)))
+    }
+
+    /// Ground-truth cell type of the row containing a physical address.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DramError::OutOfBounds`] for addresses outside the module.
+    pub fn cell_type_of_addr(&self, addr: u64) -> Result<CellType, DramError> {
+        let row = self.config.geometry.row_of_addr(addr)?;
+        self.cell_type_of_row(row)
+    }
+
+    /// Ground-truth cell-type map (what a perfect profiler would recover).
+    pub fn ground_truth_cell_map(&self) -> CellTypeMap {
+        CellTypeMap::from_layout(&self.config.geometry, self.config.layout)
+    }
+
+    /// Remaps `faulty` onto `spare` (manufacturer repair).
+    ///
+    /// # Errors
+    ///
+    /// See [`RemapTable::remap`].
+    pub fn remap_row(&mut self, faulty: RowId, spare: RowId) -> Result<(), DramError> {
+        self.remap.remap(faulty, spare, self.config.layout)
+    }
+
+    /// The active remap table.
+    pub fn remap_table(&self) -> &RemapTable {
+        &self.remap
+    }
+
+    // ------------------------------------------------------------------
+    // Data access
+    // ------------------------------------------------------------------
+
+    /// Reads `buf.len()` bytes starting at physical address `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DramError::OutOfBounds`] if the range exceeds capacity.
+    pub fn read_into(&mut self, addr: u64, buf: &mut [u8]) -> Result<(), DramError> {
+        self.check_range(addr, buf.len())?;
+        self.stats.reads += 1;
+        self.set_clock(self.clock_ns + COL_ACCESS_NS);
+        let mut off = 0usize;
+        while off < buf.len() {
+            let a = addr + off as u64;
+            let row = self.config.geometry.row_of_addr(a).expect("checked range");
+            let col = self.config.geometry.col_of_addr(a) as usize;
+            let take =
+                ((self.config.geometry.row_bytes() as usize) - col).min(buf.len() - off);
+            let backing = self.remap.resolve(row);
+            self.touch_row(backing);
+            match self.rows.get(&backing.0) {
+                Some(state) => buf[off..off + take].copy_from_slice(&state.bytes[col..col + take]),
+                None => buf[off..off + take].fill(0),
+            }
+            off += take;
+        }
+        Ok(())
+    }
+
+    /// Reads `len` bytes starting at `addr` into a fresh vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DramError::OutOfBounds`] if the range exceeds capacity.
+    pub fn read(&mut self, addr: u64, len: usize) -> Result<Vec<u8>, DramError> {
+        let mut buf = vec![0u8; len];
+        self.read_into(addr, &mut buf)?;
+        Ok(buf)
+    }
+
+    /// Writes `data` starting at physical address `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DramError::OutOfBounds`] if the range exceeds capacity.
+    pub fn write(&mut self, addr: u64, data: &[u8]) -> Result<(), DramError> {
+        self.check_range(addr, data.len())?;
+        self.stats.writes += 1;
+        self.set_clock(self.clock_ns + COL_ACCESS_NS);
+        let mut off = 0usize;
+        while off < data.len() {
+            let a = addr + off as u64;
+            let row = self.config.geometry.row_of_addr(a).expect("checked range");
+            let col = self.config.geometry.col_of_addr(a) as usize;
+            let take =
+                ((self.config.geometry.row_bytes() as usize) - col).min(data.len() - off);
+            let backing = self.remap.resolve(row);
+            self.touch_row(backing);
+            let row_bytes = self.config.geometry.row_bytes() as usize;
+            let clock = self.clock_ns;
+            let state = self.rows.entry(backing.0).or_insert_with(|| RowState {
+                bytes: vec![0u8; row_bytes].into_boxed_slice(),
+                last_charge_ns: clock,
+            });
+            state.bytes[col..col + take].copy_from_slice(&data[off..off + take]);
+            off += take;
+        }
+        Ok(())
+    }
+
+    /// Reads a little-endian `u64` at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DramError::OutOfBounds`] if the range exceeds capacity.
+    pub fn read_u64(&mut self, addr: u64) -> Result<u64, DramError> {
+        let mut buf = [0u8; 8];
+        self.read_into(addr, &mut buf)?;
+        Ok(u64::from_le_bytes(buf))
+    }
+
+    /// Writes a little-endian `u64` at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DramError::OutOfBounds`] if the range exceeds capacity.
+    pub fn write_u64(&mut self, addr: u64, value: u64) -> Result<(), DramError> {
+        self.write(addr, &value.to_le_bytes())
+    }
+
+    /// Fills `[addr, addr+len)` with `byte` (page zeroing and test patterns).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DramError::OutOfBounds`] if the range exceeds capacity.
+    pub fn fill(&mut self, addr: u64, len: usize, byte: u8) -> Result<(), DramError> {
+        self.check_range(addr, len)?;
+        // Delegate per-row to write() semantics without building a big buffer.
+        let row_bytes = self.config.geometry.row_bytes() as usize;
+        let chunk = vec![byte; row_bytes.min(len.max(1))];
+        let mut off = 0usize;
+        while off < len {
+            let a = addr + off as u64;
+            let col = self.config.geometry.col_of_addr(a) as usize;
+            let take = (row_bytes - col).min(len - off);
+            self.write(a, &chunk[..take])?;
+            off += take;
+        }
+        Ok(())
+    }
+
+    /// Debug oracle: reads without touching the clock, row buffer, decay, or
+    /// statistics. Not available to simulated software.
+    pub fn peek(&self, addr: u64, len: usize) -> Result<Vec<u8>, DramError> {
+        self.check_range(addr, len)?;
+        let mut buf = vec![0u8; len];
+        let mut off = 0usize;
+        while off < len {
+            let a = addr + off as u64;
+            let row = self.config.geometry.row_of_addr(a).expect("checked range");
+            let col = self.config.geometry.col_of_addr(a) as usize;
+            let take = ((self.config.geometry.row_bytes() as usize) - col).min(len - off);
+            let backing = self.remap.resolve(row);
+            if let Some(state) = self.rows.get(&backing.0) {
+                buf[off..off + take].copy_from_slice(&state.bytes[col..col + take]);
+            }
+            off += take;
+        }
+        Ok(buf)
+    }
+
+    /// Debug oracle: little-endian `u64` variant of [`peek`](Self::peek).
+    pub fn peek_u64(&self, addr: u64) -> Result<u64, DramError> {
+        let buf = self.peek(addr, 8)?;
+        Ok(u64::from_le_bytes(buf.try_into().expect("8 bytes")))
+    }
+
+    // ------------------------------------------------------------------
+    // Time, refresh, power
+    // ------------------------------------------------------------------
+
+    /// Advances the simulated clock by `ns`.
+    pub fn advance(&mut self, ns: u64) {
+        self.set_clock(self.clock_ns + ns);
+    }
+
+    /// Disables auto-refresh (for profiling). Idempotent.
+    pub fn disable_refresh(&mut self) {
+        if self.refresh_disabled_at.is_none() {
+            self.refresh_disabled_at = Some(self.clock_ns);
+            self.generation += 1;
+        }
+    }
+
+    /// Re-enables auto-refresh, locking in any decay that occurred while it
+    /// was off. Idempotent.
+    pub fn enable_refresh(&mut self) {
+        if self.refresh_disabled_at.is_some() {
+            self.decay_all_materialized();
+            self.refresh_disabled_at = None;
+            self.generation += 1;
+        }
+    }
+
+    /// Simulates a power-off of `duration_ns`: cells decay on their retention
+    /// schedules regardless of refresh state (DRAM remanence, section 8).
+    pub fn power_off(&mut self, duration_ns: u64) {
+        self.power_off_at_temperature(duration_ns, 1.0);
+    }
+
+    /// Power-off with a temperature model: cooling the module multiplies
+    /// every cell's effective retention by `retention_factor` (coldboot
+    /// attackers chill DRAM precisely to stretch remanence; Halderman et
+    /// al. report minutes at −50 °C). `1.0` is ambient; larger is colder.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `retention_factor` is finite and ≥ 1.0.
+    pub fn power_off_at_temperature(&mut self, duration_ns: u64, retention_factor: f64) {
+        assert!(
+            retention_factor.is_finite() && retention_factor >= 1.0,
+            "cooling can only extend retention"
+        );
+        // While power is off every row decays relative to its last charge;
+        // cooling divides the *effective* elapsed time.
+        let effective = (duration_ns as f64 / retention_factor) as u64;
+        self.clock_ns += duration_ns;
+        let decay_until = self.clock_ns.saturating_sub(duration_ns - effective.min(duration_ns));
+        let keys: Vec<u64> = self.rows.keys().copied().collect();
+        for key in keys {
+            self.apply_decay_to(RowId(key), decay_until);
+        }
+        // After power-up, refresh resumes: whatever survived is recharged.
+        for state in self.rows.values_mut() {
+            state.last_charge_ns = self.clock_ns;
+        }
+        self.open_rows.clear();
+        self.activations.clear();
+        self.generation += 1;
+        self.refresh_disabled_at = None;
+    }
+
+    // ------------------------------------------------------------------
+    // Hammering
+    // ------------------------------------------------------------------
+
+    /// Forces one activation of `row` (modeling an attacker defeating the
+    /// row buffer), advancing the clock by `tRC` and disturbing neighbors if
+    /// the hammer threshold is crossed within the current refresh window.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DramError::RowOutOfBounds`] for rows outside the module.
+    pub fn activate_row(&mut self, row: RowId) -> Result<(), DramError> {
+        self.hammer(row, 1)
+    }
+
+    /// Performs `count` forced activations of `row`.
+    ///
+    /// Activations are accounted against refresh windows: if the count spans
+    /// a window boundary (refresh enabled), the per-window activation counter
+    /// resets at the boundary, exactly as a real refresh restores victim
+    /// charge. Neighbor rows are disturbed each time the within-window count
+    /// crosses the configured threshold.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DramError::RowOutOfBounds`] for rows outside the module.
+    pub fn hammer(&mut self, row: RowId, count: u64) -> Result<(), DramError> {
+        if row.0 >= self.config.geometry.total_rows() {
+            return Err(DramError::RowOutOfBounds { row, rows: self.config.geometry.total_rows() });
+        }
+        let backing = self.remap.resolve(row);
+        let trc = self.config.disturbance.trc_ns.max(1);
+        let mut remaining = count;
+        while remaining > 0 {
+            let window_end = match self.refresh_disabled_at {
+                None => (self.clock_ns / self.config.refresh_interval_ns + 1)
+                    * self.config.refresh_interval_ns,
+                Some(_) => u64::MAX,
+            };
+            let fit_by_time = ((window_end.saturating_sub(self.clock_ns)) / trc).max(1);
+            let fit = remaining.min(fit_by_time);
+            self.stats.activations += fit;
+            self.set_clock(self.clock_ns + fit * trc);
+            self.record_activation(backing, fit);
+            remaining -= fit;
+        }
+        Ok(())
+    }
+
+    /// Hammers `row` exactly to the disturbance threshold within the current
+    /// window (the canonical "one hammer burst" of the paper's attack-time
+    /// model, which budgets one refresh interval per hammered row).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DramError::RowOutOfBounds`] for rows outside the module.
+    pub fn hammer_to_threshold(&mut self, row: RowId) -> Result<(), DramError> {
+        self.hammer(row, self.config.disturbance.hammer_threshold)
+    }
+
+    /// Double-sided hammering of `victim`: both sandwich aggressors are
+    /// hammered to threshold, disturbing `victim` (and the aggressors' outer
+    /// neighbors). Falls back to single-sided at bank edges.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DramError::RowOutOfBounds`] for rows outside the module.
+    pub fn hammer_double_sided(&mut self, victim: RowId) -> Result<(), DramError> {
+        let backing = self.remap.resolve(victim);
+        if backing.0 >= self.config.geometry.total_rows() {
+            return Err(DramError::RowOutOfBounds {
+                row: victim,
+                rows: self.config.geometry.total_rows(),
+            });
+        }
+        let neighbors = self.config.geometry.adjacent_rows(backing)?;
+        for aggressor in neighbors {
+            self.hammer(aggressor, self.config.disturbance.hammer_threshold)?;
+        }
+        Ok(())
+    }
+
+    /// Activations of `row` within the current refresh window — the signal
+    /// a hardware-performance-counter defense like ANVIL watches.
+    pub fn window_activations(&self, row: RowId) -> u64 {
+        let backing = self.remap.resolve(row);
+        let (gen, win, count) = self.activation_entry(backing);
+        if (gen, win) == self.current_window_key() {
+            count
+        } else {
+            0
+        }
+    }
+
+    /// The `n` most-activated rows of the current refresh window, hottest
+    /// first.
+    pub fn hottest_rows(&self, n: usize) -> Vec<(RowId, u64)> {
+        let key = self.current_window_key();
+        let mut rows: Vec<(RowId, u64)> = self
+            .activations
+            .iter()
+            .filter(|(_, (gen, win, _))| (*gen, *win) == key)
+            .map(|(row, (_, _, count))| (RowId(*row), *count))
+            .collect();
+        rows.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        rows.truncate(n);
+        rows
+    }
+
+    /// Targeted mitigation: refresh the neighbors of a suspected aggressor
+    /// (what ANVIL does on detection) and restart its activation window, so
+    /// accumulated hammer progress is lost.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DramError::RowOutOfBounds`] for rows outside the module.
+    pub fn refresh_neighbors_of(&mut self, row: RowId) -> Result<(), DramError> {
+        if row.0 >= self.config.geometry.total_rows() {
+            return Err(DramError::RowOutOfBounds { row, rows: self.config.geometry.total_rows() });
+        }
+        let backing = self.remap.resolve(row);
+        for victim in self.config.geometry.adjacent_rows(backing)? {
+            if let Some(state) = self.rows.get_mut(&victim.0) {
+                state.last_charge_ns = self.clock_ns;
+            }
+        }
+        self.activations.remove(&backing.0);
+        Ok(())
+    }
+
+    /// The fixed vulnerable-bit map of `row` — an experimenter oracle, also
+    /// what a templating attacker reconstructs by hammering memory they own.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DramError::RowOutOfBounds`] for rows outside the module.
+    pub fn vulnerable_bits(&mut self, row: RowId) -> Result<Vec<VulnerableBit>, DramError> {
+        if row.0 >= self.config.geometry.total_rows() {
+            return Err(DramError::RowOutOfBounds { row, rows: self.config.geometry.total_rows() });
+        }
+        let backing = self.remap.resolve(row);
+        Ok(self.vuln.vulnerable_bits(backing).to_vec())
+    }
+
+    // ------------------------------------------------------------------
+    // Internals
+    // ------------------------------------------------------------------
+
+    fn check_range(&self, addr: u64, len: usize) -> Result<(), DramError> {
+        let cap = self.config.geometry.capacity_bytes();
+        if addr >= cap || len as u64 > cap - addr {
+            return Err(DramError::OutOfBounds { addr, len, capacity: cap });
+        }
+        Ok(())
+    }
+
+    fn current_window_key(&self) -> (u64, u64) {
+        match self.refresh_disabled_at {
+            None => (self.generation, self.clock_ns / self.config.refresh_interval_ns),
+            Some(t0) => (self.generation, t0 / self.config.refresh_interval_ns),
+        }
+    }
+
+    fn activation_entry(&self, row: RowId) -> (u64, u64, u64) {
+        self.activations.get(&row.0).copied().unwrap_or((u64::MAX, u64::MAX, 0))
+    }
+
+    fn set_clock(&mut self, new: u64) {
+        debug_assert!(new >= self.clock_ns);
+        if self.refresh_disabled_at.is_none() {
+            let interval = self.config.refresh_interval_ns;
+            self.stats.refresh_windows += new / interval - self.clock_ns / interval;
+        }
+        self.clock_ns = new;
+    }
+
+    /// Ordinary-access bookkeeping for `row` (already remap-resolved):
+    /// pending decay, row-buffer hit/miss, recharge.
+    fn touch_row(&mut self, backing: RowId) {
+        if self.refresh_disabled_at.is_some() {
+            self.apply_decay_to(backing, self.clock_ns);
+        }
+        let bank = self
+            .config
+            .geometry
+            .bank_coord(backing)
+            .expect("backing row in bounds")
+            .bank;
+        let miss = self.open_rows.get(&bank) != Some(&backing.0);
+        if miss {
+            self.open_rows.insert(bank, backing.0);
+            self.stats.activations += 1;
+            self.set_clock(self.clock_ns + self.config.disturbance.trc_ns);
+            // Ordinary activations count toward the disturbance threshold
+            // too: this is what lets Algorithm 1 hammer page-table rows
+            // through the MMU's own walk reads.
+            self.record_activation(backing, 1);
+        }
+        if let Some(state) = self.rows.get_mut(&backing.0) {
+            state.last_charge_ns = self.clock_ns;
+        }
+    }
+
+    /// Adds `count` activations to `backing`'s within-window counter and
+    /// disturbs neighbors on a threshold crossing.
+    fn record_activation(&mut self, backing: RowId, count: u64) {
+        let threshold = self.config.disturbance.hammer_threshold;
+        let key = self.current_window_key();
+        let (gen, win, have) = self.activation_entry(backing);
+        let before = if (gen, win) == key { have } else { 0 };
+        let after = before + count;
+        self.activations.insert(backing.0, (key.0, key.1, after));
+        if before < threshold && after >= threshold {
+            let _ = self.disturb_neighbors(backing);
+        }
+    }
+
+    /// Applies retention decay to a materialized row up to time `now`.
+    fn apply_decay_to(&mut self, backing: RowId, now: u64) {
+        let Some(state) = self.rows.get_mut(&backing.0) else { return };
+        let since = match self.refresh_disabled_at {
+            Some(t0) => state.last_charge_ns.max(t0),
+            // Power-off path calls with refresh nominally enabled; decay
+            // accrues from the last charge directly.
+            None => state.last_charge_ns,
+        };
+        let elapsed = now.saturating_sub(since);
+        if elapsed == 0 {
+            return;
+        }
+        let cell_type = self.config.layout.cell_type(backing);
+        let changed = self.retention.apply_decay(backing, cell_type, &mut state.bytes, elapsed);
+        self.stats.decay_flips += changed;
+        state.last_charge_ns = now;
+    }
+
+    fn decay_all_materialized(&mut self) {
+        let keys: Vec<u64> = self.rows.keys().copied().collect();
+        for key in keys {
+            self.apply_decay_to(RowId(key), self.clock_ns);
+        }
+    }
+
+    /// Disturbs the bank-adjacent neighbors of a hammered aggressor.
+    fn disturb_neighbors(&mut self, aggressor: RowId) -> Result<(), DramError> {
+        for victim in self.config.geometry.adjacent_rows(aggressor)? {
+            self.disturb(victim);
+        }
+        Ok(())
+    }
+
+    /// Applies the disturbance flip model to one victim row.
+    fn disturb(&mut self, victim: RowId) {
+        let bits = self.vuln.vulnerable_bits(victim);
+        if bits.is_empty() {
+            self.stats.disturbances += 1;
+            return;
+        }
+        // Disturbance acts on the decayed state if refresh is off.
+        if self.refresh_disabled_at.is_some() {
+            self.apply_decay_to(victim, self.clock_ns);
+        }
+        let row_bytes = self.config.geometry.row_bytes() as usize;
+        let clock = self.clock_ns;
+        let state = self.rows.entry(victim.0).or_insert_with(|| RowState {
+            bytes: vec![0u8; row_bytes].into_boxed_slice(),
+            last_charge_ns: clock,
+        });
+        let mut events = Vec::new();
+        for vb in bits.iter() {
+            let current = get_bit(&state.bytes, vb.bit);
+            if current == vb.direction.source_value() {
+                set_bit(&mut state.bytes, vb.bit, !current);
+                events.push(FlipEvent {
+                    row: victim,
+                    bit: vb.bit,
+                    direction: vb.direction,
+                    time_ns: clock,
+                });
+            }
+        }
+        for e in events {
+            self.stats.record_flip(e);
+        }
+        self.stats.disturbances += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DisturbanceParams;
+    use crate::geometry::AddressMapping;
+    use crate::vuln::FlipDirection;
+
+    fn module() -> DramModule {
+        DramModule::new(DramConfig::small_test())
+    }
+
+    #[test]
+    fn read_write_round_trip() {
+        let mut m = module();
+        m.write(100, &[1, 2, 3, 4]).unwrap();
+        assert_eq!(m.read(100, 4).unwrap(), vec![1, 2, 3, 4]);
+        assert_eq!(m.read(99, 6).unwrap(), vec![0, 1, 2, 3, 4, 0]);
+    }
+
+    #[test]
+    fn u64_round_trip() {
+        let mut m = module();
+        m.write_u64(4096 + 8, 0xDEAD_BEEF_CAFE_F00D).unwrap();
+        assert_eq!(m.read_u64(4096 + 8).unwrap(), 0xDEAD_BEEF_CAFE_F00D);
+        assert_eq!(m.peek_u64(4096 + 8).unwrap(), 0xDEAD_BEEF_CAFE_F00D);
+    }
+
+    #[test]
+    fn cross_row_access() {
+        let mut m = module();
+        let row_bytes = m.geometry().row_bytes();
+        let addr = row_bytes - 2;
+        m.write(addr, &[9, 8, 7, 6]).unwrap();
+        assert_eq!(m.read(addr, 4).unwrap(), vec![9, 8, 7, 6]);
+    }
+
+    #[test]
+    fn out_of_bounds_rejected() {
+        let mut m = module();
+        let cap = m.capacity_bytes();
+        assert!(m.read(cap, 1).is_err());
+        assert!(m.write(cap - 4, &[0; 8]).is_err());
+        assert!(m.read_u64(cap - 7).is_err());
+    }
+
+    #[test]
+    fn fill_works_across_rows() {
+        let mut m = module();
+        let row_bytes = m.geometry().row_bytes();
+        m.fill(row_bytes - 10, 20, 0xAA).unwrap();
+        assert!(m.read(row_bytes - 10, 20).unwrap().iter().all(|b| *b == 0xAA));
+        assert_eq!(m.read(row_bytes + 10, 1).unwrap(), vec![0]);
+    }
+
+    #[test]
+    fn clock_advances_on_access() {
+        let mut m = module();
+        let t0 = m.now_ns();
+        m.write(0, &[1]).unwrap();
+        assert!(m.now_ns() > t0);
+    }
+
+    #[test]
+    fn row_buffer_hits_do_not_activate() {
+        let mut m = module();
+        m.write(0, &[1]).unwrap();
+        let acts = m.stats().activations;
+        m.write(1, &[2]).unwrap(); // same row: hit
+        assert_eq!(m.stats().activations, acts);
+        m.write(m.geometry().row_bytes(), &[3]).unwrap(); // different row: miss
+        assert_eq!(m.stats().activations, acts + 1);
+    }
+
+    #[test]
+    fn hammer_flips_true_cell_bits_downward_only() {
+        let mut m = module();
+        // Rows 0..8 are true cells in small_test layout. Fill victim row 2
+        // with all-ones and hammer to threshold from both sides.
+        let row_bytes = m.geometry().row_bytes() as usize;
+        let victim_addr = 2 * m.geometry().row_bytes();
+        m.fill(victim_addr, row_bytes, 0xFF).unwrap();
+        m.hammer_double_sided(RowId(2)).unwrap();
+        let flips: Vec<_> =
+            m.stats().flip_log.iter().filter(|e| e.row == RowId(2)).copied().collect();
+        assert!(!flips.is_empty(), "pf=0.02 over 32768 bits should flip something");
+        // On all-ones content, only 1→0 flips can fire.
+        assert!(flips.iter().all(|e| e.direction == FlipDirection::OneToZero));
+    }
+
+    #[test]
+    fn hammer_below_threshold_flips_nothing() {
+        let mut m = module();
+        let row_bytes = m.geometry().row_bytes() as usize;
+        m.fill(2 * m.geometry().row_bytes(), row_bytes, 0xFF).unwrap();
+        m.hammer(RowId(1), m.config().disturbance.hammer_threshold / 2).unwrap();
+        assert_eq!(m.stats().total_flips(), 0);
+    }
+
+    #[test]
+    fn refresh_window_resets_hammer_progress() {
+        let mut m = module();
+        let threshold = m.config().disturbance.hammer_threshold;
+        let row_bytes = m.geometry().row_bytes() as usize;
+        m.fill(2 * m.geometry().row_bytes(), row_bytes, 0xFF).unwrap();
+        // Hammer half, skip past a refresh boundary, hammer half again:
+        // never crosses the threshold within one window.
+        m.hammer(RowId(1), threshold / 2).unwrap();
+        m.advance(m.config().refresh_interval_ns);
+        m.hammer(RowId(1), threshold / 2).unwrap();
+        assert_eq!(m.stats().total_flips(), 0);
+    }
+
+    #[test]
+    fn anti_cell_rows_flip_upward() {
+        let cfg = DramConfig::small_test();
+        let mut m = DramModule::new(cfg);
+        // Rows 8..16 are anti-cells. Zero-filled victim: only 0→1 fires.
+        let victim = RowId(10);
+        let victim_addr = victim.0 * m.geometry().row_bytes();
+        m.fill(victim_addr, m.geometry().row_bytes() as usize, 0x00).unwrap();
+        m.hammer_double_sided(victim).unwrap();
+        let flips: Vec<_> =
+            m.stats().flip_log.iter().filter(|e| e.row == victim).copied().collect();
+        assert!(!flips.is_empty());
+        assert!(flips.iter().all(|e| e.direction == FlipDirection::ZeroToOne));
+        // And the stored value actually changed.
+        let data = m.peek(victim_addr, m.geometry().row_bytes() as usize).unwrap();
+        assert!(data.iter().any(|b| *b != 0));
+    }
+
+    #[test]
+    fn hammering_is_idempotent_on_same_content() {
+        let mut m = module();
+        let row_bytes = m.geometry().row_bytes() as usize;
+        let victim_addr = 2 * m.geometry().row_bytes();
+        m.fill(victim_addr, row_bytes, 0xFF).unwrap();
+        m.hammer_double_sided(RowId(2)).unwrap();
+        let after_first = m.peek(victim_addr, row_bytes).unwrap();
+        let flips_first = m.stats().total_flips();
+        m.advance(m.config().refresh_interval_ns); // new window
+        m.hammer_double_sided(RowId(2)).unwrap();
+        let after_second = m.peek(victim_addr, row_bytes).unwrap();
+        assert_eq!(after_first, after_second, "all vulnerable bits already fired");
+        assert_eq!(m.stats().total_flips(), flips_first);
+    }
+
+    #[test]
+    fn vulnerability_is_deterministic_across_modules() {
+        let mut a = module();
+        let mut b = module();
+        assert_eq!(a.vulnerable_bits(RowId(3)).unwrap(), b.vulnerable_bits(RowId(3)).unwrap());
+    }
+
+    #[test]
+    fn disable_refresh_decays_data() {
+        let mut m = module();
+        m.fill(0, m.geometry().row_bytes() as usize, 0xFF).unwrap(); // true-cell row
+        m.disable_refresh();
+        m.advance(m.config().retention.max_ns + 1);
+        let data = m.read(0, m.geometry().row_bytes() as usize).unwrap();
+        let ones: u32 = data.iter().map(|b| b.count_ones()).sum();
+        assert!(ones < 100, "true cells should have decayed to ~0, ones={ones}");
+        m.enable_refresh();
+    }
+
+    #[test]
+    fn refresh_prevents_decay() {
+        let mut m = module();
+        m.fill(0, 64, 0xFF).unwrap();
+        m.advance(10 * m.config().retention.max_ns);
+        assert!(m.read(0, 64).unwrap().iter().all(|b| *b == 0xFF));
+        assert!(m.stats().refresh_windows > 0);
+    }
+
+    #[test]
+    fn power_off_loses_data_by_polarity() {
+        let mut m = module();
+        let row_bytes = m.geometry().row_bytes();
+        m.fill(0, 32, 0xFF).unwrap(); // true-cell row 0
+        m.fill(8 * row_bytes, 32, 0x00).unwrap(); // anti-cell row 8
+        m.power_off(m.config().retention.long_max_ns + 1);
+        assert!(m.read(0, 32).unwrap().iter().all(|b| *b == 0x00));
+        assert!(m.read(8 * row_bytes, 32).unwrap().iter().all(|b| *b == 0xFF));
+    }
+
+    #[test]
+    fn chilled_power_off_stretches_remanence() {
+        // The same outage duration: at ambient the data decays; chilled to
+        // a 100x retention factor, it survives.
+        let outage = DramConfig::small_test().retention.max_ns + 1;
+        let mut ambient = module();
+        ambient.fill(0, 32, 0xFF).unwrap();
+        ambient.power_off(outage);
+        assert!(ambient.read(0, 32).unwrap().iter().all(|b| *b == 0));
+
+        let mut chilled = module();
+        chilled.fill(0, 32, 0xFF).unwrap();
+        chilled.power_off_at_temperature(outage, 100.0);
+        assert_eq!(chilled.read(0, 32).unwrap(), vec![0xFF; 32]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cooling")]
+    fn warming_is_rejected() {
+        module().power_off_at_temperature(1, 0.5);
+    }
+
+    #[test]
+    fn short_power_off_preserves_data() {
+        let mut m = module();
+        m.fill(0, 32, 0xA5).unwrap();
+        m.power_off(m.config().retention.min_ns / 2);
+        assert_eq!(m.read(0, 32).unwrap(), vec![0xA5; 32]);
+    }
+
+    #[test]
+    fn remapped_row_keeps_polarity_and_data_separation() {
+        let mut m = module();
+        // Row 0 and row 2 are both true-cell rows.
+        m.write(2 * m.geometry().row_bytes(), &[0x77]).unwrap();
+        m.remap_row(RowId(0), RowId(2)).unwrap();
+        // Logical row 0 now reads row 2's storage.
+        assert_eq!(m.read(0, 1).unwrap(), vec![0x77]);
+        assert_eq!(m.cell_type_of_row(RowId(0)).unwrap(), CellType::True);
+    }
+
+    #[test]
+    fn hammer_time_accounting() {
+        let mut m = module();
+        let t0 = m.now_ns();
+        let n = 1000u64;
+        m.hammer(RowId(5), n).unwrap();
+        assert_eq!(m.now_ns() - t0, n * m.config().disturbance.trc_ns);
+    }
+
+    #[test]
+    fn cell_type_queries() {
+        let m = module();
+        assert_eq!(m.cell_type_of_row(RowId(0)).unwrap(), CellType::True);
+        assert_eq!(m.cell_type_of_row(RowId(8)).unwrap(), CellType::Anti);
+        assert_eq!(m.cell_type_of_addr(0).unwrap(), CellType::True);
+        assert!(m.cell_type_of_row(RowId(9999)).is_err());
+    }
+
+    #[test]
+    fn interleaved_mapping_hammer_hits_stride_neighbors() {
+        let mut cfg = DramConfig::small_test();
+        cfg.geometry = DramGeometry::new(4096, 16, 4, AddressMapping::BankInterleaved);
+        cfg.layout = CellLayout::AllTrue;
+        cfg.disturbance = DisturbanceParams { pf: 0.05, ..DisturbanceParams::default() };
+        let mut m = DramModule::new(cfg);
+        // Row 5's bank neighbors are rows 1 and 9.
+        for r in [1u64, 9] {
+            m.fill(r * 4096, 4096, 0xFF).unwrap();
+        }
+        m.hammer_to_threshold(RowId(5)).unwrap();
+        let flipped_rows: std::collections::HashSet<u64> =
+            m.stats().flip_log.iter().map(|e| e.row.0).collect();
+        assert!(flipped_rows.is_subset(&[1u64, 9].into_iter().collect()));
+        assert!(!flipped_rows.is_empty());
+    }
+}

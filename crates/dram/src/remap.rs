@@ -1,0 +1,150 @@
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::cells::CellLayout;
+use crate::error::DramError;
+use crate::geometry::RowId;
+
+/// DRAM-manufacturer row remapping (paper section 7).
+///
+/// Manufacturers replace faulty rows with spares to improve yield. The spare
+/// must have the *same cell polarity* as the faulty row for the shared sense
+/// amplifiers to work, which is why remapping is transparent to CTA: a PTP
+/// row remapped to a spare is still a true-cell row.
+///
+/// The table redirects row indices at the lowest level of the module, below
+/// the cell-type layout — software (including the profiler) only ever sees
+/// the post-remap rows. Redirection is a *swap*: the faulty row's address
+/// resolves to the spare's storage and vice versa, keeping the
+/// address-to-storage mapping bijective (no two addresses may alias one
+/// physical row).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RemapTable {
+    map: BTreeMap<u64, u64>,
+    spares_in_use: BTreeSet<u64>,
+}
+
+impl RemapTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of remapped rows.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether no rows are remapped.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Adds a remap of `faulty` onto `spare` (a storage swap), checking
+    /// polarity.
+    ///
+    /// # Errors
+    ///
+    /// - [`DramError::RemapTypeMismatch`] if the rows have different cell
+    ///   types under `layout`;
+    /// - [`DramError::SpareInUse`] if either row already participates in a
+    ///   remap.
+    pub fn remap(&mut self, faulty: RowId, spare: RowId, layout: CellLayout) -> Result<(), DramError> {
+        let faulty_type = layout.cell_type(faulty);
+        let spare_type = layout.cell_type(spare);
+        if faulty_type != spare_type {
+            return Err(DramError::RemapTypeMismatch { faulty, faulty_type, spare, spare_type });
+        }
+        if self.spares_in_use.contains(&spare.0) || self.map.contains_key(&spare.0) {
+            return Err(DramError::SpareInUse { spare });
+        }
+        if self.spares_in_use.contains(&faulty.0) {
+            return Err(DramError::SpareInUse { spare: faulty });
+        }
+        if let Some(old) = self.map.insert(faulty.0, spare.0) {
+            self.spares_in_use.remove(&old);
+        }
+        self.spares_in_use.insert(spare.0);
+        Ok(())
+    }
+
+    /// The physical row actually backing `row` (swap semantics: the spare
+    /// resolves back to the faulty row's storage).
+    pub fn resolve(&self, row: RowId) -> RowId {
+        if let Some(spare) = self.map.get(&row.0) {
+            return RowId(*spare);
+        }
+        // Reverse direction of a swap.
+        if self.spares_in_use.contains(&row.0) {
+            if let Some((faulty, _)) = self.map.iter().find(|(_, s)| **s == row.0) {
+                return RowId(*faulty);
+            }
+        }
+        row
+    }
+
+    /// Iterates `(faulty, spare)` pairs in ascending faulty-row order.
+    pub fn iter(&self) -> impl Iterator<Item = (RowId, RowId)> + '_ {
+        self.map.iter().map(|(f, s)| (RowId(*f), RowId(*s)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cells::CellType;
+
+    #[test]
+    fn resolve_identity_when_unmapped() {
+        let t = RemapTable::new();
+        assert_eq!(t.resolve(RowId(5)), RowId(5));
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn remap_same_type_succeeds() {
+        let mut t = RemapTable::new();
+        let layout = CellLayout::Alternating { period_rows: 4, first: CellType::True };
+        t.remap(RowId(0), RowId(2), layout).unwrap();
+        assert_eq!(t.resolve(RowId(0)), RowId(2));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn remap_cross_type_rejected() {
+        let mut t = RemapTable::new();
+        let layout = CellLayout::Alternating { period_rows: 4, first: CellType::True };
+        let err = t.remap(RowId(0), RowId(4), layout).unwrap_err();
+        assert!(matches!(err, DramError::RemapTypeMismatch { .. }));
+    }
+
+    #[test]
+    fn spare_reuse_rejected() {
+        let mut t = RemapTable::new();
+        let layout = CellLayout::AllTrue;
+        t.remap(RowId(0), RowId(9), layout).unwrap();
+        let err = t.remap(RowId(1), RowId(9), layout).unwrap_err();
+        assert!(matches!(err, DramError::SpareInUse { spare: RowId(9) }));
+    }
+
+    #[test]
+    fn re_remapping_frees_old_spare() {
+        let mut t = RemapTable::new();
+        let layout = CellLayout::AllTrue;
+        t.remap(RowId(0), RowId(9), layout).unwrap();
+        t.remap(RowId(0), RowId(10), layout).unwrap();
+        // Row 9 is free again.
+        t.remap(RowId(1), RowId(9), layout).unwrap();
+        assert_eq!(t.resolve(RowId(0)), RowId(10));
+        assert_eq!(t.resolve(RowId(1)), RowId(9));
+    }
+
+    #[test]
+    fn iter_in_order() {
+        let mut t = RemapTable::new();
+        let layout = CellLayout::AllTrue;
+        t.remap(RowId(3), RowId(30), layout).unwrap();
+        t.remap(RowId(1), RowId(10), layout).unwrap();
+        let pairs: Vec<_> = t.iter().collect();
+        assert_eq!(pairs, vec![(RowId(1), RowId(10)), (RowId(3), RowId(30))]);
+    }
+}

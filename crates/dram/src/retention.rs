@@ -1,0 +1,251 @@
+use std::collections::HashMap;
+use std::fmt;
+use std::rc::Rc;
+
+use rand::Rng;
+
+use crate::cells::CellType;
+use crate::config::RetentionParams;
+use crate::geometry::RowId;
+use crate::rng::{hash3, poisson, stream_rng, to_unit};
+
+/// A cell with unusually long retention, discoverable by profiling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LongCell {
+    /// Bit index within its row.
+    pub bit: u64,
+    /// Retention time in nanoseconds.
+    pub retention_ns: u64,
+}
+
+/// Deterministic per-cell retention times for a module.
+///
+/// Retention is a manufacturing property: each cell keeps its charge for a
+/// fixed time once refresh stops (section 2.1). Ordinary cells draw their
+/// retention uniformly from `[min_ns, max_ns]`; a sparse population of
+/// long-retention cells (fraction `long_fraction`) draws from
+/// `[long_min_ns, long_max_ns]`. Both populations are functions of the
+/// module seed, so profiling results are stable — which the coldboot guard
+/// (section 8) depends on.
+pub(crate) struct RetentionModel {
+    seed: u64,
+    params: RetentionParams,
+    bits_per_row: u64,
+    long_cache: HashMap<u64, Rc<[LongCell]>>,
+}
+
+impl fmt::Debug for RetentionModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RetentionModel")
+            .field("seed", &self.seed)
+            .field("params", &self.params)
+            .field("cached_rows", &self.long_cache.len())
+            .finish()
+    }
+}
+
+impl RetentionModel {
+    pub(crate) fn new(params: RetentionParams, bits_per_row: u64, seed: u64) -> Self {
+        RetentionModel { seed, params, bits_per_row, long_cache: HashMap::new() }
+    }
+
+    #[allow(dead_code)] // exercised by tests; kept for parity with VulnerabilityModel
+    pub(crate) fn params(&self) -> RetentionParams {
+        self.params
+    }
+
+    /// The long-retention cells of `row`, sorted by bit index.
+    pub(crate) fn long_cells(&mut self, row: RowId) -> Rc<[LongCell]> {
+        if let Some(cells) = self.long_cache.get(&row.0) {
+            return Rc::clone(cells);
+        }
+        let mut rng = stream_rng(self.seed ^ 0x5245_544E, row.0); // "RETN"
+        let n = poisson(&mut rng, self.bits_per_row as f64 * self.params.long_fraction);
+        let span = self.params.long_max_ns - self.params.long_min_ns;
+        let mut cells: Vec<LongCell> = (0..n)
+            .map(|_| LongCell {
+                bit: rng.gen_range(0..self.bits_per_row),
+                retention_ns: self.params.long_min_ns + (rng.gen::<f64>() * span as f64) as u64,
+            })
+            .collect();
+        cells.sort_by_key(|c| c.bit);
+        cells.dedup_by_key(|c| c.bit);
+        cells.into()
+    }
+
+    /// Retention time of an ordinary (non-long) cell.
+    fn ordinary_retention_ns(&self, row: RowId, bit: u64) -> u64 {
+        let u = to_unit(hash3(self.seed ^ 0x4F52_4449, row.0, bit)); // "ORDI"
+        self.params.min_ns + (u * (self.params.max_ns - self.params.min_ns) as f64) as u64
+    }
+
+    /// Retention time of any cell (long cells shadow ordinary draws).
+    pub(crate) fn retention_ns(&mut self, row: RowId, bit: u64) -> u64 {
+        if let Ok(i) = self.long_cells(row).binary_search_by_key(&bit, |c| c.bit) {
+            return self.long_cells(row)[i].retention_ns;
+        }
+        self.ordinary_retention_ns(row, bit)
+    }
+
+    /// Applies `elapsed_ns` of unrefreshed decay to a row's stored bytes.
+    ///
+    /// Cells whose retention has expired read as the discharged value of the
+    /// row's polarity. Returns the number of bits whose logic value changed.
+    pub(crate) fn apply_decay(
+        &mut self,
+        row: RowId,
+        cell_type: CellType,
+        bytes: &mut [u8],
+        elapsed_ns: u64,
+    ) -> u64 {
+        if elapsed_ns < self.params.min_ns {
+            return 0;
+        }
+        let discharged = cell_type.discharged_value();
+        let mut changed = 0u64;
+        if elapsed_ns >= self.params.max_ns {
+            // Fast path: every ordinary cell has decayed. Snapshot surviving
+            // long cells, blanket-fill, then restore the survivors.
+            let long = self.long_cells(row);
+            let survivors: Vec<(u64, bool)> = long
+                .iter()
+                .filter(|c| c.retention_ns > elapsed_ns)
+                .map(|c| (c.bit, get_bit(bytes, c.bit)))
+                .collect();
+            for byte in bytes.iter_mut() {
+                let before = *byte;
+                *byte = if discharged { 0xFF } else { 0x00 };
+                changed += (before ^ *byte).count_ones() as u64;
+            }
+            for (bit, value) in survivors {
+                if get_bit(bytes, bit) != value {
+                    set_bit(bytes, bit, value);
+                    changed -= 1; // it had been counted as changed by the fill
+                }
+            }
+            changed
+        } else {
+            // Partial window: check each bit's retention individually.
+            for bit in 0..(bytes.len() as u64 * crate::BITS_PER_BYTE as u64) {
+                if self.retention_ns(row, bit) < elapsed_ns && get_bit(bytes, bit) != discharged {
+                    set_bit(bytes, bit, discharged);
+                    changed += 1;
+                }
+            }
+            changed
+        }
+    }
+}
+
+pub(crate) fn get_bit(bytes: &[u8], bit: u64) -> bool {
+    bytes[(bit / 8) as usize] >> (bit % 8) & 1 == 1
+}
+
+pub(crate) fn set_bit(bytes: &mut [u8], bit: u64, value: bool) {
+    let byte = &mut bytes[(bit / 8) as usize];
+    if value {
+        *byte |= 1 << (bit % 8);
+    } else {
+        *byte &= !(1 << (bit % 8));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> RetentionModel {
+        RetentionModel::new(RetentionParams::default(), 4096 * 8, 0xFEED)
+    }
+
+    #[test]
+    fn bit_helpers() {
+        let mut b = vec![0u8; 2];
+        set_bit(&mut b, 9, true);
+        assert_eq!(b, vec![0, 2]);
+        assert!(get_bit(&b, 9));
+        set_bit(&mut b, 9, false);
+        assert!(!get_bit(&b, 9));
+    }
+
+    #[test]
+    fn retention_is_deterministic() {
+        let mut m1 = model();
+        let mut m2 = model();
+        assert_eq!(m1.retention_ns(RowId(3), 100), m2.retention_ns(RowId(3), 100));
+    }
+
+    #[test]
+    fn ordinary_retention_in_range() {
+        let mut m = model();
+        let p = m.params();
+        for bit in 0..2000 {
+            let r = m.retention_ns(RowId(0), bit);
+            assert!(r >= p.min_ns);
+            assert!(r <= p.long_max_ns);
+        }
+    }
+
+    #[test]
+    fn no_decay_before_min_retention() {
+        let mut m = model();
+        let mut bytes = vec![0xFFu8; 4096];
+        let changed = m.apply_decay(RowId(0), CellType::True, &mut bytes, 1_000_000);
+        assert_eq!(changed, 0);
+        assert!(bytes.iter().all(|b| *b == 0xFF));
+    }
+
+    #[test]
+    fn full_decay_discharges_true_cells_to_zero() {
+        let mut m = model();
+        let mut bytes = vec![0xFFu8; 4096];
+        let elapsed = m.params().max_ns + 1;
+        let changed = m.apply_decay(RowId(0), CellType::True, &mut bytes, elapsed);
+        // All bits decay except surviving long cells.
+        let surviving: u64 = bytes.iter().map(|b| b.count_ones() as u64).sum();
+        let long = m.long_cells(RowId(0)).len() as u64;
+        assert!(surviving <= long);
+        assert_eq!(changed, 4096 * 8 - surviving);
+    }
+
+    #[test]
+    fn full_decay_discharges_anti_cells_to_one() {
+        let mut m = model();
+        let mut bytes = vec![0x00u8; 4096];
+        let elapsed = m.params().max_ns + 1;
+        m.apply_decay(RowId(1), CellType::Anti, &mut bytes, elapsed);
+        let zeros: u64 = bytes.iter().map(|b| b.count_zeros() as u64).sum();
+        let long = m.long_cells(RowId(1)).len() as u64;
+        assert!(zeros <= long, "zeros={zeros} long={long}");
+    }
+
+    #[test]
+    fn partial_decay_is_monotonic_in_time() {
+        let mut m = model();
+        let p = m.params();
+        let mut early = vec![0xFFu8; 4096];
+        let mut late = vec![0xFFu8; 4096];
+        m.apply_decay(RowId(2), CellType::True, &mut early, p.min_ns + (p.max_ns - p.min_ns) / 4);
+        m.apply_decay(RowId(2), CellType::True, &mut late, p.min_ns + (p.max_ns - p.min_ns) / 2);
+        let ones_early: u32 = early.iter().map(|b| b.count_ones()).sum();
+        let ones_late: u32 = late.iter().map(|b| b.count_ones()).sum();
+        assert!(ones_late <= ones_early);
+        assert!(ones_early < 4096 * 8, "some decay should have happened");
+    }
+
+    #[test]
+    fn very_long_wait_kills_even_long_cells() {
+        let mut m = model();
+        let mut bytes = vec![0xFFu8; 4096];
+        m.apply_decay(RowId(0), CellType::True, &mut bytes, m.params().long_max_ns + 1);
+        assert!(bytes.iter().all(|b| *b == 0));
+    }
+
+    #[test]
+    fn long_cells_sparse() {
+        let mut m = model();
+        // 4096*8 = 32768 bits, long_fraction 1e-3 → ~33 expected.
+        let n = m.long_cells(RowId(5)).len();
+        assert!(n < 100, "long cells should be sparse, got {n}");
+    }
+}

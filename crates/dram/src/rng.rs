@@ -1,0 +1,126 @@
+//! Deterministic hashing/sampling primitives.
+//!
+//! The simulator needs *reproducible* randomness keyed on structural
+//! coordinates (module seed, row, bit) so that a module's vulnerability map
+//! and retention map are fixed properties of the module — exactly like real
+//! hardware, where "memory templating" attacks rely on flippable-bit
+//! locations being stable across runs.
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// SplitMix64 finalizer: a fast, well-distributed 64-bit mix.
+pub(crate) fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Hashes a tuple of coordinates into a u64.
+pub(crate) fn hash3(seed: u64, a: u64, b: u64) -> u64 {
+    splitmix64(splitmix64(splitmix64(seed) ^ a) ^ b)
+}
+
+/// Maps a u64 to the unit interval `[0, 1)`.
+pub(crate) fn to_unit(x: u64) -> f64 {
+    // 53 significant bits, like rand's standard float conversion.
+    (x >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// A ChaCha stream deterministically derived from `(seed, stream_id)`.
+///
+/// Used where we need many draws for one coordinate (e.g. sampling the
+/// vulnerable-bit positions of a row) rather than a single hash.
+pub(crate) fn stream_rng(seed: u64, stream_id: u64) -> ChaCha8Rng {
+    let mut key = [0u8; 32];
+    key[..8].copy_from_slice(&seed.to_le_bytes());
+    key[8..16].copy_from_slice(&stream_id.to_le_bytes());
+    key[16..24].copy_from_slice(&splitmix64(seed ^ stream_id).to_le_bytes());
+    key[24..32].copy_from_slice(&splitmix64(stream_id.wrapping_mul(31).wrapping_add(seed)).to_le_bytes());
+    ChaCha8Rng::from_seed(key)
+}
+
+/// Draws a Poisson-distributed sample with mean `lambda` (Knuth for small
+/// lambda, normal approximation above 64 to stay O(1)).
+pub(crate) fn poisson(rng: &mut ChaCha8Rng, lambda: f64) -> u64 {
+    use rand::Rng;
+    if lambda <= 0.0 {
+        return 0;
+    }
+    if lambda < 64.0 {
+        let l = (-lambda).exp();
+        let mut k = 0u64;
+        let mut p = 1.0f64;
+        loop {
+            p *= rng.gen::<f64>();
+            if p <= l {
+                return k;
+            }
+            k += 1;
+        }
+    } else {
+        // Normal approximation with continuity correction.
+        let u: f64 = rng.gen::<f64>().max(1e-12);
+        let v: f64 = rng.gen::<f64>();
+        let z = (-2.0 * u.ln()).sqrt() * (2.0 * std::f64::consts::PI * v).cos();
+        let x = lambda + lambda.sqrt() * z + 0.5;
+        if x < 0.0 {
+            0
+        } else {
+            x as u64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hash_is_deterministic_and_spread() {
+        assert_eq!(hash3(1, 2, 3), hash3(1, 2, 3));
+        assert_ne!(hash3(1, 2, 3), hash3(1, 2, 4));
+        assert_ne!(hash3(1, 2, 3), hash3(1, 3, 3));
+        assert_ne!(hash3(1, 2, 3), hash3(2, 2, 3));
+    }
+
+    #[test]
+    fn unit_interval_bounds() {
+        for x in [0u64, 1, u64::MAX, 0xDEAD_BEEF] {
+            let u = to_unit(x);
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn stream_rng_deterministic() {
+        use rand::Rng;
+        let a: u64 = stream_rng(7, 9).gen();
+        let b: u64 = stream_rng(7, 9).gen();
+        let c: u64 = stream_rng(7, 10).gen();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn poisson_mean_roughly_correct() {
+        let mut rng = stream_rng(42, 0);
+        for lambda in [0.5f64, 5.0, 200.0] {
+            let n = 4000;
+            let total: u64 = (0..n).map(|_| poisson(&mut rng, lambda)).sum();
+            let mean = total as f64 / n as f64;
+            assert!(
+                (mean - lambda).abs() < lambda.max(1.0) * 0.15,
+                "lambda={lambda} mean={mean}"
+            );
+        }
+    }
+
+    #[test]
+    fn poisson_zero_lambda_is_zero() {
+        let mut rng = stream_rng(1, 1);
+        assert_eq!(poisson(&mut rng, 0.0), 0);
+    }
+}

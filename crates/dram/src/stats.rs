@@ -1,0 +1,102 @@
+use std::fmt;
+
+use crate::geometry::RowId;
+use crate::vuln::FlipDirection;
+
+/// A single disturbance-induced bit flip, as recorded by the module.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FlipEvent {
+    /// Victim row.
+    pub row: RowId,
+    /// Bit index within the row.
+    pub bit: u64,
+    /// Direction the value changed.
+    pub direction: FlipDirection,
+    /// Simulated time of the flip in nanoseconds.
+    pub time_ns: u64,
+}
+
+/// Running counters and the flip log of a [`DramModule`](crate::DramModule).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DramStats {
+    /// Row activations performed (row-buffer misses).
+    pub activations: u64,
+    /// Read accesses.
+    pub reads: u64,
+    /// Write accesses.
+    pub writes: u64,
+    /// Refresh windows completed while refresh was enabled.
+    pub refresh_windows: u64,
+    /// Disturbance episodes applied to victim rows.
+    pub disturbances: u64,
+    /// Bits flipped `1→0` by disturbance.
+    pub flips_one_to_zero: u64,
+    /// Bits flipped `0→1` by disturbance.
+    pub flips_zero_to_one: u64,
+    /// Bits whose logic value changed through retention decay.
+    pub decay_flips: u64,
+    /// Log of individual disturbance flips, in order of occurrence.
+    pub flip_log: Vec<FlipEvent>,
+}
+
+impl DramStats {
+    /// Total disturbance flips in both directions.
+    pub fn total_flips(&self) -> u64 {
+        self.flips_one_to_zero + self.flips_zero_to_one
+    }
+
+    /// Records a flip in the counters and the log.
+    pub(crate) fn record_flip(&mut self, event: FlipEvent) {
+        match event.direction {
+            FlipDirection::OneToZero => self.flips_one_to_zero += 1,
+            FlipDirection::ZeroToOne => self.flips_zero_to_one += 1,
+        }
+        self.flip_log.push(event);
+    }
+
+    /// Clears the flip log (counters are retained).
+    pub fn clear_flip_log(&mut self) {
+        self.flip_log.clear();
+    }
+}
+
+impl fmt::Display for DramStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "activations={} reads={} writes={} refreshes={} disturbances={} flips(1→0)={} flips(0→1)={} decay={}",
+            self.activations,
+            self.reads,
+            self.writes,
+            self.refresh_windows,
+            self.disturbances,
+            self.flips_one_to_zero,
+            self.flips_zero_to_one,
+            self.decay_flips,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_flip_updates_both_counters_and_log() {
+        let mut s = DramStats::default();
+        s.record_flip(FlipEvent { row: RowId(1), bit: 2, direction: FlipDirection::OneToZero, time_ns: 5 });
+        s.record_flip(FlipEvent { row: RowId(1), bit: 3, direction: FlipDirection::ZeroToOne, time_ns: 6 });
+        assert_eq!(s.flips_one_to_zero, 1);
+        assert_eq!(s.flips_zero_to_one, 1);
+        assert_eq!(s.total_flips(), 2);
+        assert_eq!(s.flip_log.len(), 2);
+        s.clear_flip_log();
+        assert!(s.flip_log.is_empty());
+        assert_eq!(s.total_flips(), 2);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert!(!DramStats::default().to_string().is_empty());
+    }
+}

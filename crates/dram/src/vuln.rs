@@ -1,0 +1,237 @@
+use std::collections::HashMap;
+use std::fmt;
+use std::rc::Rc;
+
+use rand::Rng;
+
+use crate::cells::{CellLayout, CellType};
+use crate::config::DisturbanceParams;
+use crate::geometry::{DramGeometry, RowId};
+use crate::rng::{poisson, stream_rng};
+
+/// Direction of a disturbance-induced bit flip, in logic-value terms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FlipDirection {
+    /// A stored `1` becomes `0` (the leakage direction of true-cells).
+    OneToZero,
+    /// A stored `0` becomes `1` (the leakage direction of anti-cells).
+    ZeroToOne,
+}
+
+impl FlipDirection {
+    /// The leakage-aligned ("primary") flip direction of a cell type.
+    pub fn primary_for(cell: CellType) -> FlipDirection {
+        match cell {
+            CellType::True => FlipDirection::OneToZero,
+            CellType::Anti => FlipDirection::ZeroToOne,
+        }
+    }
+
+    /// The opposite direction.
+    pub fn opposite(self) -> FlipDirection {
+        match self {
+            FlipDirection::OneToZero => FlipDirection::ZeroToOne,
+            FlipDirection::ZeroToOne => FlipDirection::OneToZero,
+        }
+    }
+
+    /// The stored logic value this flip fires on.
+    pub fn source_value(self) -> bool {
+        matches!(self, FlipDirection::OneToZero)
+    }
+}
+
+impl fmt::Display for FlipDirection {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FlipDirection::OneToZero => f.write_str("1→0"),
+            FlipDirection::ZeroToOne => f.write_str("0→1"),
+        }
+    }
+}
+
+/// One cell of a row that is vulnerable to RowHammer disturbance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct VulnerableBit {
+    /// Bit index within the row (0 = LSB of byte 0).
+    pub bit: u64,
+    /// The only direction this cell can flip when disturbed.
+    pub direction: FlipDirection,
+}
+
+/// The fixed vulnerability map of a module.
+///
+/// Which cells are flippable — and in which direction — is a *manufacturing
+/// property* of a DRAM module: stable across reboots, discoverable by
+/// "memory templating" (Drammer), and keyed here on the module seed so that
+/// experiments are reproducible. Maps are generated lazily per row and
+/// memoized.
+///
+/// Per the measured statistics the model is parameterized on
+/// ([`DisturbanceParams`]): each cell is vulnerable with probability `pf`,
+/// and a vulnerable cell flips in its polarity's leakage direction except
+/// with probability `reverse_rate` (section 5: `P0→1 = 0.2%` in true-cells).
+pub struct VulnerabilityModel {
+    seed: u64,
+    params: DisturbanceParams,
+    layout: CellLayout,
+    bits_per_row: u64,
+    cache: HashMap<u64, Rc<[VulnerableBit]>>,
+}
+
+impl fmt::Debug for VulnerabilityModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("VulnerabilityModel")
+            .field("seed", &self.seed)
+            .field("params", &self.params)
+            .field("bits_per_row", &self.bits_per_row)
+            .field("cached_rows", &self.cache.len())
+            .finish()
+    }
+}
+
+impl VulnerabilityModel {
+    /// Creates the model for a module.
+    pub fn new(geometry: &DramGeometry, layout: CellLayout, params: DisturbanceParams, seed: u64) -> Self {
+        VulnerabilityModel {
+            seed,
+            params,
+            layout,
+            bits_per_row: geometry.bits_per_row(),
+            cache: HashMap::new(),
+        }
+    }
+
+    /// The disturbance parameters the model was built with.
+    pub fn params(&self) -> DisturbanceParams {
+        self.params
+    }
+
+    /// The vulnerable bits of `row`, sorted by bit index.
+    ///
+    /// Results are memoized; the slice is shared, not recomputed.
+    pub fn vulnerable_bits(&mut self, row: RowId) -> Rc<[VulnerableBit]> {
+        if let Some(bits) = self.cache.get(&row.0) {
+            return Rc::clone(bits);
+        }
+        let bits = self.generate_row(row);
+        self.cache.insert(row.0, Rc::clone(&bits));
+        bits
+    }
+
+    /// Whether `row` has at least one vulnerable bit.
+    pub fn row_is_vulnerable(&mut self, row: RowId) -> bool {
+        !self.vulnerable_bits(row).is_empty()
+    }
+
+    fn generate_row(&self, row: RowId) -> Rc<[VulnerableBit]> {
+        let mut rng = stream_rng(self.seed ^ 0x5655_4C4E, row.0); // "VULN"
+        let lambda = self.bits_per_row as f64 * self.params.pf;
+        let n = poisson(&mut rng, lambda);
+        let primary = FlipDirection::primary_for(self.layout.cell_type(row));
+        let mut bits: Vec<VulnerableBit> = (0..n)
+            .map(|_| {
+                let bit = rng.gen_range(0..self.bits_per_row);
+                let direction = if rng.gen::<f64>() < self.params.reverse_rate {
+                    primary.opposite()
+                } else {
+                    primary
+                };
+                VulnerableBit { bit, direction }
+            })
+            .collect();
+        bits.sort_by_key(|b| b.bit);
+        bits.dedup_by_key(|b| b.bit);
+        bits.into()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::AddressMapping;
+
+    fn model(pf: f64, layout: CellLayout) -> VulnerabilityModel {
+        let g = DramGeometry::new(128 * 1024, 64, 1, AddressMapping::RowLinear);
+        let params = DisturbanceParams { pf, ..DisturbanceParams::default() };
+        VulnerabilityModel::new(&g, layout, params, 0xABCD)
+    }
+
+    #[test]
+    fn deterministic_per_row() {
+        let mut m1 = model(1e-4, CellLayout::AllTrue);
+        let mut m2 = model(1e-4, CellLayout::AllTrue);
+        assert_eq!(&*m1.vulnerable_bits(RowId(7)), &*m2.vulnerable_bits(RowId(7)));
+    }
+
+    #[test]
+    fn different_rows_differ() {
+        let mut m = model(1e-3, CellLayout::AllTrue);
+        assert_ne!(&*m.vulnerable_bits(RowId(1)), &*m.vulnerable_bits(RowId(2)));
+    }
+
+    #[test]
+    fn density_tracks_pf() {
+        let mut m = model(1e-4, CellLayout::AllTrue);
+        let bits_per_row = 128 * 1024 * 8;
+        let total: usize = (0..64).map(|r| m.vulnerable_bits(RowId(r)).len()).sum();
+        let expected = 64.0 * bits_per_row as f64 * 1e-4;
+        let observed = total as f64;
+        assert!(
+            (observed - expected).abs() < expected * 0.25,
+            "expected≈{expected} observed={observed}"
+        );
+    }
+
+    #[test]
+    fn true_cell_rows_mostly_flip_one_to_zero() {
+        let mut m = model(1e-3, CellLayout::AllTrue);
+        let mut primary = 0usize;
+        let mut reverse = 0usize;
+        for r in 0..64 {
+            for b in m.vulnerable_bits(RowId(r)).iter() {
+                match b.direction {
+                    FlipDirection::OneToZero => primary += 1,
+                    FlipDirection::ZeroToOne => reverse += 1,
+                }
+            }
+        }
+        assert!(primary > 0);
+        let frac = reverse as f64 / (primary + reverse) as f64;
+        assert!(frac < 0.02, "reverse fraction {frac} should be near 0.002");
+    }
+
+    #[test]
+    fn anti_cell_rows_mostly_flip_zero_to_one() {
+        let mut m = model(1e-3, CellLayout::AllAnti);
+        let mut zto = 0usize;
+        let mut otz = 0usize;
+        for r in 0..64 {
+            for b in m.vulnerable_bits(RowId(r)).iter() {
+                match b.direction {
+                    FlipDirection::ZeroToOne => zto += 1,
+                    FlipDirection::OneToZero => otz += 1,
+                }
+            }
+        }
+        assert!(zto > otz * 10);
+    }
+
+    #[test]
+    fn bits_sorted_and_unique() {
+        let mut m = model(1e-3, CellLayout::AllTrue);
+        let bits = m.vulnerable_bits(RowId(0));
+        for w in bits.windows(2) {
+            assert!(w[0].bit < w[1].bit);
+        }
+    }
+
+    #[test]
+    fn direction_helpers() {
+        assert_eq!(FlipDirection::primary_for(CellType::True), FlipDirection::OneToZero);
+        assert_eq!(FlipDirection::primary_for(CellType::Anti), FlipDirection::ZeroToOne);
+        assert_eq!(FlipDirection::OneToZero.opposite(), FlipDirection::ZeroToOne);
+        assert!(FlipDirection::OneToZero.source_value());
+        assert!(!FlipDirection::ZeroToOne.source_value());
+    }
+}

@@ -1,0 +1,134 @@
+//! Property-based tests of the DRAM substrate's core invariants.
+
+use cta_dram::{
+    AddressMapping, CellLayout, CellType, DisturbanceParams, DramConfig, DramGeometry, DramModule,
+    RowId,
+};
+use proptest::prelude::*;
+
+fn small_geometry() -> impl Strategy<Value = DramGeometry> {
+    (
+        prop_oneof![Just(1024u64), Just(2048), Just(4096)],
+        4u64..32,
+        1u32..5,
+        prop_oneof![Just(AddressMapping::RowLinear), Just(AddressMapping::BankInterleaved)],
+    )
+        .prop_map(|(row_bytes, rows, banks, mapping)| {
+            DramGeometry::new(row_bytes, rows, banks, mapping)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Physical address → (row, col) → address is the identity.
+    #[test]
+    fn address_mapping_round_trips(geometry in small_geometry(), frac in 0.0f64..1.0) {
+        let addr = (geometry.capacity_bytes() as f64 * frac) as u64;
+        let addr = addr.min(geometry.capacity_bytes() - 1);
+        let row = geometry.row_of_addr(addr).unwrap();
+        let base = geometry.addr_of_row(row).unwrap();
+        prop_assert_eq!(base + geometry.col_of_addr(addr), addr);
+    }
+
+    /// Bank adjacency is symmetric: if b is a neighbor of a, a is one of b.
+    #[test]
+    fn adjacency_is_symmetric(geometry in small_geometry(), row in 0u64..128) {
+        let row = RowId(row % geometry.total_rows());
+        for n in geometry.adjacent_rows(row).unwrap() {
+            let back = geometry.adjacent_rows(n).unwrap();
+            prop_assert!(back.contains(&row));
+        }
+    }
+
+    /// Whatever is written is read back identically while refresh runs.
+    #[test]
+    fn read_after_write_is_identity(
+        offset in 0u64..60_000,
+        data in proptest::collection::vec(any::<u8>(), 1..256),
+    ) {
+        let mut m = DramModule::new(DramConfig::small_test());
+        let addr = offset.min(m.capacity_bytes() - data.len() as u64);
+        m.write(addr, &data).unwrap();
+        prop_assert_eq!(m.read(addr, data.len()).unwrap(), data);
+    }
+
+    /// Monotonicity: hammering a value stored in a true-cell row can only
+    /// clear bits — the reverse-rate is zero in this configuration, making
+    /// the guarantee absolute.
+    #[test]
+    fn true_cells_are_monotonic_under_hammer(
+        value in any::<u64>(),
+        seed in any::<u64>(),
+    ) {
+        let cfg = DramConfig::small_test()
+            .with_seed(seed)
+            .with_layout(CellLayout::AllTrue)
+            .with_disturbance(DisturbanceParams {
+                pf: 0.05,
+                reverse_rate: 0.0,
+                ..DisturbanceParams::default()
+            });
+        let mut m = DramModule::new(cfg);
+        let addr = m.geometry().row_bytes(); // row 1
+        m.write_u64(addr, value).unwrap();
+        m.hammer_double_sided(RowId(1)).unwrap();
+        let after = m.read_u64(addr).unwrap();
+        prop_assert_eq!(after & !value, 0, "no bit may be set that was clear before");
+    }
+
+    /// The dual: anti-cell rows can only gain bits under hammering.
+    #[test]
+    fn anti_cells_only_gain_bits_under_hammer(
+        value in any::<u64>(),
+        seed in any::<u64>(),
+    ) {
+        let cfg = DramConfig::small_test()
+            .with_seed(seed)
+            .with_layout(CellLayout::AllAnti)
+            .with_disturbance(DisturbanceParams {
+                pf: 0.05,
+                reverse_rate: 0.0,
+                ..DisturbanceParams::default()
+            });
+        let mut m = DramModule::new(cfg);
+        let addr = m.geometry().row_bytes();
+        m.write_u64(addr, value).unwrap();
+        m.hammer_double_sided(RowId(1)).unwrap();
+        let after = m.read_u64(addr).unwrap();
+        prop_assert_eq!(value & !after, 0, "no bit may be cleared");
+    }
+
+    /// The profiler recovers arbitrary alternating layouts exactly.
+    #[test]
+    fn profiler_recovers_layout(period in 1u64..16, first_true in any::<bool>(), seed in any::<u64>()) {
+        let first = if first_true { CellType::True } else { CellType::Anti };
+        let cfg = DramConfig::small_test()
+            .with_seed(seed)
+            .with_layout(CellLayout::Alternating { period_rows: period, first });
+        let mut m = DramModule::new(cfg);
+        let profile =
+            cta_dram::profile_cell_types(&mut m, &cta_dram::ProfilerConfig::default()).unwrap();
+        prop_assert_eq!(profile.map, m.ground_truth_cell_map());
+    }
+
+    /// Decay never *increases* the charge of a row: once a wait has decayed
+    /// some cells, a longer wait decays a superset.
+    #[test]
+    fn decay_is_monotonic_in_time(seed in any::<u64>()) {
+        let build = || DramModule::new(DramConfig::small_test().with_seed(seed));
+        let observe = |wait: u64| {
+            let mut m = build();
+            m.fill(0, 512, 0xFF).unwrap();
+            m.disable_refresh();
+            m.advance(wait);
+            m.read(0, 512).unwrap()
+        };
+        let p = DramConfig::small_test().retention;
+        let short = observe(p.min_ns + (p.max_ns - p.min_ns) / 3);
+        let long = observe(p.min_ns + (p.max_ns - p.min_ns) * 2 / 3);
+        for (s, l) in short.iter().zip(long.iter()) {
+            prop_assert_eq!(l & !s, 0, "a bit alive at long wait must be alive at short wait");
+        }
+    }
+}

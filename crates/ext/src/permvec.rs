@@ -1,0 +1,178 @@
+//! Permission vectors in true-cells.
+//!
+//! Security-critical bit vectors (Unix `rwx` bits, SELinux access vectors)
+//! encode "allowed" as `1`. A RowHammer flip that turns *denied into
+//! allowed* violates confidentiality; the reverse merely denies a
+//! legitimate user. Storing such vectors in true-cells confines flips to
+//! the safe direction.
+
+use cta_dram::{CellType, DramError, DramModule, RowId};
+
+/// One subject's permissions over one object: the classic `rwx` triple.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Permission {
+    /// Read allowed.
+    pub read: bool,
+    /// Write allowed.
+    pub write: bool,
+    /// Execute allowed.
+    pub execute: bool,
+}
+
+impl Permission {
+    /// Encodes as the low three bits (`r=4, w=2, x=1`, Unix style).
+    pub fn to_bits(self) -> u8 {
+        (self.read as u8) << 2 | (self.write as u8) << 1 | self.execute as u8
+    }
+
+    /// Decodes from the low three bits.
+    pub fn from_bits(bits: u8) -> Self {
+        Permission { read: bits & 4 != 0, write: bits & 2 != 0, execute: bits & 1 != 0 }
+    }
+
+    /// Whether `self` grants anything that `other` does not — the
+    /// confidentiality-violation test (a corruption of `other` into `self`
+    /// *escalated* rights).
+    pub fn escalated_from(self, other: Permission) -> bool {
+        self.to_bits() & !other.to_bits() != 0
+    }
+}
+
+/// A table of permission vectors stored in a chosen row of simulated DRAM.
+///
+/// The experiment in `exp-ext` stores identical tables in a true-cell and
+/// an anti-cell row, hammers both, and counts escalations: the true-cell
+/// table shows (essentially) none, the anti-cell table shows many.
+#[derive(Debug)]
+pub struct PermissionStore {
+    base_addr: u64,
+    len: usize,
+    row: RowId,
+    cell_type: CellType,
+}
+
+/// A set of permission vectors, one byte each.
+pub type PermissionVector = Vec<Permission>;
+
+impl PermissionStore {
+    /// Places `perms` at the start of `row`, one byte per entry.
+    ///
+    /// # Errors
+    ///
+    /// DRAM bounds errors; the row must hold `perms.len()` bytes.
+    pub fn place(
+        module: &mut DramModule,
+        row: RowId,
+        perms: &[Permission],
+    ) -> Result<Self, DramError> {
+        let base_addr = module.geometry().addr_of_row(row)?;
+        let cell_type = module.cell_type_of_row(row)?;
+        let bytes: Vec<u8> = perms.iter().map(|p| p.to_bits()).collect();
+        module.write(base_addr, &bytes)?;
+        Ok(PermissionStore { base_addr, len: perms.len(), row, cell_type })
+    }
+
+    /// The row holding the table.
+    pub fn row(&self) -> RowId {
+        self.row
+    }
+
+    /// The polarity of the storage cells.
+    pub fn cell_type(&self) -> CellType {
+        self.cell_type
+    }
+
+    /// Reads the current (possibly corrupted) table.
+    ///
+    /// # Errors
+    ///
+    /// DRAM bounds errors.
+    pub fn read(&self, module: &mut DramModule) -> Result<PermissionVector, DramError> {
+        let bytes = module.read(self.base_addr, self.len)?;
+        Ok(bytes.into_iter().map(Permission::from_bits).collect())
+    }
+
+    /// Compares the stored table against `original` and counts corruptions
+    /// by severity: `(escalations, denials)`.
+    ///
+    /// # Errors
+    ///
+    /// DRAM bounds errors.
+    pub fn audit(
+        &self,
+        module: &mut DramModule,
+        original: &[Permission],
+    ) -> Result<(usize, usize), DramError> {
+        let current = self.read(module)?;
+        let mut escalations = 0;
+        let mut denials = 0;
+        for (now, was) in current.iter().zip(original) {
+            if now.escalated_from(*was) {
+                escalations += 1;
+            } else if now != was {
+                denials += 1;
+            }
+        }
+        Ok((escalations, denials))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cta_dram::{CellLayout, DisturbanceParams, DramConfig};
+
+    fn module(layout: CellLayout) -> DramModule {
+        let cfg = DramConfig::small_test()
+            .with_layout(layout)
+            .with_disturbance(DisturbanceParams { pf: 0.05, reverse_rate: 0.0, ..DisturbanceParams::default() });
+        DramModule::new(cfg)
+    }
+
+    fn sample_perms(n: usize) -> Vec<Permission> {
+        (0..n).map(|i| Permission::from_bits((i % 8) as u8)).collect()
+    }
+
+    #[test]
+    fn permission_codec() {
+        for bits in 0..8u8 {
+            assert_eq!(Permission::from_bits(bits).to_bits(), bits);
+        }
+        let ro = Permission { read: true, write: false, execute: false };
+        let rw = Permission { read: true, write: true, execute: false };
+        assert!(rw.escalated_from(ro));
+        assert!(!ro.escalated_from(rw));
+        assert!(!ro.escalated_from(ro));
+    }
+
+    #[test]
+    fn true_cell_store_never_escalates_under_hammer() {
+        let mut m = module(CellLayout::AllTrue);
+        let perms = sample_perms(512);
+        let store = PermissionStore::place(&mut m, RowId(2), &perms).unwrap();
+        m.hammer_double_sided(RowId(2)).unwrap();
+        let (escalations, denials) = store.audit(&mut m, &perms).unwrap();
+        assert_eq!(escalations, 0, "true-cells must not grant rights");
+        assert!(denials > 0, "pf=5% over 512 entries should corrupt something");
+    }
+
+    #[test]
+    fn anti_cell_store_escalates_under_hammer() {
+        let mut m = module(CellLayout::AllAnti);
+        let perms = sample_perms(512);
+        let store = PermissionStore::place(&mut m, RowId(2), &perms).unwrap();
+        m.hammer_double_sided(RowId(2)).unwrap();
+        let (escalations, _) = store.audit(&mut m, &perms).unwrap();
+        assert!(escalations > 0, "anti-cells set bits: rights get granted");
+    }
+
+    #[test]
+    fn unhammered_store_audits_clean() {
+        let mut m = module(CellLayout::AllTrue);
+        let perms = sample_perms(100);
+        let store = PermissionStore::place(&mut m, RowId(1), &perms).unwrap();
+        assert_eq!(store.audit(&mut m, &perms).unwrap(), (0, 0));
+        assert_eq!(store.cell_type(), CellType::True);
+        assert_eq!(store.row(), RowId(1));
+    }
+}

@@ -1,0 +1,287 @@
+use std::collections::{BTreeSet, HashMap};
+
+use crate::error::AllocError;
+use crate::frame::Pfn;
+
+/// Largest block order plus one, as in Linux (`MAX_ORDER = 11` ⇒ blocks of
+/// up to 2¹⁰ = 1024 pages = 4 MiB).
+pub const MAX_ORDER: u8 = 11;
+
+/// A binary buddy allocator over a contiguous frame range.
+///
+/// This is the classic Linux per-zone buddy system: free blocks of order
+/// `k` cover `2^k` naturally aligned frames; freeing coalesces a block with
+/// its buddy (`pfn ^ 2^k`) whenever the buddy is also free, restoring
+/// maximal blocks. Free lists are ordered sets so allocation is
+/// lowest-address-first and deterministic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BuddyAllocator {
+    start: u64,
+    end: u64,
+    free_lists: Vec<BTreeSet<u64>>,
+    allocated: HashMap<u64, u8>,
+    free_pages: u64,
+}
+
+impl BuddyAllocator {
+    /// Creates an allocator over frames `[start, end)`, all initially free.
+    ///
+    /// The range need not be aligned; it is greedily covered with maximal
+    /// naturally aligned blocks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start >= end` — an empty zone is a configuration bug.
+    pub fn new(start: Pfn, end: Pfn) -> Self {
+        assert!(start < end, "buddy range must be nonempty");
+        let mut a = BuddyAllocator {
+            start: start.0,
+            end: end.0,
+            free_lists: vec![BTreeSet::new(); MAX_ORDER as usize],
+            allocated: HashMap::new(),
+            free_pages: 0,
+        };
+        let mut pfn = start.0;
+        while pfn < end.0 {
+            // Largest order that keeps the block naturally aligned and in range.
+            let align_order = pfn.trailing_zeros().min(MAX_ORDER as u32 - 1) as u8;
+            let mut order = align_order;
+            while order > 0 && pfn + (1 << order) > end.0 {
+                order -= 1;
+            }
+            a.free_lists[order as usize].insert(pfn);
+            a.free_pages += 1 << order;
+            pfn += 1 << order;
+        }
+        a
+    }
+
+    /// First frame covered (inclusive).
+    pub fn start(&self) -> Pfn {
+        Pfn(self.start)
+    }
+
+    /// One past the last frame covered (exclusive).
+    pub fn end(&self) -> Pfn {
+        Pfn(self.end)
+    }
+
+    /// Number of currently free frames.
+    pub fn free_pages(&self) -> u64 {
+        self.free_pages
+    }
+
+    /// Total frames managed.
+    pub fn total_pages(&self) -> u64 {
+        self.end - self.start
+    }
+
+    /// Whether `pfn` lies in the managed range.
+    pub fn contains(&self, pfn: Pfn) -> bool {
+        (self.start..self.end).contains(&pfn.0)
+    }
+
+    /// Largest order with a free block, or `None` if empty.
+    pub fn largest_free_order(&self) -> Option<u8> {
+        (0..MAX_ORDER).rev().find(|&o| !self.free_lists[o as usize].is_empty())
+    }
+
+    /// Allocates a naturally aligned block of `2^order` frames.
+    ///
+    /// # Errors
+    ///
+    /// - [`AllocError::OrderTooLarge`] if `order >= MAX_ORDER`;
+    /// - [`AllocError::OutOfMemory`] (with a placeholder zone kind filled in
+    ///   by the caller) is *not* produced here; an exhausted allocator
+    ///   returns `Ok(None)`-like behavior via `Err(AllocError::OutOfMemory)`
+    ///   with [`ZoneKind::Normal`](crate::ZoneKind) — zone-level callers
+    ///   re-tag it.
+    pub fn alloc(&mut self, order: u8) -> Result<Pfn, AllocError> {
+        if order >= MAX_ORDER {
+            return Err(AllocError::OrderTooLarge { order });
+        }
+        // Find the smallest order with a free block.
+        let mut have = order;
+        while (have as usize) < self.free_lists.len() && self.free_lists[have as usize].is_empty()
+        {
+            have += 1;
+        }
+        if have >= MAX_ORDER {
+            return Err(AllocError::OutOfMemory { zone: crate::ZoneKind::Normal, order });
+        }
+        let block = *self.free_lists[have as usize].iter().next().expect("nonempty");
+        self.free_lists[have as usize].remove(&block);
+        // Split down to the requested order, freeing upper halves.
+        let mut current = have;
+        while current > order {
+            current -= 1;
+            let buddy = block + (1u64 << current);
+            self.free_lists[current as usize].insert(buddy);
+        }
+        self.allocated.insert(block, order);
+        self.free_pages -= 1 << order;
+        Ok(Pfn(block))
+    }
+
+    /// Frees a block previously returned by [`alloc`](Self::alloc),
+    /// coalescing with free buddies.
+    ///
+    /// # Errors
+    ///
+    /// - [`AllocError::NotAllocated`] if `pfn` is not an allocated block
+    ///   start;
+    /// - [`AllocError::OrderMismatch`] if the order differs from the
+    ///   allocation.
+    pub fn free(&mut self, pfn: Pfn, order: u8) -> Result<(), AllocError> {
+        match self.allocated.get(&pfn.0) {
+            None => return Err(AllocError::NotAllocated { pfn }),
+            Some(&a) if a != order => {
+                return Err(AllocError::OrderMismatch { pfn, allocated: a, freed: order })
+            }
+            Some(_) => {}
+        }
+        self.allocated.remove(&pfn.0);
+        self.free_pages += 1 << order;
+        let mut block = pfn.0;
+        let mut order = order;
+        while order + 1 < MAX_ORDER {
+            let buddy = block ^ (1u64 << order);
+            // The buddy must be wholly inside the range and free at the
+            // same order to coalesce.
+            if buddy < self.start
+                || buddy + (1 << order) > self.end
+                || !self.free_lists[order as usize].remove(&buddy)
+            {
+                break;
+            }
+            block = block.min(buddy);
+            order += 1;
+        }
+        self.free_lists[order as usize].insert(block);
+        Ok(())
+    }
+
+    /// Number of live allocations (for leak checks in tests).
+    pub fn allocated_blocks(&self) -> usize {
+        self.allocated.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_allocator_is_fully_free() {
+        let b = BuddyAllocator::new(Pfn(0), Pfn(1024));
+        assert_eq!(b.free_pages(), 1024);
+        assert_eq!(b.total_pages(), 1024);
+        assert_eq!(b.largest_free_order(), Some(MAX_ORDER - 1));
+    }
+
+    #[test]
+    fn alloc_free_round_trip_restores_state() {
+        let mut b = BuddyAllocator::new(Pfn(0), Pfn(1024));
+        let before = b.clone();
+        let p = b.alloc(3).unwrap();
+        assert_eq!(b.free_pages(), 1024 - 8);
+        b.free(p, 3).unwrap();
+        assert_eq!(b, before, "coalescing must fully restore the initial state");
+    }
+
+    #[test]
+    fn allocations_are_naturally_aligned() {
+        let mut b = BuddyAllocator::new(Pfn(0), Pfn(1024));
+        for order in 0..MAX_ORDER {
+            let p = b.alloc(order).unwrap();
+            assert_eq!(p.0 % (1 << order), 0, "order {order} block misaligned");
+            b.free(p, order).unwrap();
+        }
+    }
+
+    #[test]
+    fn alloc_exhaustion() {
+        let mut b = BuddyAllocator::new(Pfn(0), Pfn(4));
+        let mut pages = Vec::new();
+        for _ in 0..4 {
+            pages.push(b.alloc(0).unwrap());
+        }
+        assert!(matches!(b.alloc(0), Err(AllocError::OutOfMemory { .. })));
+        assert_eq!(b.free_pages(), 0);
+        for p in pages {
+            b.free(p, 0).unwrap();
+        }
+        assert_eq!(b.free_pages(), 4);
+    }
+
+    #[test]
+    fn double_free_rejected() {
+        let mut b = BuddyAllocator::new(Pfn(0), Pfn(16));
+        let p = b.alloc(1).unwrap();
+        b.free(p, 1).unwrap();
+        assert!(matches!(b.free(p, 1), Err(AllocError::NotAllocated { .. })));
+    }
+
+    #[test]
+    fn wrong_order_free_rejected() {
+        let mut b = BuddyAllocator::new(Pfn(0), Pfn(16));
+        let p = b.alloc(2).unwrap();
+        assert!(matches!(
+            b.free(p, 1),
+            Err(AllocError::OrderMismatch { allocated: 2, freed: 1, .. })
+        ));
+        b.free(p, 2).unwrap();
+    }
+
+    #[test]
+    fn order_too_large_rejected() {
+        let mut b = BuddyAllocator::new(Pfn(0), Pfn(16));
+        assert!(matches!(b.alloc(MAX_ORDER), Err(AllocError::OrderTooLarge { .. })));
+    }
+
+    #[test]
+    fn unaligned_range_is_covered_exactly() {
+        let b = BuddyAllocator::new(Pfn(3), Pfn(21));
+        assert_eq!(b.free_pages(), 18);
+        assert!(b.contains(Pfn(3)));
+        assert!(b.contains(Pfn(20)));
+        assert!(!b.contains(Pfn(21)));
+        assert!(!b.contains(Pfn(2)));
+    }
+
+    #[test]
+    fn unaligned_range_allocations_stay_in_range() {
+        let mut b = BuddyAllocator::new(Pfn(3), Pfn(21));
+        let mut got = Vec::new();
+        while let Ok(p) = b.alloc(0) {
+            assert!((3..21).contains(&p.0));
+            got.push(p.0);
+        }
+        got.sort_unstable();
+        assert_eq!(got, (3..21).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn split_then_coalesce_across_many_orders() {
+        let mut b = BuddyAllocator::new(Pfn(0), Pfn(256));
+        let initial = b.clone();
+        let mut blocks = Vec::new();
+        // Fragment the arena with mixed orders, then free in reverse.
+        for order in [0u8, 4, 2, 0, 6, 1, 3] {
+            blocks.push((b.alloc(order).unwrap(), order));
+        }
+        for (p, o) in blocks.into_iter().rev() {
+            b.free(p, o).unwrap();
+        }
+        assert_eq!(b, initial);
+    }
+
+    #[test]
+    fn lowest_address_first_policy() {
+        let mut b = BuddyAllocator::new(Pfn(0), Pfn(64));
+        let a = b.alloc(0).unwrap();
+        let c = b.alloc(0).unwrap();
+        assert!(a < c, "allocation order should ascend from the bottom");
+        assert_eq!(a, Pfn(0));
+    }
+}

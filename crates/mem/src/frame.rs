@@ -1,0 +1,91 @@
+use std::fmt;
+
+/// Page size in bytes (x86-64 base pages).
+pub const PAGE_SIZE: u64 = 4096;
+
+/// A physical byte address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct PhysAddr(pub u64);
+
+impl PhysAddr {
+    /// The page frame containing this address.
+    pub fn pfn(self) -> Pfn {
+        Pfn(self.0 / PAGE_SIZE)
+    }
+
+    /// Whether the address is page-aligned.
+    pub fn is_page_aligned(self) -> bool {
+        self.0 % PAGE_SIZE == 0
+    }
+
+    /// Byte offset within the page.
+    pub fn page_offset(self) -> u64 {
+        self.0 % PAGE_SIZE
+    }
+}
+
+impl fmt::Display for PhysAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+impl From<u64> for PhysAddr {
+    fn from(value: u64) -> Self {
+        PhysAddr(value)
+    }
+}
+
+/// A page frame number (physical address / [`PAGE_SIZE`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Pfn(pub u64);
+
+impl Pfn {
+    /// First byte address of the frame.
+    pub fn addr(self) -> PhysAddr {
+        PhysAddr(self.0 * PAGE_SIZE)
+    }
+
+    /// The frame `count` frames after this one.
+    pub fn offset(self, count: u64) -> Pfn {
+        Pfn(self.0 + count)
+    }
+}
+
+impl fmt::Display for Pfn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pfn#{}", self.0)
+    }
+}
+
+impl From<u64> for Pfn {
+    fn from(value: u64) -> Self {
+        Pfn(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn addr_pfn_round_trip() {
+        let a = PhysAddr(3 * PAGE_SIZE + 17);
+        assert_eq!(a.pfn(), Pfn(3));
+        assert_eq!(a.page_offset(), 17);
+        assert!(!a.is_page_aligned());
+        assert_eq!(Pfn(3).addr(), PhysAddr(3 * PAGE_SIZE));
+        assert!(Pfn(3).addr().is_page_aligned());
+    }
+
+    #[test]
+    fn pfn_offset() {
+        assert_eq!(Pfn(5).offset(3), Pfn(8));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(PhysAddr(0x1000).to_string(), "0x1000");
+        assert_eq!(Pfn(7).to_string(), "pfn#7");
+    }
+}

@@ -1,0 +1,49 @@
+//! Page-size-bit screening scan (paper section 7) — see
+//! `cta-core::screening` for the full rationale. The implementation lives
+//! here so the kernel can apply it at boot without a dependency cycle.
+
+use cta_dram::{DramError, DramModule, RowId};
+
+use crate::cta::{PtLevel, PtpLayout};
+use crate::frame::PAGE_SIZE;
+
+/// Bit position of the PS bit within a 64-bit entry.
+const PS_BIT: u64 = 7;
+
+/// Scans the PD- and PDPT-level sub-zones of `layout` (and untagged
+/// sub-zones, which may host any level) for frames with a vulnerable
+/// PS-bit cell in any of their 512 entry slots. Returns the page addresses
+/// that must not host high-level tables.
+///
+/// # Errors
+///
+/// DRAM errors from the vulnerability scan.
+pub fn screen_page_size_bit(
+    module: &mut DramModule,
+    layout: &PtpLayout,
+) -> Result<Vec<u64>, DramError> {
+    let row_bytes = module.geometry().row_bytes();
+    let mut out = Vec::new();
+    for (range, level) in layout.subzones() {
+        let screenable = matches!(level, Some(PtLevel::Pd) | Some(PtLevel::Pdpt) | None);
+        if !screenable {
+            continue;
+        }
+        let mut page = range.start;
+        while page < range.end {
+            let row = RowId(page / row_bytes);
+            let page_bit_base = (page % row_bytes) * 8;
+            let vulnerable = module.vulnerable_bits(row)?;
+            let exploitable = vulnerable.iter().any(|vb| {
+                vb.bit >= page_bit_base
+                    && vb.bit < page_bit_base + PAGE_SIZE * 8
+                    && (vb.bit - page_bit_base) % 64 == PS_BIT
+            });
+            if exploitable {
+                out.push(page);
+            }
+            page += PAGE_SIZE;
+        }
+    }
+    Ok(out)
+}

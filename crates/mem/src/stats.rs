@@ -1,0 +1,62 @@
+use std::fmt;
+
+/// Per-zone allocation counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ZoneStats {
+    /// Successful block allocations.
+    pub allocations: u64,
+    /// Frames handed out (sum of `2^order`).
+    pub pages_allocated: u64,
+    /// Block frees.
+    pub frees: u64,
+    /// Frames returned.
+    pub pages_freed: u64,
+    /// Allocation attempts that found no block in this zone.
+    pub failures: u64,
+}
+
+impl fmt::Display for ZoneStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "allocs={} pages={} frees={} failures={}",
+            self.allocations, self.pages_allocated, self.frees, self.failures
+        )
+    }
+}
+
+/// System-wide allocation counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AllocStats {
+    /// Requests served by the first-choice zone.
+    pub primary_hits: u64,
+    /// Requests served by a fallback zone further down the zonelist.
+    pub fallbacks: u64,
+    /// Requests that failed in every eligible zone.
+    pub failures: u64,
+    /// `__GFP_PTP` requests served.
+    pub ptp_allocations: u64,
+    /// `__GFP_PTP` requests that failed (no fallback is permitted).
+    pub ptp_failures: u64,
+}
+
+impl fmt::Display for AllocStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "primary={} fallback={} failed={} ptp={} ptp_failed={}",
+            self.primary_hits, self.fallbacks, self.failures, self.ptp_allocations, self.ptp_failures
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_nonempty() {
+        assert!(!ZoneStats::default().to_string().is_empty());
+        assert!(!AllocStats::default().to_string().is_empty());
+    }
+}

@@ -1,0 +1,104 @@
+use std::fmt;
+
+use cta_mem::PtLevel;
+
+/// A canonical x86-64 virtual address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct VirtAddr(pub u64);
+
+impl VirtAddr {
+    /// The 9-bit table index this address selects at `level`.
+    ///
+    /// PML4: bits 39–47, PDPT: 30–38, PD: 21–29, PT: 12–20.
+    pub fn index(self, level: PtLevel) -> u64 {
+        let shift = match level {
+            PtLevel::Pml4 => 39,
+            PtLevel::Pdpt => 30,
+            PtLevel::Pd => 21,
+            PtLevel::Pt => 12,
+        };
+        (self.0 >> shift) & 0x1FF
+    }
+
+    /// Byte offset within a 4 KiB page.
+    pub fn page_offset(self) -> u64 {
+        self.0 & 0xFFF
+    }
+
+    /// Byte offset within the huge page mapped at `level` (2 MiB at PD,
+    /// 1 GiB at PDPT).
+    pub fn huge_offset(self, level: PtLevel) -> u64 {
+        match level {
+            PtLevel::Pd => self.0 & 0x1F_FFFF,
+            PtLevel::Pdpt => self.0 & 0x3FFF_FFFF,
+            _ => self.page_offset(),
+        }
+    }
+
+    /// The address rounded down to its page base.
+    pub fn page_base(self) -> VirtAddr {
+        VirtAddr(self.0 & !0xFFF)
+    }
+
+    /// The virtual page number.
+    pub fn vpn(self) -> u64 {
+        self.0 >> 12
+    }
+
+    /// The address `bytes` later.
+    pub fn offset(self, bytes: u64) -> VirtAddr {
+        VirtAddr(self.0 + bytes)
+    }
+}
+
+impl fmt::Display for VirtAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+impl From<u64> for VirtAddr {
+    fn from(value: u64) -> Self {
+        VirtAddr(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_extraction() {
+        // Construct an address with distinct indices per level.
+        let va = VirtAddr((1u64 << 39) | (2 << 30) | (3 << 21) | (4 << 12) | 0x123);
+        assert_eq!(va.index(PtLevel::Pml4), 1);
+        assert_eq!(va.index(PtLevel::Pdpt), 2);
+        assert_eq!(va.index(PtLevel::Pd), 3);
+        assert_eq!(va.index(PtLevel::Pt), 4);
+        assert_eq!(va.page_offset(), 0x123);
+    }
+
+    #[test]
+    fn indices_are_nine_bits() {
+        let va = VirtAddr(u64::MAX);
+        for level in PtLevel::ALL {
+            assert_eq!(va.index(level), 0x1FF);
+        }
+    }
+
+    #[test]
+    fn huge_offsets() {
+        let va = VirtAddr(0x4030_2010);
+        assert_eq!(va.huge_offset(PtLevel::Pd), 0x4030_2010 & 0x1F_FFFF);
+        assert_eq!(va.huge_offset(PtLevel::Pdpt), 0x4030_2010 & 0x3FFF_FFFF);
+        assert_eq!(va.huge_offset(PtLevel::Pt), va.page_offset());
+    }
+
+    #[test]
+    fn page_base_and_vpn() {
+        let va = VirtAddr(0x5432);
+        assert_eq!(va.page_base(), VirtAddr(0x5000));
+        assert_eq!(va.vpn(), 5);
+        assert_eq!(va.offset(0x1000).vpn(), 6);
+    }
+}

@@ -1,0 +1,1428 @@
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+use cta_dram::{profile_cell_types, CellTypeMap, DramConfig, DramModule, ProfilerConfig, RowId};
+use cta_mem::{
+    GfpFlags, MemoryMap, Pfn, PtLevel, PtpLayout, PtpSpec, ZonedAllocator, PAGE_SIZE,
+};
+
+use crate::addr::VirtAddr;
+use crate::error::VmError;
+use crate::file::{FileId, FileObject};
+use crate::pte::{Pte, PteFlags};
+use crate::tlb::{Tlb, TlbEntry};
+use crate::walker::{Access, Walker};
+
+/// Process identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Pid(pub u64);
+
+impl fmt::Display for Pid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pid#{}", self.0)
+    }
+}
+
+/// Who owns a physical frame — the ground truth the exploit checker uses to
+/// decide whether an attacker escaped its sandbox.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameOwner {
+    /// Kernel-private data.
+    Kernel,
+    /// A page-table page of some process.
+    PageTable {
+        /// Owning process.
+        pid: Pid,
+        /// Which level of the hierarchy the page serves.
+        level: PtLevel,
+    },
+    /// An anonymous user page.
+    Anonymous {
+        /// Owning process.
+        pid: Pid,
+    },
+    /// A page backing a file object.
+    File {
+        /// The file.
+        id: FileId,
+    },
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum MappingKind {
+    Anonymous { pfn: Pfn },
+    File { id: FileId, page_index: usize },
+    /// A kernel-owned frame mapped into user space (double-owned page,
+    /// e.g. a video buffer — the CATT bypass of section 2.5).
+    SharedKernel { pfn: Pfn },
+}
+
+/// Size of a huge (PD-level) page: 2 MiB.
+pub const HUGE_PAGE_SIZE: u64 = 2 << 20;
+
+/// A user process: its page-table root and mapping bookkeeping.
+#[derive(Debug, Clone)]
+pub struct Process {
+    pid: Pid,
+    trusted: bool,
+    cr3: Pfn,
+    mappings: BTreeMap<u64, MappingKind>,
+    huge_mappings: BTreeMap<u64, Pfn>,
+    pt_pages: Vec<(Pfn, PtLevel)>,
+}
+
+impl Process {
+    /// The process id.
+    pub fn pid(&self) -> Pid {
+        self.pid
+    }
+
+    /// Whether the process is trusted (may receive trusted-stripe frames).
+    pub fn trusted(&self) -> bool {
+        self.trusted
+    }
+
+    /// Physical frame of the PML4 root.
+    pub fn cr3(&self) -> Pfn {
+        self.cr3
+    }
+
+    /// Page-table pages owned by the process, with their levels.
+    pub fn pt_pages(&self) -> &[(Pfn, PtLevel)] {
+        &self.pt_pages
+    }
+
+    /// Number of live 4 KiB page mappings.
+    pub fn mapping_count(&self) -> usize {
+        self.mappings.len()
+    }
+
+    /// Number of live 2 MiB huge mappings.
+    pub fn huge_mapping_count(&self) -> usize {
+        self.huge_mappings.len()
+    }
+
+    /// Virtual bases of the live huge mappings.
+    pub fn huge_mapped_bases(&self) -> impl Iterator<Item = VirtAddr> + '_ {
+        self.huge_mappings.keys().map(|va| VirtAddr(*va))
+    }
+
+    /// Virtual page bases currently mapped.
+    pub fn mapped_pages(&self) -> impl Iterator<Item = VirtAddr> + '_ {
+        self.mappings.keys().map(|va| VirtAddr(*va))
+    }
+}
+
+/// One page-table entry found by [`Kernel::iter_pt_entries`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PteRecord {
+    /// Hierarchy level of the table holding the entry.
+    pub level: PtLevel,
+    /// Frame of the table page.
+    pub table: Pfn,
+    /// Physical byte address of the entry itself.
+    pub entry_addr: u64,
+    /// The entry's current value (read without disturbing the simulation).
+    pub pte: Pte,
+}
+
+/// Kernel-level counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct KernelStats {
+    /// Page-table pages allocated via `pte_alloc`.
+    pub pt_pages_allocated: u64,
+    /// User data pages allocated.
+    pub user_pages_allocated: u64,
+    /// Leaf mappings installed.
+    pub maps: u64,
+    /// Leaf mappings removed.
+    pub unmaps: u64,
+    /// Page-table walks performed (TLB misses).
+    pub walks: u64,
+}
+
+/// Configuration of a simulated machine.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelConfig {
+    /// The DRAM module to boot on.
+    pub dram: DramConfig,
+    /// Enable CTA with this `ZONE_PTP` spec (None = stock kernel).
+    pub cta: Option<PtpSpec>,
+    /// Identify cell types with the boot-time profiler (section 2.2) instead
+    /// of consulting the module's ground truth. Slower, but exercises the
+    /// full system path.
+    pub profile_cells: bool,
+    /// TLB capacity in entries.
+    pub tlb_entries: usize,
+    /// Override the cell-type map used for `ZONE_PTP` construction — for
+    /// misconfiguration experiments such as the paper's anti-cell-only
+    /// baseline (section 5). `None` uses the profiler or ground truth.
+    pub cell_map_override: Option<CellTypeMap>,
+    /// Apply the section 7 page-size-bit screen at boot: frames with
+    /// vulnerable PS-bit cells are excluded from the high-level-table
+    /// sub-zones of `ZONE_PTP`.
+    pub screen_ps_bit: bool,
+    /// Use an externally constructed memory map instead of deriving one —
+    /// how a hypervisor hands a guest its assigned `ZONE_PTP` slice
+    /// (section 7). Takes precedence over `cta`.
+    pub memory_map_override: Option<MemoryMap>,
+}
+
+impl KernelConfig {
+    /// A small machine for tests: 8 MiB of DRAM in 4 KiB rows (one page per
+    /// row), cell types alternating every 64 rows, no CTA.
+    pub fn small_test() -> Self {
+        use cta_dram::{AddressMapping, CellLayout, CellType, DisturbanceParams, DramGeometry};
+        let geometry = DramGeometry::new(4096, 2048, 1, AddressMapping::RowLinear);
+        let dram = DramConfig {
+            geometry,
+            layout: CellLayout::Alternating { period_rows: 64, first: CellType::True },
+            disturbance: DisturbanceParams { pf: 0.02, ..DisturbanceParams::default() },
+            retention: cta_dram::RetentionParams::default(),
+            refresh_interval_ns: 64_000_000,
+            seed: 0xBEEF,
+        };
+        KernelConfig {
+            dram,
+            cta: None,
+            profile_cells: false,
+            tlb_entries: 64,
+            cell_map_override: None,
+            screen_ps_bit: false,
+            memory_map_override: None,
+        }
+    }
+
+    /// The small test machine with CTA enabled (256 KiB `ZONE_PTP`).
+    pub fn small_test_cta() -> Self {
+        KernelConfig {
+            cta: Some(PtpSpec::paper_default().with_size(256 * 1024)),
+            ..Self::small_test()
+        }
+    }
+
+    /// Builder-style CTA override.
+    pub fn with_cta(mut self, spec: PtpSpec) -> Self {
+        self.cta = Some(spec);
+        self
+    }
+}
+
+/// The miniature operating system tying DRAM, the zoned allocator, and the
+/// MMU together.
+///
+/// The kernel's `pte_alloc` is the site of the paper's 18-line patch: with
+/// CTA enabled every page-table page is requested with `__GFP_PTP` and thus
+/// lands in a true-cell sub-zone above the low water mark; without CTA the
+/// request is ordinary `GFP_KERNEL` and page tables mix freely with data —
+/// the precondition of every PTE-based privilege-escalation attack.
+pub struct Kernel {
+    dram: DramModule,
+    alloc: ZonedAllocator,
+    walker: Walker,
+    tlb: Tlb,
+    processes: BTreeMap<u64, Process>,
+    files: BTreeMap<u64, FileObject>,
+    owners: HashMap<u64, FrameOwner>,
+    next_pid: u64,
+    next_file: u64,
+    stats: KernelStats,
+    multi_level: bool,
+    secret: Option<(Pfn, [u8; 16])>,
+}
+
+impl fmt::Debug for Kernel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Kernel")
+            .field("processes", &self.processes.len())
+            .field("files", &self.files.len())
+            .field("cta", &self.alloc.cta_enabled())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl Kernel {
+    /// Boots a machine: builds the DRAM module, (optionally) profiles cell
+    /// types, lays out zones, and initializes the allocator.
+    ///
+    /// # Errors
+    ///
+    /// Propagates DRAM errors from profiling and allocation errors from an
+    /// infeasible `ZONE_PTP` spec.
+    pub fn new(config: KernelConfig) -> Result<Self, VmError> {
+        let mut dram = DramModule::new(config.dram.clone());
+        let total_bytes = dram.capacity_bytes();
+        let map = if let Some(map) = config.memory_map_override.clone() {
+            assert_eq!(
+                map.total_bytes(),
+                total_bytes,
+                "memory map override must match DRAM capacity"
+            );
+            map
+        } else {
+            match &config.cta {
+            None => MemoryMap::x86_64(total_bytes),
+            Some(spec) => {
+                let cells: CellTypeMap = if let Some(map) = config.cell_map_override.clone() {
+                    map
+                } else if config.profile_cells {
+                    profile_cell_types(&mut dram, &ProfilerConfig::default())?.map
+                } else {
+                    dram.ground_truth_cell_map()
+                };
+                let mut layout = PtpLayout::build(&cells, total_bytes, spec)?;
+                if config.screen_ps_bit {
+                    let screened = cta_mem::screen_page_size_bit(&mut dram, &layout)?;
+                    layout = layout.with_screened_pages(&screened);
+                }
+                MemoryMap::x86_64(total_bytes).with_cta(layout)
+            }
+            }
+        };
+        let multi_level = config.cta.as_ref().map(|s| s.multi_level).unwrap_or(false);
+        let mut kernel = Kernel {
+            dram,
+            alloc: ZonedAllocator::new(map),
+            walker: Walker::new(),
+            tlb: Tlb::new(config.tlb_entries),
+            processes: BTreeMap::new(),
+            files: BTreeMap::new(),
+            owners: HashMap::new(),
+            next_pid: 1,
+            next_file: 1,
+            stats: KernelStats::default(),
+            multi_level,
+            secret: None,
+        };
+        // Reserve the zero frame so that pfn 0 never appears in a PTE, and
+        // plant the kernel secret used to verify privilege escalation.
+        let zero = kernel.alloc.alloc_page(GfpFlags::KERNEL)?;
+        kernel.owners.insert(zero.0, FrameOwner::Kernel);
+        let secret_pfn = kernel.alloc.alloc_page(GfpFlags::KERNEL)?;
+        kernel.owners.insert(secret_pfn.0, FrameOwner::Kernel);
+        let pattern = *b"KERNEL-SECRET-#1";
+        kernel.dram.write(secret_pfn.addr().0, &pattern)?;
+        kernel.secret = Some((secret_pfn, pattern));
+        Ok(kernel)
+    }
+
+    // ------------------------------------------------------------------
+    // Accessors
+    // ------------------------------------------------------------------
+
+    /// The DRAM module (experimenter oracle — simulated software cannot see
+    /// this).
+    pub fn dram(&self) -> &DramModule {
+        &self.dram
+    }
+
+    /// Mutable DRAM access, for driving hammer primitives and fault
+    /// injection from attack/experiment code.
+    pub fn dram_mut(&mut self) -> &mut DramModule {
+        &mut self.dram
+    }
+
+    /// The zoned allocator.
+    pub fn allocator(&self) -> &ZonedAllocator {
+        &self.alloc
+    }
+
+    /// Whether CTA is active.
+    pub fn cta_enabled(&self) -> bool {
+        self.alloc.cta_enabled()
+    }
+
+    /// The active `ZONE_PTP` layout, if CTA is on.
+    pub fn ptp_layout(&self) -> Option<&PtpLayout> {
+        self.alloc.ptp_layout()
+    }
+
+    /// Kernel counters.
+    pub fn stats(&self) -> KernelStats {
+        self.stats
+    }
+
+    /// TLB counters.
+    pub fn tlb_stats(&self) -> crate::tlb::TlbStats {
+        self.tlb.stats()
+    }
+
+    /// A process by pid.
+    ///
+    /// # Errors
+    ///
+    /// [`VmError::NoSuchProcess`] if it does not exist.
+    pub fn process(&self, pid: Pid) -> Result<&Process, VmError> {
+        self.processes.get(&pid.0).ok_or(VmError::NoSuchProcess { pid })
+    }
+
+    /// All live pids.
+    pub fn pids(&self) -> Vec<Pid> {
+        self.processes.keys().map(|p| Pid(*p)).collect()
+    }
+
+    /// Owner of a physical frame, if tracked.
+    pub fn frame_owner(&self, pfn: Pfn) -> Option<FrameOwner> {
+        self.owners.get(&pfn.0).copied()
+    }
+
+    /// The kernel secret planted at boot: its frame and its 16-byte
+    /// content. An attacker that can read or overwrite this page through
+    /// its own mappings has escalated privileges.
+    pub fn kernel_secret(&self) -> (Pfn, [u8; 16]) {
+        self.secret.expect("planted at boot")
+    }
+
+    /// A file object by id.
+    ///
+    /// # Errors
+    ///
+    /// [`VmError::NoSuchFile`] if it does not exist.
+    pub fn file(&self, id: FileId) -> Result<&FileObject, VmError> {
+        self.files.get(&id.0).ok_or(VmError::NoSuchFile)
+    }
+
+    // ------------------------------------------------------------------
+    // Process and memory management
+    // ------------------------------------------------------------------
+
+    /// Creates a process, allocating its PML4 root (via `pte_alloc`, so the
+    /// root obeys CTA placement too).
+    ///
+    /// # Errors
+    ///
+    /// Allocation failure.
+    pub fn create_process(&mut self, trusted: bool) -> Result<Pid, VmError> {
+        let pid = Pid(self.next_pid);
+        self.next_pid += 1;
+        self.processes.insert(
+            pid.0,
+            Process {
+                pid,
+                trusted,
+                cr3: Pfn(0),
+                mappings: BTreeMap::new(),
+                huge_mappings: BTreeMap::new(),
+                pt_pages: Vec::new(),
+            },
+        );
+        let cr3 = self.pte_alloc(pid, PtLevel::Pml4)?;
+        self.processes.get_mut(&pid.0).expect("just inserted").cr3 = cr3;
+        Ok(pid)
+    }
+
+    /// Destroys a process, returning its page tables and anonymous pages to
+    /// the allocator.
+    ///
+    /// # Errors
+    ///
+    /// [`VmError::NoSuchProcess`]; allocator errors on inconsistent state.
+    pub fn destroy_process(&mut self, pid: Pid) -> Result<(), VmError> {
+        let proc = self.processes.remove(&pid.0).ok_or(VmError::NoSuchProcess { pid })?;
+        for (va, kind) in &proc.mappings {
+            match kind {
+                MappingKind::Anonymous { pfn } => {
+                    self.owners.remove(&pfn.0);
+                    self.alloc.free_pages(*pfn, 0)?;
+                }
+                MappingKind::File { id, .. } => {
+                    if let Some(f) = self.files.get_mut(&id.0) {
+                        f.remove_mapping();
+                    }
+                }
+                // Kernel keeps ownership of shared pages.
+                MappingKind::SharedKernel { .. } => {}
+            }
+            let _ = va;
+        }
+        for (_, block) in &proc.huge_mappings {
+            for f in 0..HUGE_PAGE_SIZE / PAGE_SIZE {
+                self.owners.remove(&(block.0 + f));
+            }
+            self.alloc.free_pages(*block, 9)?;
+        }
+        for (pfn, _) in &proc.pt_pages {
+            self.owners.remove(&pfn.0);
+            self.alloc.free_pages(*pfn, 0)?;
+        }
+        self.tlb.flush_pid(pid);
+        Ok(())
+    }
+
+    /// Allocates one zeroed page-table page — **the paper's patch point**.
+    ///
+    /// With CTA: `__GFP_PTP` (optionally level-tagged), no fallback.
+    /// Without: plain `GFP_KERNEL`.
+    ///
+    /// # Errors
+    ///
+    /// Allocation failure ­— under CTA a full `ZONE_PTP` is a hard failure
+    /// (Rule 1 forbids falling back to ordinary zones).
+    pub fn pte_alloc(&mut self, pid: Pid, level: PtLevel) -> Result<Pfn, VmError> {
+        let gfp = if self.alloc.cta_enabled() {
+            if self.multi_level {
+                GfpFlags::ptp_for_level(level)
+            } else {
+                GfpFlags::PTP
+            }
+        } else {
+            GfpFlags::KERNEL.zeroed()
+        };
+        let pfn = self.alloc.alloc_page(gfp)?;
+        self.dram.fill(pfn.addr().0, PAGE_SIZE as usize, 0)?;
+        self.owners.insert(pfn.0, FrameOwner::PageTable { pid, level });
+        self.processes
+            .get_mut(&pid.0)
+            .ok_or(VmError::NoSuchProcess { pid })?
+            .pt_pages
+            .push((pfn, level));
+        self.stats.pt_pages_allocated += 1;
+        Ok(pfn)
+    }
+
+    /// Maps `va → pfn` in `pid`'s address space, growing the hierarchy as
+    /// needed. Internal: callers go through `mmap_*`.
+    fn map_page(&mut self, pid: Pid, va: VirtAddr, pfn: Pfn, flags: PteFlags) -> Result<(), VmError> {
+        let cr3 = self.process(pid)?.cr3();
+        let mut table = cr3.addr().0;
+        for (level, child) in
+            [(PtLevel::Pml4, PtLevel::Pdpt), (PtLevel::Pdpt, PtLevel::Pd), (PtLevel::Pd, PtLevel::Pt)]
+        {
+            let entry_addr = table + va.index(level) * 8;
+            let entry = Pte(self.dram.read_u64(entry_addr)?);
+            let next = if entry.present() {
+                entry.pfn().addr().0
+            } else {
+                let page = self.pte_alloc(pid, child)?;
+                self.dram.write_u64(entry_addr, Pte::new(page, PteFlags::table()).0)?;
+                page.addr().0
+            };
+            table = next;
+        }
+        let leaf_addr = table + va.index(PtLevel::Pt) * 8;
+        self.dram.write_u64(leaf_addr, Pte::new(pfn, flags).0)?;
+        self.tlb.flush_page(pid, va);
+        self.stats.maps += 1;
+        Ok(())
+    }
+
+    /// Maps `len` bytes of fresh zeroed anonymous memory at `va`.
+    ///
+    /// # Errors
+    ///
+    /// [`VmError::Unaligned`] for ragged arguments;
+    /// [`VmError::AlreadyMapped`] on overlap; allocation failures.
+    pub fn mmap_anonymous(
+        &mut self,
+        pid: Pid,
+        va: VirtAddr,
+        len: u64,
+        writable: bool,
+    ) -> Result<(), VmError> {
+        self.check_range(pid, va, len)?;
+        let trusted = self.process(pid)?.trusted();
+        let pages = len / PAGE_SIZE;
+        for i in 0..pages {
+            let page_va = va.offset(i * PAGE_SIZE);
+            let gfp = if trusted { GfpFlags::KERNEL } else { GfpFlags::HIGHUSER };
+            let pfn = self.alloc.alloc_page(gfp)?;
+            self.dram.fill(pfn.addr().0, PAGE_SIZE as usize, 0)?;
+            self.owners.insert(pfn.0, FrameOwner::Anonymous { pid });
+            self.stats.user_pages_allocated += 1;
+            let flags = if writable { PteFlags::user_data() } else { PteFlags::user_readonly() };
+            self.map_page(pid, page_va, pfn, flags)?;
+            self.processes
+                .get_mut(&pid.0)
+                .expect("checked")
+                .mappings
+                .insert(page_va.0, MappingKind::Anonymous { pfn });
+        }
+        Ok(())
+    }
+
+    /// Maps `len` bytes of fresh zeroed memory at `va` using 2 MiB huge
+    /// pages (PD-level entries with the PS bit set — the section 7
+    /// multiple-page-size scenario).
+    ///
+    /// # Errors
+    ///
+    /// [`VmError::Unaligned`] unless `va` and `len` are 2 MiB aligned;
+    /// [`VmError::AlreadyMapped`] on overlap; allocation failures (each
+    /// huge page needs an order-9 physically contiguous block).
+    pub fn mmap_huge(
+        &mut self,
+        pid: Pid,
+        va: VirtAddr,
+        len: u64,
+        writable: bool,
+    ) -> Result<(), VmError> {
+        if va.0 % HUGE_PAGE_SIZE != 0 {
+            return Err(VmError::Unaligned { value: va.0 });
+        }
+        if len == 0 || len % HUGE_PAGE_SIZE != 0 {
+            return Err(VmError::Unaligned { value: len });
+        }
+        self.check_range(pid, va, len)?;
+        for i in 0..len / HUGE_PAGE_SIZE {
+            let chunk_va = va.offset(i * HUGE_PAGE_SIZE);
+            let block = self.alloc.alloc_pages(GfpFlags::HIGHUSER, 9)?;
+            self.dram.fill(block.addr().0, HUGE_PAGE_SIZE as usize, 0)?;
+            for f in 0..HUGE_PAGE_SIZE / PAGE_SIZE {
+                self.owners.insert(block.0 + f, FrameOwner::Anonymous { pid });
+            }
+            self.stats.user_pages_allocated += HUGE_PAGE_SIZE / PAGE_SIZE;
+            let mut flags =
+                if writable { PteFlags::user_data() } else { PteFlags::user_readonly() };
+            flags.huge = true;
+            self.map_huge_entry(pid, chunk_va, block, flags)?;
+            self.processes
+                .get_mut(&pid.0)
+                .expect("checked")
+                .huge_mappings
+                .insert(chunk_va.0, block);
+        }
+        Ok(())
+    }
+
+    /// Installs a PD-level huge entry for `va`, growing PML4/PDPT as needed.
+    fn map_huge_entry(
+        &mut self,
+        pid: Pid,
+        va: VirtAddr,
+        block: Pfn,
+        flags: PteFlags,
+    ) -> Result<(), VmError> {
+        let cr3 = self.process(pid)?.cr3();
+        let mut table = cr3.addr().0;
+        for (level, child) in [(PtLevel::Pml4, PtLevel::Pdpt), (PtLevel::Pdpt, PtLevel::Pd)] {
+            let entry_addr = table + va.index(level) * 8;
+            let entry = Pte(self.dram.read_u64(entry_addr)?);
+            let next = if entry.present() {
+                entry.pfn().addr().0
+            } else {
+                let page = self.pte_alloc(pid, child)?;
+                self.dram.write_u64(entry_addr, Pte::new(page, PteFlags::table()).0)?;
+                page.addr().0
+            };
+            table = next;
+        }
+        let pd_entry = table + va.index(PtLevel::Pd) * 8;
+        self.dram.write_u64(pd_entry, Pte::new(block, flags).0)?;
+        self.tlb.flush_page(pid, va);
+        self.stats.maps += 1;
+        Ok(())
+    }
+
+    /// Unmaps huge pages previously mapped with
+    /// [`mmap_huge`](Self::mmap_huge), freeing their blocks.
+    ///
+    /// # Errors
+    ///
+    /// Alignment errors; [`VmError::NotMapped`] if a chunk is not a live
+    /// huge mapping.
+    pub fn munmap_huge(&mut self, pid: Pid, va: VirtAddr, len: u64) -> Result<(), VmError> {
+        if va.0 % HUGE_PAGE_SIZE != 0 || len == 0 || len % HUGE_PAGE_SIZE != 0 {
+            return Err(VmError::Unaligned { value: va.0 | len });
+        }
+        for i in 0..len / HUGE_PAGE_SIZE {
+            let chunk_va = va.offset(i * HUGE_PAGE_SIZE);
+            let block = self
+                .processes
+                .get_mut(&pid.0)
+                .ok_or(VmError::NoSuchProcess { pid })?
+                .huge_mappings
+                .remove(&chunk_va.0)
+                .ok_or(VmError::NotMapped { va: chunk_va })?;
+            // Clear the PD entry.
+            let cr3 = self.process(pid)?.cr3();
+            let mut table = cr3.addr().0;
+            let mut present = true;
+            for level in [PtLevel::Pml4, PtLevel::Pdpt] {
+                let entry = Pte(self.dram.peek_u64(table + chunk_va.index(level) * 8)?);
+                if !entry.present() {
+                    present = false;
+                    break;
+                }
+                table = entry.pfn().addr().0;
+            }
+            if present {
+                self.dram.write_u64(table + chunk_va.index(PtLevel::Pd) * 8, Pte::EMPTY.0)?;
+            }
+            self.tlb.flush_page(pid, chunk_va);
+            self.stats.unmaps += 1;
+            for f in 0..HUGE_PAGE_SIZE / PAGE_SIZE {
+                self.owners.remove(&(block.0 + f));
+            }
+            self.alloc.free_pages(block, 9)?;
+        }
+        Ok(())
+    }
+
+    /// Allocates a kernel-owned page intended for sharing with user space
+    /// (a "double-owned" page like a video or DMA buffer).
+    ///
+    /// # Errors
+    ///
+    /// Allocation failures.
+    pub fn create_shared_kernel_page(&mut self) -> Result<Pfn, VmError> {
+        let pfn = self.alloc.alloc_page(GfpFlags::KERNEL)?;
+        self.dram.fill(pfn.addr().0, PAGE_SIZE as usize, 0)?;
+        self.owners.insert(pfn.0, FrameOwner::Kernel);
+        Ok(pfn)
+    }
+
+    /// Maps a kernel-owned shared page into a process's address space —
+    /// the double-owned-page mechanism CATT-style defenses overlook: the
+    /// page physically lives in *kernel* memory yet user code can access
+    /// (and hammer around) it.
+    ///
+    /// # Errors
+    ///
+    /// Alignment/overlap errors; the frame must be kernel-owned.
+    pub fn mmap_shared(
+        &mut self,
+        pid: Pid,
+        va: VirtAddr,
+        pfn: Pfn,
+        writable: bool,
+    ) -> Result<(), VmError> {
+        if !matches!(self.owners.get(&pfn.0), Some(FrameOwner::Kernel)) {
+            return Err(VmError::NotMapped { va });
+        }
+        self.check_range(pid, va, PAGE_SIZE)?;
+        let flags = if writable { PteFlags::user_data() } else { PteFlags::user_readonly() };
+        self.map_page(pid, va, pfn, flags)?;
+        self.processes
+            .get_mut(&pid.0)
+            .ok_or(VmError::NoSuchProcess { pid })?
+            .mappings
+            .insert(va.0, MappingKind::SharedKernel { pfn });
+        Ok(())
+    }
+
+    /// Creates a page-backed file object of `len` bytes (zero-filled).
+    ///
+    /// # Errors
+    ///
+    /// [`VmError::Unaligned`]; allocation failures.
+    pub fn create_file(&mut self, len: u64) -> Result<FileId, VmError> {
+        if len == 0 || len % PAGE_SIZE != 0 {
+            return Err(VmError::Unaligned { value: len });
+        }
+        let id = FileId(self.next_file);
+        self.next_file += 1;
+        let mut frames = Vec::with_capacity((len / PAGE_SIZE) as usize);
+        for _ in 0..len / PAGE_SIZE {
+            let pfn = self.alloc.alloc_page(GfpFlags::HIGHUSER)?;
+            self.dram.fill(pfn.addr().0, PAGE_SIZE as usize, 0)?;
+            self.owners.insert(pfn.0, FrameOwner::File { id });
+            frames.push(pfn);
+        }
+        self.files.insert(id.0, FileObject::new(id, frames));
+        Ok(id)
+    }
+
+    /// Maps a whole file at `va` (shared mapping — the spray primitive).
+    ///
+    /// # Errors
+    ///
+    /// [`VmError::NoSuchFile`], alignment/overlap errors, allocation
+    /// failures while growing page tables.
+    pub fn mmap_file(
+        &mut self,
+        pid: Pid,
+        va: VirtAddr,
+        file: FileId,
+        writable: bool,
+    ) -> Result<(), VmError> {
+        let frames: Vec<Pfn> =
+            self.files.get(&file.0).ok_or(VmError::NoSuchFile)?.frames().to_vec();
+        self.check_range(pid, va, frames.len() as u64 * PAGE_SIZE)?;
+        for (i, pfn) in frames.iter().enumerate() {
+            let page_va = va.offset(i as u64 * PAGE_SIZE);
+            let flags = if writable { PteFlags::user_data() } else { PteFlags::user_readonly() };
+            self.map_page(pid, page_va, *pfn, flags)?;
+            self.processes
+                .get_mut(&pid.0)
+                .expect("checked")
+                .mappings
+                .insert(page_va.0, MappingKind::File { id: file, page_index: i });
+        }
+        self.files.get_mut(&file.0).expect("checked").add_mapping();
+        Ok(())
+    }
+
+    /// Changes the writability of existing 4 KiB mappings (`mprotect`).
+    ///
+    /// # Errors
+    ///
+    /// Alignment errors; [`VmError::NotMapped`] if any page in the range is
+    /// not a live 4 KiB mapping.
+    pub fn mprotect(
+        &mut self,
+        pid: Pid,
+        va: VirtAddr,
+        len: u64,
+        writable: bool,
+    ) -> Result<(), VmError> {
+        if va.0 % PAGE_SIZE != 0 || len == 0 || len % PAGE_SIZE != 0 {
+            return Err(VmError::Unaligned { value: va.0 | len });
+        }
+        let cr3 = self.process(pid)?.cr3();
+        for i in 0..len / PAGE_SIZE {
+            let page_va = va.offset(i * PAGE_SIZE);
+            if !self.process(pid)?.mappings.contains_key(&page_va.0) {
+                return Err(VmError::NotMapped { va: page_va });
+            }
+            let leaf_addr = self
+                .leaf_entry_addr(cr3, page_va)?
+                .ok_or(VmError::NotMapped { va: page_va })?;
+            let mut pte = Pte(self.dram.read_u64(leaf_addr)?);
+            let mut flags = pte.flags();
+            flags.writable = writable;
+            pte = Pte::new(pte.pfn(), flags);
+            self.dram.write_u64(leaf_addr, pte.0)?;
+            self.tlb.flush_page(pid, page_va);
+        }
+        Ok(())
+    }
+
+    /// Unmaps `len` bytes at `va`, freeing anonymous frames.
+    ///
+    /// # Errors
+    ///
+    /// [`VmError::NotMapped`] if a page in the range is not mapped.
+    pub fn munmap(&mut self, pid: Pid, va: VirtAddr, len: u64) -> Result<(), VmError> {
+        if va.0 % PAGE_SIZE != 0 || len == 0 || len % PAGE_SIZE != 0 {
+            return Err(VmError::Unaligned { value: if len % PAGE_SIZE != 0 { len } else { va.0 } });
+        }
+        for i in 0..len / PAGE_SIZE {
+            let page_va = va.offset(i * PAGE_SIZE);
+            let kind = self
+                .processes
+                .get_mut(&pid.0)
+                .ok_or(VmError::NoSuchProcess { pid })?
+                .mappings
+                .remove(&page_va.0)
+                .ok_or(VmError::NotMapped { va: page_va })?;
+            // Clear the leaf PTE.
+            let cr3 = self.process(pid)?.cr3();
+            if let Some(leaf_addr) = self.leaf_entry_addr(cr3, page_va)? {
+                self.dram.write_u64(leaf_addr, Pte::EMPTY.0)?;
+            }
+            self.tlb.flush_page(pid, page_va);
+            self.stats.unmaps += 1;
+            match kind {
+                MappingKind::Anonymous { pfn } => {
+                    self.owners.remove(&pfn.0);
+                    self.alloc.free_pages(pfn, 0)?;
+                }
+                MappingKind::File { id, .. } => {
+                    if let Some(f) = self.files.get_mut(&id.0) {
+                        f.remove_mapping();
+                    }
+                }
+                // Kernel keeps ownership of shared pages.
+                MappingKind::SharedKernel { .. } => {}
+            }
+        }
+        Ok(())
+    }
+
+    fn check_range(&self, pid: Pid, va: VirtAddr, len: u64) -> Result<(), VmError> {
+        if va.0 % PAGE_SIZE != 0 {
+            return Err(VmError::Unaligned { value: va.0 });
+        }
+        if len == 0 || len % PAGE_SIZE != 0 {
+            return Err(VmError::Unaligned { value: len });
+        }
+        let proc = self.process(pid)?;
+        for i in 0..len / PAGE_SIZE {
+            let page = va.0 + i * PAGE_SIZE;
+            if proc.mappings.contains_key(&page) {
+                return Err(VmError::AlreadyMapped { va: VirtAddr(page) });
+            }
+        }
+        // Huge mappings cover 2 MiB each; reject any intersection.
+        for (base, _) in proc.huge_mappings.range(..va.0 + len) {
+            if base + HUGE_PAGE_SIZE > va.0 {
+                return Err(VmError::AlreadyMapped { va: VirtAddr(*base) });
+            }
+        }
+        Ok(())
+    }
+
+    /// Physical address of the leaf PTE for `va`, following the current
+    /// (possibly corrupted) tables. `None` if an intermediate level is not
+    /// present.
+    fn leaf_entry_addr(&self, cr3: Pfn, va: VirtAddr) -> Result<Option<u64>, VmError> {
+        let mut table = cr3.addr().0;
+        for level in [PtLevel::Pml4, PtLevel::Pdpt, PtLevel::Pd] {
+            let entry = Pte(self.dram.peek_u64(table + va.index(level) * 8)?);
+            if !entry.present() {
+                return Ok(None);
+            }
+            table = entry.pfn().addr().0;
+            if table + PAGE_SIZE > self.dram.capacity_bytes() {
+                return Ok(None);
+            }
+        }
+        Ok(Some(table + va.index(PtLevel::Pt) * 8))
+    }
+
+    // ------------------------------------------------------------------
+    // Translation and access
+    // ------------------------------------------------------------------
+
+    /// Translates `va` for `pid`, consulting the TLB first.
+    ///
+    /// # Errors
+    ///
+    /// Translation faults; [`VmError::NoSuchProcess`].
+    pub fn translate(&mut self, pid: Pid, va: VirtAddr, access: Access) -> Result<u64, VmError> {
+        if let Some(hit) = self.tlb.lookup(pid, va) {
+            let ok = (!access.write || hit.writable) && (!access.user || hit.user);
+            if ok {
+                return Ok(hit.page_base + va.page_offset());
+            }
+        }
+        let cr3 = self.process(pid)?.cr3();
+        let result = self.walker.walk(&mut self.dram, cr3.addr().0, va, access)?;
+        self.stats.walks += 1;
+        let leaf = result.trail.last().expect("walks have at least one entry").2;
+        self.tlb.insert(
+            pid,
+            va,
+            TlbEntry {
+                page_base: result.phys - va.page_offset(),
+                writable: leaf.writable(),
+                user: leaf.user(),
+            },
+        );
+        Ok(result.phys)
+    }
+
+    /// Reads virtual memory (page-crossing allowed).
+    ///
+    /// # Errors
+    ///
+    /// Translation faults, DRAM errors.
+    pub fn read_virt(
+        &mut self,
+        pid: Pid,
+        va: VirtAddr,
+        buf: &mut [u8],
+        access: Access,
+    ) -> Result<(), VmError> {
+        let mut off = 0usize;
+        while off < buf.len() {
+            let cur = va.offset(off as u64);
+            let phys = self.translate(pid, cur, access)?;
+            let in_page = (PAGE_SIZE - cur.page_offset()) as usize;
+            let take = in_page.min(buf.len() - off);
+            self.dram.read_into(phys, &mut buf[off..off + take])?;
+            off += take;
+        }
+        Ok(())
+    }
+
+    /// Writes virtual memory (page-crossing allowed).
+    ///
+    /// # Errors
+    ///
+    /// Translation faults, DRAM errors.
+    pub fn write_virt(
+        &mut self,
+        pid: Pid,
+        va: VirtAddr,
+        data: &[u8],
+        access: Access,
+    ) -> Result<(), VmError> {
+        let mut off = 0usize;
+        while off < data.len() {
+            let cur = va.offset(off as u64);
+            let phys = self.translate(pid, cur, access)?;
+            let in_page = (PAGE_SIZE - cur.page_offset()) as usize;
+            let take = in_page.min(data.len() - off);
+            self.dram.write(phys, &data[off..off + take])?;
+            off += take;
+        }
+        Ok(())
+    }
+
+    /// Flushes the entire TLB (what an attacker does between hammer reads).
+    pub fn flush_tlb(&mut self) {
+        self.tlb.flush_all();
+    }
+
+    /// The DRAM row backing `va` for `pid` — what repeated, cache-defeating
+    /// accesses to `va` end up activating.
+    ///
+    /// # Errors
+    ///
+    /// Translation faults.
+    pub fn row_of_virt(&mut self, pid: Pid, va: VirtAddr) -> Result<RowId, VmError> {
+        let phys = self.translate(pid, va, Access::user_read())?;
+        Ok(self.dram.geometry().row_of_addr(phys)?)
+    }
+
+    // ------------------------------------------------------------------
+    // Introspection for verification and experiments
+    // ------------------------------------------------------------------
+
+    /// Enumerates every page-table entry reachable from `pid`'s root,
+    /// read with the non-disturbing debug oracle.
+    ///
+    /// # Errors
+    ///
+    /// [`VmError::NoSuchProcess`].
+    pub fn iter_pt_entries(&self, pid: Pid) -> Result<Vec<PteRecord>, VmError> {
+        let proc = self.process(pid)?;
+        let mut out = Vec::new();
+        let mut frontier = vec![(proc.cr3(), PtLevel::Pml4)];
+        while let Some((table, level)) = frontier.pop() {
+            for i in 0..512u64 {
+                let entry_addr = table.addr().0 + i * 8;
+                let pte = Pte(self.dram.peek_u64(entry_addr)?);
+                if !pte.present() {
+                    continue;
+                }
+                out.push(PteRecord { level, table, entry_addr, pte });
+                if level != PtLevel::Pt && !pte.huge() {
+                    if let Some(child) = level_child(level) {
+                        // Only descend into frames registered as this
+                        // process's page table *of the expected level*:
+                        // corrupted entries may point at other tables (or
+                        // anywhere), and following them would mislabel
+                        // levels or loop.
+                        let is_expected_child = matches!(
+                            self.owners.get(&pte.pfn().0),
+                            Some(FrameOwner::PageTable { pid: p, level: l })
+                                if *p == pid && *l == child
+                        );
+                        if is_expected_child {
+                            frontier.push((pte.pfn(), child));
+                        }
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Enumerates every present entry of every *registered* page-table page
+    /// of `pid`, regardless of whether the page is still reachable from the
+    /// root — corruption of upper levels must not hide lower tables from
+    /// the verifier.
+    ///
+    /// # Errors
+    ///
+    /// [`VmError::NoSuchProcess`].
+    pub fn iter_pt_entries_exhaustive(&self, pid: Pid) -> Result<Vec<PteRecord>, VmError> {
+        let proc = self.process(pid)?;
+        let mut out = Vec::new();
+        for (table, level) in proc.pt_pages() {
+            for i in 0..512u64 {
+                let entry_addr = table.addr().0 + i * 8;
+                let pte = Pte(self.dram.peek_u64(entry_addr)?);
+                if pte.present() {
+                    out.push(PteRecord { level: *level, table: *table, entry_addr, pte });
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Simulated time, nanoseconds.
+    pub fn now_ns(&self) -> u64 {
+        self.dram.now_ns()
+    }
+}
+
+fn level_child(level: PtLevel) -> Option<PtLevel> {
+    match level {
+        PtLevel::Pml4 => Some(PtLevel::Pdpt),
+        PtLevel::Pdpt => Some(PtLevel::Pd),
+        PtLevel::Pd => Some(PtLevel::Pt),
+        PtLevel::Pt => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cta_mem::ZoneKind;
+
+    fn kernel() -> Kernel {
+        Kernel::new(KernelConfig::small_test()).unwrap()
+    }
+
+    fn cta_kernel() -> Kernel {
+        Kernel::new(KernelConfig::small_test_cta()).unwrap()
+    }
+
+    #[test]
+    fn boot_plants_secret() {
+        let k = kernel();
+        let (pfn, pattern) = k.kernel_secret();
+        assert_eq!(k.frame_owner(pfn), Some(FrameOwner::Kernel));
+        assert_eq!(k.dram().peek(pfn.addr().0, 16).unwrap(), pattern.to_vec());
+    }
+
+    #[test]
+    fn create_process_allocates_root() {
+        let mut k = kernel();
+        let pid = k.create_process(false).unwrap();
+        let proc = k.process(pid).unwrap();
+        assert_eq!(proc.pt_pages().len(), 1);
+        assert_eq!(proc.pt_pages()[0].1, PtLevel::Pml4);
+        assert_eq!(
+            k.frame_owner(proc.cr3()),
+            Some(FrameOwner::PageTable { pid, level: PtLevel::Pml4 })
+        );
+    }
+
+    #[test]
+    fn mmap_read_write_round_trip() {
+        let mut k = kernel();
+        let pid = k.create_process(false).unwrap();
+        let va = VirtAddr(0x10_0000);
+        k.mmap_anonymous(pid, va, 3 * PAGE_SIZE, true).unwrap();
+        let data: Vec<u8> = (0..=255).cycle().take(5000).map(|b: u8| b).collect();
+        k.write_virt(pid, va.offset(100), &data, Access::user_write()).unwrap();
+        let mut back = vec![0u8; data.len()];
+        k.read_virt(pid, va.offset(100), &mut back, Access::user_read()).unwrap();
+        assert_eq!(back, data);
+    }
+
+    #[test]
+    fn mapping_allocates_intermediate_tables() {
+        let mut k = kernel();
+        let pid = k.create_process(false).unwrap();
+        k.mmap_anonymous(pid, VirtAddr(0x10_0000), PAGE_SIZE, true).unwrap();
+        // PML4 + PDPT + PD + PT = 4 table pages.
+        assert_eq!(k.process(pid).unwrap().pt_pages().len(), 4);
+        // A second page in the same 2 MiB region reuses them.
+        k.mmap_anonymous(pid, VirtAddr(0x10_1000), PAGE_SIZE, true).unwrap();
+        assert_eq!(k.process(pid).unwrap().pt_pages().len(), 4);
+    }
+
+    #[test]
+    fn overlap_rejected() {
+        let mut k = kernel();
+        let pid = k.create_process(false).unwrap();
+        let va = VirtAddr(0x10_0000);
+        k.mmap_anonymous(pid, va, PAGE_SIZE, true).unwrap();
+        assert!(matches!(
+            k.mmap_anonymous(pid, va, PAGE_SIZE, true),
+            Err(VmError::AlreadyMapped { .. })
+        ));
+    }
+
+    #[test]
+    fn unaligned_rejected() {
+        let mut k = kernel();
+        let pid = k.create_process(false).unwrap();
+        assert!(matches!(
+            k.mmap_anonymous(pid, VirtAddr(0x123), PAGE_SIZE, true),
+            Err(VmError::Unaligned { .. })
+        ));
+        assert!(matches!(
+            k.mmap_anonymous(pid, VirtAddr(0x1000), 17, true),
+            Err(VmError::Unaligned { .. })
+        ));
+    }
+
+    #[test]
+    fn munmap_frees_and_unmaps() {
+        let mut k = kernel();
+        let pid = k.create_process(false).unwrap();
+        let va = VirtAddr(0x10_0000);
+        k.mmap_anonymous(pid, va, PAGE_SIZE, true).unwrap();
+        let free_before = k.allocator().free_page_count();
+        k.munmap(pid, va, PAGE_SIZE).unwrap();
+        assert_eq!(k.allocator().free_page_count(), free_before + 1);
+        assert!(matches!(
+            k.read_virt(pid, va, &mut [0u8; 1], Access::user_read()),
+            Err(VmError::Translate(_))
+        ));
+    }
+
+    #[test]
+    fn file_mapping_shares_frames() {
+        let mut k = kernel();
+        let pid = k.create_process(false).unwrap();
+        let file = k.create_file(2 * PAGE_SIZE).unwrap();
+        let va1 = VirtAddr(0x10_0000);
+        let va2 = VirtAddr(0x20_0000);
+        k.mmap_file(pid, va1, file, true).unwrap();
+        k.mmap_file(pid, va2, file, true).unwrap();
+        k.write_virt(pid, va1, b"shared!", Access::user_write()).unwrap();
+        let mut buf = [0u8; 7];
+        k.read_virt(pid, va2, &mut buf, Access::user_read()).unwrap();
+        assert_eq!(&buf, b"shared!");
+        assert_eq!(k.file(file).unwrap().mapping_count(), 2);
+    }
+
+    #[test]
+    fn user_cannot_read_kernel_secret_directly() {
+        let mut k = kernel();
+        let pid = k.create_process(false).unwrap();
+        // The secret frame is simply not mapped in the process.
+        let (pfn, _) = k.kernel_secret();
+        // Any attempt through a (nonexistent) mapping faults.
+        assert!(k
+            .read_virt(pid, VirtAddr(pfn.addr().0), &mut [0u8; 4], Access::user_read())
+            .is_err());
+    }
+
+    #[test]
+    fn cta_kernel_places_page_tables_above_mark() {
+        let mut k = cta_kernel();
+        let pid = k.create_process(false).unwrap();
+        k.mmap_anonymous(pid, VirtAddr(0x10_0000), 4 * PAGE_SIZE, true).unwrap();
+        let mark = k.ptp_layout().unwrap().low_water_mark();
+        for (pfn, _) in k.process(pid).unwrap().pt_pages() {
+            assert!(pfn.addr().0 >= mark, "page table {pfn} below the mark");
+        }
+        // And user pages below it.
+        for record in k.iter_pt_entries(pid).unwrap() {
+            if record.level == PtLevel::Pt {
+                assert!(record.pte.pfn().addr().0 < mark);
+            }
+        }
+    }
+
+    #[test]
+    fn stock_kernel_mixes_page_tables_with_data() {
+        let mut k = kernel();
+        let pid = k.create_process(false).unwrap();
+        k.mmap_anonymous(pid, VirtAddr(0x10_0000), 4 * PAGE_SIZE, true).unwrap();
+        assert!(!k.cta_enabled());
+        // Page tables come from the same zone as everything else.
+        let pt = k.process(pid).unwrap().pt_pages()[0].0;
+        assert_eq!(k.allocator().zone_of(pt), Some(ZoneKind::Dma));
+    }
+
+    #[test]
+    fn cta_pt_pages_always_in_ptp_zone() {
+        let mut k = cta_kernel();
+        let pid = k.create_process(false).unwrap();
+        k.mmap_anonymous(pid, VirtAddr(0x40_0000), 8 * PAGE_SIZE, true).unwrap();
+        for (pfn, _) in k.process(pid).unwrap().pt_pages() {
+            assert_eq!(k.allocator().zone_of(*pfn), Some(ZoneKind::Ptp));
+        }
+    }
+
+    #[test]
+    fn translate_uses_tlb() {
+        let mut k = kernel();
+        let pid = k.create_process(false).unwrap();
+        let va = VirtAddr(0x10_0000);
+        k.mmap_anonymous(pid, va, PAGE_SIZE, true).unwrap();
+        let walks_before = k.stats().walks;
+        k.translate(pid, va, Access::user_read()).unwrap();
+        k.translate(pid, va.offset(8), Access::user_read()).unwrap();
+        assert_eq!(k.stats().walks, walks_before + 1, "second translate hits TLB");
+        k.flush_tlb();
+        k.translate(pid, va, Access::user_read()).unwrap();
+        assert_eq!(k.stats().walks, walks_before + 2);
+    }
+
+    #[test]
+    fn destroy_process_reclaims_everything() {
+        let mut k = kernel();
+        let free0 = k.allocator().free_page_count();
+        let pid = k.create_process(false).unwrap();
+        k.mmap_anonymous(pid, VirtAddr(0x10_0000), 4 * PAGE_SIZE, true).unwrap();
+        k.destroy_process(pid).unwrap();
+        assert_eq!(k.allocator().free_page_count(), free0);
+        assert!(k.process(pid).is_err());
+    }
+
+    #[test]
+    fn iter_pt_entries_sees_all_levels() {
+        let mut k = kernel();
+        let pid = k.create_process(false).unwrap();
+        k.mmap_anonymous(pid, VirtAddr(0x10_0000), 2 * PAGE_SIZE, true).unwrap();
+        let records = k.iter_pt_entries(pid).unwrap();
+        let levels: std::collections::HashSet<PtLevel> =
+            records.iter().map(|r| r.level).collect();
+        assert_eq!(levels.len(), 4, "one entry at each level");
+        let leaves = records.iter().filter(|r| r.level == PtLevel::Pt).count();
+        assert_eq!(leaves, 2);
+    }
+
+    #[test]
+    fn row_of_virt_matches_translation() {
+        let mut k = kernel();
+        let pid = k.create_process(false).unwrap();
+        let va = VirtAddr(0x10_0000);
+        k.mmap_anonymous(pid, va, PAGE_SIZE, true).unwrap();
+        let phys = k.translate(pid, va, Access::user_read()).unwrap();
+        let row = k.row_of_virt(pid, va).unwrap();
+        assert_eq!(row, k.dram().geometry().row_of_addr(phys).unwrap());
+    }
+
+    #[test]
+    fn mprotect_toggles_writability() {
+        let mut k = kernel();
+        let pid = k.create_process(false).unwrap();
+        let va = VirtAddr(0x4000_0000);
+        k.mmap_anonymous(pid, va, 2 * PAGE_SIZE, true).unwrap();
+        k.write_virt(pid, va, &[1], Access::user_write()).unwrap();
+        k.mprotect(pid, va, 2 * PAGE_SIZE, false).unwrap();
+        assert!(matches!(
+            k.write_virt(pid, va, &[2], Access::user_write()),
+            Err(VmError::Translate(_))
+        ));
+        // Reads still work, and the earlier value is intact.
+        let mut b = [0u8; 1];
+        k.read_virt(pid, va, &mut b, Access::user_read()).unwrap();
+        assert_eq!(b, [1]);
+        k.mprotect(pid, va, 2 * PAGE_SIZE, true).unwrap();
+        k.write_virt(pid, va, &[3], Access::user_write()).unwrap();
+    }
+
+    #[test]
+    fn mprotect_requires_live_mappings() {
+        let mut k = kernel();
+        let pid = k.create_process(false).unwrap();
+        assert!(matches!(
+            k.mprotect(pid, VirtAddr(0x4000_0000), PAGE_SIZE, false),
+            Err(VmError::NotMapped { .. })
+        ));
+        assert!(matches!(
+            k.mprotect(pid, VirtAddr(0x4000_0123), PAGE_SIZE, false),
+            Err(VmError::Unaligned { .. })
+        ));
+    }
+
+    #[test]
+    fn huge_mapping_round_trip() {
+        let mut k = kernel();
+        let pid = k.create_process(false).unwrap();
+        let va = VirtAddr(0x4000_0000);
+        k.mmap_huge(pid, va, HUGE_PAGE_SIZE, true).unwrap();
+        assert_eq!(k.process(pid).unwrap().huge_mapping_count(), 1);
+        let data = vec![0x5Au8; 9000];
+        k.write_virt(pid, va.offset(12345), &data, Access::user_write()).unwrap();
+        let mut back = vec![0u8; 9000];
+        k.read_virt(pid, va.offset(12345), &mut back, Access::user_read()).unwrap();
+        assert_eq!(back, data);
+        // The walk terminates at PD level (3 levels, not 4).
+        let records = k.iter_pt_entries(pid).unwrap();
+        let pd_huge = records
+            .iter()
+            .filter(|r| r.level == PtLevel::Pd && r.pte.huge())
+            .count();
+        assert_eq!(pd_huge, 1);
+        assert!(records.iter().all(|r| r.level != PtLevel::Pt));
+    }
+
+    #[test]
+    fn huge_mapping_rejects_misalignment_and_overlap() {
+        let mut k = kernel();
+        let pid = k.create_process(false).unwrap();
+        assert!(matches!(
+            k.mmap_huge(pid, VirtAddr(0x4000_1000), HUGE_PAGE_SIZE, true),
+            Err(VmError::Unaligned { .. })
+        ));
+        let va = VirtAddr(0x4000_0000);
+        k.mmap_huge(pid, va, HUGE_PAGE_SIZE, true).unwrap();
+        assert!(matches!(
+            k.mmap_huge(pid, va, HUGE_PAGE_SIZE, true),
+            Err(VmError::AlreadyMapped { .. })
+        ));
+        // A 4 KiB mapping inside the huge region is also rejected.
+        assert!(matches!(
+            k.mmap_anonymous(pid, va.offset(4 * PAGE_SIZE), PAGE_SIZE, true),
+            Err(VmError::AlreadyMapped { .. })
+        ));
+    }
+
+    #[test]
+    fn huge_munmap_frees_the_block() {
+        let mut k = kernel();
+        let pid = k.create_process(false).unwrap();
+        let free0 = k.allocator().free_page_count();
+        let va = VirtAddr(0x4000_0000);
+        k.mmap_huge(pid, va, HUGE_PAGE_SIZE, true).unwrap();
+        k.munmap_huge(pid, va, HUGE_PAGE_SIZE).unwrap();
+        // The 512-page block returned; only the PT pages grown by the huge
+        // mapping (PDPT + PD; cr3 predates free0) remain out.
+        let grown_pt_pages = k.process(pid).unwrap().pt_pages().len() as u64 - 1;
+        assert_eq!(k.allocator().free_page_count(), free0 - grown_pt_pages);
+        assert!(k
+            .read_virt(pid, va, &mut [0u8; 8], Access::user_read())
+            .is_err());
+    }
+
+    #[test]
+    fn destroy_process_reclaims_huge_mappings() {
+        let mut k = kernel();
+        let free0 = k.allocator().free_page_count();
+        let pid = k.create_process(false).unwrap();
+        k.mmap_huge(pid, VirtAddr(0x4000_0000), 2 * HUGE_PAGE_SIZE, true).unwrap();
+        k.destroy_process(pid).unwrap();
+        assert_eq!(k.allocator().free_page_count(), free0);
+    }
+
+    #[test]
+    fn ps_bit_screening_removes_vulnerable_frames_from_the_zone() {
+        use cta_dram::DisturbanceParams;
+        let mut config = KernelConfig::small_test_cta();
+        config.cta = Some(
+            cta_mem::PtpSpec::paper_default()
+                .with_size(256 * 1024)
+                .with_multi_level(true),
+        );
+        config.dram.disturbance =
+            DisturbanceParams { pf: 0.05, ..DisturbanceParams::default() };
+        config.screen_ps_bit = true;
+        let kernel = Kernel::new(config).unwrap();
+        let layout = kernel.ptp_layout().unwrap();
+        assert!(!layout.screened_pages().is_empty(), "pf=5% must screen something");
+        // No remaining high-level sub-zone frame has a vulnerable PS cell.
+        let mut dram = DramModule::new(kernel.dram().config().clone());
+        for (range, level) in layout.subzones() {
+            if !matches!(level, Some(PtLevel::Pd) | Some(PtLevel::Pdpt)) {
+                continue;
+            }
+            let mut page = range.start;
+            while page < range.end {
+                let row = dram.geometry().row_of_addr(page).unwrap();
+                let base = (page % dram.geometry().row_bytes()) * 8;
+                let bad = dram.vulnerable_bits(row).unwrap().iter().any(|vb| {
+                    vb.bit >= base && vb.bit < base + PAGE_SIZE * 8 && (vb.bit - base) % 64 == 7
+                });
+                assert!(!bad, "screened zone still contains PS-vulnerable frame {page:#x}");
+                page += PAGE_SIZE;
+            }
+        }
+    }
+
+    #[test]
+    fn ptp_exhaustion_is_hard_failure_under_cta() {
+        let mut k = cta_kernel();
+        let pid = k.create_process(false).unwrap();
+        // Burn through ZONE_PTP by mapping pages at widely spread addresses
+        // (each 2 MiB stride needs a fresh PT page).
+        let mut failed = false;
+        for i in 0..4096u64 {
+            let va = VirtAddr(0x4000_0000 + i * (2 << 20));
+            match k.mmap_anonymous(pid, va, PAGE_SIZE, true) {
+                Ok(()) => {}
+                Err(VmError::Alloc(_)) => {
+                    failed = true;
+                    break;
+                }
+                Err(e) => panic!("unexpected error {e}"),
+            }
+        }
+        assert!(failed, "ZONE_PTP must eventually exhaust without fallback");
+        // Ordinary memory is still available.
+        assert!(k.allocator().free_page_count() > 0);
+    }
+}

@@ -1,0 +1,61 @@
+//! Virtual-memory substrate: x86-64 page tables living in simulated DRAM.
+//!
+//! The defining property of this crate is that page tables are not Rust data
+//! structures — they are **bytes in the simulated DRAM module** of
+//! [`cta_dram`]. The software MMU ([`Walker`]) reads page-table entries with
+//! ordinary DRAM reads, so when a RowHammer attack flips bits in a
+//! page-table row, translation *actually changes*, and privilege-escalation
+//! attacks can be demonstrated (and defeated) end to end rather than
+//! asserted.
+//!
+//! The crate provides:
+//!
+//! - [`Pte`]: the x86-64 page-table-entry bit layout (present, writable,
+//!   user, page-size bit 7, NX, 40-bit frame field);
+//! - [`VirtAddr`] and per-level index extraction for the 4-level hierarchy;
+//! - [`Walker`]: a software page-table walk with permission checks;
+//! - [`Tlb`]: a small TLB with explicit flushes (RowHammer attacks flush it
+//!   to force walks);
+//! - [`Kernel`]: a miniature OS — processes, `mmap` of shared file objects
+//!   (the page-table *spray* primitive of Figure 3), demand allocation,
+//!   and `pte_alloc`, the function the paper's 18-line patch redirects to
+//!   `__GFP_PTP`.
+//!
+//! # Example
+//!
+//! ```
+//! use cta_vm::{Access, Kernel, KernelConfig, VirtAddr};
+//!
+//! # fn main() -> Result<(), cta_vm::VmError> {
+//! let mut kernel = Kernel::new(KernelConfig::small_test())?;
+//! let pid = kernel.create_process(false)?;
+//! let va = VirtAddr(0x4000_0000);
+//! kernel.mmap_anonymous(pid, va, 0x4000, true)?;
+//! kernel.write_virt(pid, va, &[1, 2, 3], Access::user_write())?;
+//! let mut buf = [0u8; 3];
+//! kernel.read_virt(pid, va, &mut buf, Access::user_read())?;
+//! assert_eq!(buf, [1, 2, 3]);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod addr;
+mod error;
+mod file;
+mod kernel;
+mod pte;
+mod tlb;
+mod walker;
+
+pub use addr::VirtAddr;
+pub use error::{TranslateError, VmError};
+pub use file::{FileId, FileObject};
+pub use kernel::{
+    FrameOwner, Kernel, KernelConfig, KernelStats, Pid, Process, PteRecord, HUGE_PAGE_SIZE,
+};
+pub use pte::{Pte, PteFlags, PTE_ADDR_MASK};
+pub use tlb::{Tlb, TlbStats};
+pub use walker::{Access, WalkResult, Walker};

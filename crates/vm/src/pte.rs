@@ -1,0 +1,244 @@
+use std::fmt;
+
+use cta_mem::Pfn;
+
+/// Permission/attribute flags of a [`Pte`], in x86-64 bit positions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct PteFlags {
+    /// Bit 0: entry is valid.
+    pub present: bool,
+    /// Bit 1: write access allowed.
+    pub writable: bool,
+    /// Bit 2: user-mode access allowed.
+    pub user: bool,
+    /// Bit 7: in non-leaf levels, the entry maps a huge page instead of
+    /// pointing to a lower table (the *page-size bit* of section 7).
+    pub huge: bool,
+    /// Bit 63: no-execute.
+    pub nx: bool,
+}
+
+impl PteFlags {
+    /// Flags of an ordinary writable user data page.
+    pub fn user_data() -> Self {
+        PteFlags { present: true, writable: true, user: true, huge: false, nx: true }
+    }
+
+    /// Flags of a read-only user data page.
+    pub fn user_readonly() -> Self {
+        PteFlags { present: true, writable: false, user: true, huge: false, nx: true }
+    }
+
+    /// Flags of a kernel data page.
+    pub fn kernel_data() -> Self {
+        PteFlags { present: true, writable: true, user: false, huge: false, nx: true }
+    }
+
+    /// Flags of a non-leaf entry pointing at a lower-level table.
+    ///
+    /// Intermediate entries are maximally permissive (as Linux sets them);
+    /// the leaf entry is what enforces permissions.
+    pub fn table() -> Self {
+        PteFlags { present: true, writable: true, user: true, huge: false, nx: false }
+    }
+}
+
+/// An x86-64 page-table entry: 64 bits, little-endian in DRAM.
+///
+/// Layout (Intel SDM Vol. 3, simplified to the bits this system uses):
+///
+/// ```text
+/// bit 0      P    present
+/// bit 1      R/W  writable
+/// bit 2      U/S  user-accessible
+/// bit 7      PS   page size (non-leaf levels)
+/// bits 12-51      physical frame number
+/// bit 63     NX   no-execute
+/// ```
+///
+/// The frame field is the attack surface of this whole project: a
+/// RowHammer-induced `0→1` flip inside bits 12–51 can redirect the entry to
+/// a different — possibly page-table — frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Pte(pub u64);
+
+/// Mask of the physical-frame field (bits 12–51).
+pub const PTE_ADDR_MASK: u64 = 0x000F_FFFF_FFFF_F000;
+
+const BIT_PRESENT: u64 = 1 << 0;
+const BIT_WRITABLE: u64 = 1 << 1;
+const BIT_USER: u64 = 1 << 2;
+const BIT_HUGE: u64 = 1 << 7;
+const BIT_NX: u64 = 1 << 63;
+
+impl Pte {
+    /// An all-zero (not-present) entry.
+    pub const EMPTY: Pte = Pte(0);
+
+    /// Builds an entry pointing at `pfn` with `flags`.
+    pub fn new(pfn: Pfn, flags: PteFlags) -> Self {
+        let mut v = (pfn.0 << 12) & PTE_ADDR_MASK;
+        if flags.present {
+            v |= BIT_PRESENT;
+        }
+        if flags.writable {
+            v |= BIT_WRITABLE;
+        }
+        if flags.user {
+            v |= BIT_USER;
+        }
+        if flags.huge {
+            v |= BIT_HUGE;
+        }
+        if flags.nx {
+            v |= BIT_NX;
+        }
+        Pte(v)
+    }
+
+    /// The physical frame the entry points to.
+    pub fn pfn(self) -> Pfn {
+        Pfn((self.0 & PTE_ADDR_MASK) >> 12)
+    }
+
+    /// Present bit.
+    pub fn present(self) -> bool {
+        self.0 & BIT_PRESENT != 0
+    }
+
+    /// Writable bit.
+    pub fn writable(self) -> bool {
+        self.0 & BIT_WRITABLE != 0
+    }
+
+    /// User-accessible bit.
+    pub fn user(self) -> bool {
+        self.0 & BIT_USER != 0
+    }
+
+    /// Page-size bit (meaningful at PD/PDPT levels).
+    pub fn huge(self) -> bool {
+        self.0 & BIT_HUGE != 0
+    }
+
+    /// No-execute bit.
+    pub fn nx(self) -> bool {
+        self.0 & BIT_NX != 0
+    }
+
+    /// The decoded flags.
+    pub fn flags(self) -> PteFlags {
+        PteFlags {
+            present: self.present(),
+            writable: self.writable(),
+            user: self.user(),
+            huge: self.huge(),
+            nx: self.nx(),
+        }
+    }
+
+    /// Returns a copy with the frame replaced.
+    pub fn with_pfn(self, pfn: Pfn) -> Pte {
+        Pte((self.0 & !PTE_ADDR_MASK) | ((pfn.0 << 12) & PTE_ADDR_MASK))
+    }
+
+    /// Heuristic used by attackers scanning leaked memory (Figure 3 step 3):
+    /// does this 64-bit value *look like* a PTE? Present + user + writable
+    /// with a frame below `max_pfn` and no reserved low-junk is the pattern
+    /// Project Zero's exploit greps for.
+    pub fn looks_like_user_pte(self, max_pfn: u64) -> bool {
+        self.present() && self.user() && self.writable() && self.pfn().0 < max_pfn && self.pfn().0 != 0
+    }
+}
+
+impl fmt::Display for Pte {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if !self.present() {
+            return write!(f, "PTE[not-present raw={:#x}]", self.0);
+        }
+        write!(
+            f,
+            "PTE[{} {}{}{}{}{}]",
+            self.pfn(),
+            if self.writable() { "W" } else { "-" },
+            if self.user() { "U" } else { "K" },
+            if self.huge() { "H" } else { "-" },
+            if self.nx() { "X̶" } else { "x" },
+            if self.present() { "P" } else { "-" },
+        )
+    }
+}
+
+impl fmt::LowerHex for Pte {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_fields() {
+        let p = Pte::new(Pfn(0x1234), PteFlags::user_data());
+        assert!(p.present());
+        assert!(p.writable());
+        assert!(p.user());
+        assert!(!p.huge());
+        assert!(p.nx());
+        assert_eq!(p.pfn(), Pfn(0x1234));
+    }
+
+    #[test]
+    fn empty_is_not_present() {
+        assert!(!Pte::EMPTY.present());
+        assert_eq!(Pte::EMPTY.pfn(), Pfn(0));
+    }
+
+    #[test]
+    fn frame_field_is_bits_12_to_51() {
+        let p = Pte::new(Pfn((1 << 40) - 1), PteFlags::table());
+        assert_eq!(p.pfn(), Pfn((1 << 40) - 1));
+        // Frame bits do not clobber NX or low flags.
+        assert!(!p.nx());
+        assert!(p.present());
+    }
+
+    #[test]
+    fn with_pfn_preserves_flags() {
+        let p = Pte::new(Pfn(5), PteFlags::kernel_data()).with_pfn(Pfn(9));
+        assert_eq!(p.pfn(), Pfn(9));
+        assert!(p.present());
+        assert!(!p.user());
+        assert!(p.writable());
+    }
+
+    #[test]
+    fn flags_round_trip() {
+        for flags in [
+            PteFlags::user_data(),
+            PteFlags::user_readonly(),
+            PteFlags::kernel_data(),
+            PteFlags::table(),
+        ] {
+            assert_eq!(Pte::new(Pfn(7), flags).flags(), flags);
+        }
+    }
+
+    #[test]
+    fn pte_heuristic() {
+        assert!(Pte::new(Pfn(100), PteFlags::user_data()).looks_like_user_pte(1 << 20));
+        assert!(!Pte::new(Pfn(100), PteFlags::kernel_data()).looks_like_user_pte(1 << 20));
+        assert!(!Pte::EMPTY.looks_like_user_pte(1 << 20));
+        assert!(!Pte::new(Pfn(1 << 30), PteFlags::user_data()).looks_like_user_pte(1 << 20));
+    }
+
+    #[test]
+    fn display_forms() {
+        let p = Pte::new(Pfn(3), PteFlags::user_data());
+        assert!(p.to_string().contains("pfn#3"));
+        assert!(Pte::EMPTY.to_string().contains("not-present"));
+        assert_eq!(format!("{:x}", Pte(0xabc)), "abc");
+    }
+}

@@ -1,0 +1,213 @@
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+
+use crate::addr::VirtAddr;
+use crate::kernel::Pid;
+
+/// A cached translation: physical page base plus the permission summary the
+/// walk established.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TlbEntry {
+    /// Physical byte address of the page base.
+    pub page_base: u64,
+    /// The cached walk permitted writes.
+    pub writable: bool,
+    /// The cached walk permitted user access.
+    pub user: bool,
+}
+
+/// TLB hit/miss counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TlbStats {
+    /// Lookups that hit.
+    pub hits: u64,
+    /// Lookups that missed.
+    pub misses: u64,
+    /// Full flushes.
+    pub flushes: u64,
+}
+
+impl TlbStats {
+    /// Hit rate in [0, 1]; 0 when no lookups happened.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+impl fmt::Display for TlbStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "hits={} misses={} flushes={}", self.hits, self.misses, self.flushes)
+    }
+}
+
+/// A small FIFO-evicting TLB keyed by `(pid, virtual page number)`.
+///
+/// RowHammer attacks must flush the TLB between hammer reads so every access
+/// re-walks the (possibly corrupted) page tables — exactly the `va`-access +
+/// TLB-flush loop of the paper's Algorithm 1 step (2).
+#[derive(Debug, Clone)]
+pub struct Tlb {
+    capacity: usize,
+    entries: HashMap<(Pid, u64), TlbEntry>,
+    order: VecDeque<(Pid, u64)>,
+    stats: TlbStats,
+}
+
+impl Tlb {
+    /// Creates a TLB with `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "TLB capacity must be nonzero");
+        Tlb { capacity, entries: HashMap::new(), order: VecDeque::new(), stats: TlbStats::default() }
+    }
+
+    /// Looks up the translation of `va` for `pid`.
+    pub fn lookup(&mut self, pid: Pid, va: VirtAddr) -> Option<TlbEntry> {
+        let hit = self.entries.get(&(pid, va.vpn())).copied();
+        match hit {
+            Some(e) => {
+                self.stats.hits += 1;
+                Some(e)
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts a translation, evicting the oldest entry when full.
+    pub fn insert(&mut self, pid: Pid, va: VirtAddr, entry: TlbEntry) {
+        let key = (pid, va.vpn());
+        if self.entries.len() >= self.capacity && !self.entries.contains_key(&key) {
+            if let Some(old) = self.order.pop_front() {
+                self.entries.remove(&old);
+            }
+        }
+        if self.entries.insert(key, entry).is_none() {
+            self.order.push_back(key);
+        }
+    }
+
+    /// Drops every cached translation (`invlpg`-everything / CR3 reload).
+    pub fn flush_all(&mut self) {
+        self.entries.clear();
+        self.order.clear();
+        self.stats.flushes += 1;
+    }
+
+    /// Drops one page's translation.
+    pub fn flush_page(&mut self, pid: Pid, va: VirtAddr) {
+        let key = (pid, va.vpn());
+        if self.entries.remove(&key).is_some() {
+            self.order.retain(|k| *k != key);
+        }
+    }
+
+    /// Drops all translations of one process (context teardown).
+    pub fn flush_pid(&mut self, pid: Pid) {
+        self.entries.retain(|(p, _), _| *p != pid);
+        self.order.retain(|(p, _)| *p != pid);
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> TlbStats {
+        self.stats
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the TLB is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+impl Default for Tlb {
+    fn default() -> Self {
+        Tlb::new(64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn e(base: u64) -> TlbEntry {
+        TlbEntry { page_base: base, writable: true, user: true }
+    }
+
+    #[test]
+    fn hit_after_insert() {
+        let mut t = Tlb::new(4);
+        assert!(t.lookup(Pid(1), VirtAddr(0x1000)).is_none());
+        t.insert(Pid(1), VirtAddr(0x1000), e(0x8000));
+        assert_eq!(t.lookup(Pid(1), VirtAddr(0x1234)).unwrap().page_base, 0x8000);
+        assert_eq!(t.stats().hits, 1);
+        assert_eq!(t.stats().misses, 1);
+    }
+
+    #[test]
+    fn per_pid_isolation() {
+        let mut t = Tlb::new(4);
+        t.insert(Pid(1), VirtAddr(0x1000), e(0x8000));
+        assert!(t.lookup(Pid(2), VirtAddr(0x1000)).is_none());
+    }
+
+    #[test]
+    fn fifo_eviction() {
+        let mut t = Tlb::new(2);
+        t.insert(Pid(1), VirtAddr(0x1000), e(1));
+        t.insert(Pid(1), VirtAddr(0x2000), e(2));
+        t.insert(Pid(1), VirtAddr(0x3000), e(3));
+        assert!(t.lookup(Pid(1), VirtAddr(0x1000)).is_none(), "oldest evicted");
+        assert!(t.lookup(Pid(1), VirtAddr(0x3000)).is_some());
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn flushes() {
+        let mut t = Tlb::new(8);
+        t.insert(Pid(1), VirtAddr(0x1000), e(1));
+        t.insert(Pid(1), VirtAddr(0x2000), e(2));
+        t.insert(Pid(2), VirtAddr(0x1000), e(3));
+        t.flush_page(Pid(1), VirtAddr(0x1000));
+        assert!(t.lookup(Pid(1), VirtAddr(0x1000)).is_none());
+        t.flush_pid(Pid(1));
+        assert!(t.lookup(Pid(1), VirtAddr(0x2000)).is_none());
+        assert!(t.lookup(Pid(2), VirtAddr(0x1000)).is_some());
+        t.flush_all();
+        assert!(t.is_empty());
+        assert_eq!(t.stats().flushes, 1);
+    }
+
+    #[test]
+    fn reinsert_same_key_does_not_grow() {
+        let mut t = Tlb::new(2);
+        t.insert(Pid(1), VirtAddr(0x1000), e(1));
+        t.insert(Pid(1), VirtAddr(0x1000), e(9));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.lookup(Pid(1), VirtAddr(0x1000)).unwrap().page_base, 9);
+    }
+
+    #[test]
+    fn hit_rate() {
+        let mut t = Tlb::new(2);
+        assert_eq!(t.stats().hit_rate(), 0.0);
+        t.insert(Pid(1), VirtAddr(0), e(1));
+        t.lookup(Pid(1), VirtAddr(0));
+        t.lookup(Pid(1), VirtAddr(0x100000));
+        assert!((t.stats().hit_rate() - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,107 @@
+//! Property-based tests of the virtual-memory substrate.
+
+use cta_mem::{Pfn, PtLevel, PAGE_SIZE};
+use cta_vm::{Access, Kernel, KernelConfig, Pte, PteFlags, VirtAddr};
+use proptest::prelude::*;
+
+fn flags_strategy() -> impl Strategy<Value = PteFlags> {
+    (any::<bool>(), any::<bool>(), any::<bool>(), any::<bool>(), any::<bool>()).prop_map(
+        |(present, writable, user, huge, nx)| PteFlags { present, writable, user, huge, nx },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// PTE encode/decode is the identity on (frame, flags).
+    #[test]
+    fn pte_round_trips(pfn in 0u64..(1 << 40), flags in flags_strategy()) {
+        let pte = Pte::new(Pfn(pfn), flags);
+        prop_assert_eq!(pte.pfn(), Pfn(pfn));
+        prop_assert_eq!(pte.flags(), flags);
+    }
+
+    /// Changing the frame never disturbs the flags and vice versa.
+    #[test]
+    fn with_pfn_is_orthogonal_to_flags(
+        a in 0u64..(1 << 40),
+        b in 0u64..(1 << 40),
+        flags in flags_strategy(),
+    ) {
+        let pte = Pte::new(Pfn(a), flags).with_pfn(Pfn(b));
+        prop_assert_eq!(pte.pfn(), Pfn(b));
+        prop_assert_eq!(pte.flags(), flags);
+    }
+
+    /// Virtual address indices reassemble into the original page base.
+    #[test]
+    fn va_indices_reassemble(va in 0u64..(1u64 << 48)) {
+        let v = VirtAddr(va);
+        let rebuilt = (v.index(PtLevel::Pml4) << 39)
+            | (v.index(PtLevel::Pdpt) << 30)
+            | (v.index(PtLevel::Pd) << 21)
+            | (v.index(PtLevel::Pt) << 12)
+            | v.page_offset();
+        prop_assert_eq!(rebuilt, va);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Whatever is written through the MMU is read back identically, at
+    /// arbitrary (possibly page-crossing) offsets.
+    #[test]
+    fn virt_io_round_trips(
+        offset in 0u64..(3 * PAGE_SIZE),
+        data in proptest::collection::vec(any::<u8>(), 1..300),
+    ) {
+        let mut k = Kernel::new(KernelConfig::small_test()).unwrap();
+        let pid = k.create_process(false).unwrap();
+        let va = VirtAddr(0x4000_0000);
+        k.mmap_anonymous(pid, va, 4 * PAGE_SIZE, true).unwrap();
+        k.write_virt(pid, va.offset(offset), &data, Access::user_write()).unwrap();
+        let mut back = vec![0u8; data.len()];
+        k.read_virt(pid, va.offset(offset), &mut back, Access::user_read()).unwrap();
+        prop_assert_eq!(back, data);
+    }
+
+    /// Translation through the TLB always equals translation through a
+    /// fresh walk.
+    #[test]
+    fn tlb_translations_match_walks(pages in 1u64..8, probes in proptest::collection::vec(0u64..32, 1..40)) {
+        let mut k = Kernel::new(KernelConfig::small_test()).unwrap();
+        let pid = k.create_process(false).unwrap();
+        let va = VirtAddr(0x4000_0000);
+        k.mmap_anonymous(pid, va, pages * PAGE_SIZE, true).unwrap();
+        for p in probes {
+            let target = va.offset((p % pages) * PAGE_SIZE + (p * 37) % PAGE_SIZE);
+            let hot = k.translate(pid, target, Access::user_read()).unwrap();
+            k.flush_tlb();
+            let cold = k.translate(pid, target, Access::user_read()).unwrap();
+            prop_assert_eq!(hot, cold);
+        }
+    }
+
+    /// mmap/munmap sequences conserve memory exactly.
+    #[test]
+    fn mapping_churn_conserves_frames(ops in proptest::collection::vec((0u64..6, any::<bool>()), 1..30)) {
+        let mut k = Kernel::new(KernelConfig::small_test()).unwrap();
+        let pid = k.create_process(false).unwrap();
+        let free_after_boot = k.allocator().free_page_count();
+        let mut live = std::collections::HashSet::new();
+        for (slot, map) in ops {
+            let va = VirtAddr(0x4000_0000 + slot * (1 << 20));
+            if map && !live.contains(&slot) {
+                if k.mmap_anonymous(pid, va, 2 * PAGE_SIZE, true).is_ok() {
+                    live.insert(slot);
+                }
+            } else if live.remove(&slot) {
+                k.munmap(pid, va, 2 * PAGE_SIZE).unwrap();
+            }
+        }
+        let pt = k.process(pid).unwrap().pt_pages().len() as u64 - 1; // cr3 predates
+        let data = 2 * live.len() as u64;
+        prop_assert_eq!(k.allocator().free_page_count(), free_after_boot - pt - data);
+    }
+}

@@ -1,0 +1,27 @@
+//! Workload harness for the Table 4 performance study.
+//!
+//! The paper runs SPEC CPU2006 and the Phoronix test suite on two physical
+//! hosts and reports per-benchmark run-time deltas with CTA enabled —
+//! all within noise (|Δ| < 1.5%, means ≈ 0). We cannot run SPEC binaries on
+//! a simulator; instead each benchmark is represented by a **synthetic
+//! workload** with the memory-system behavior that could plausibly interact
+//! with CTA: resident working-set size, allocation churn, the number of
+//! distinct mapped regions (page-table pressure), access count and
+//! locality. The workloads run against the full simulated kernel and the
+//! harness reports the *simulated-time* delta between a stock and a CTA
+//! machine — a deterministic measurement of exactly the code paths the
+//! patch touches (allocation zone dispatch + page-table walks).
+//!
+//! Why this substitution preserves the claim: CTA changes *where* page
+//! tables live, not how many are built or how they are walked, so any
+//! overhead must appear in the allocation/walk path that this harness
+//! exercises heavily and measurably.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod runner;
+mod specs;
+
+pub use runner::{OverheadRow, RunMeasurement, Runner};
+pub use specs::{phoronix, spec2006, Suite, WorkloadSpec};

@@ -1,0 +1,265 @@
+use std::fmt;
+use std::time::Instant;
+
+use cta_mem::PAGE_SIZE;
+use cta_vm::{Access, Kernel, VirtAddr, VmError};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use crate::specs::WorkloadSpec;
+
+const VA_BASE: u64 = 0x1_0000_0000;
+const REGION_STRIDE: u64 = 4 << 20; // 4 MiB keeps regions in distinct PTs
+
+/// Measurements from one workload execution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RunMeasurement {
+    /// Simulated time consumed (deterministic).
+    pub sim_ns: u64,
+    /// Host wall-clock time (noisy; informational).
+    pub wall_ns: u128,
+    /// Page-table walks performed.
+    pub walks: u64,
+    /// TLB hit rate over the run.
+    pub tlb_hit_rate: f64,
+    /// Page-table pages the workload caused to exist.
+    pub pt_pages: u64,
+}
+
+/// The CTA-vs-stock comparison for one benchmark: a Table 4 row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OverheadRow {
+    /// Benchmark name.
+    pub name: String,
+    /// Mean simulated time on the stock kernel.
+    pub baseline_sim_ns: f64,
+    /// Mean simulated time with CTA.
+    pub cta_sim_ns: f64,
+    /// Mean host wall-clock time on the stock kernel.
+    pub baseline_wall_ns: f64,
+    /// Mean host wall-clock time with CTA.
+    pub cta_wall_ns: f64,
+    /// Repetitions averaged.
+    pub repetitions: u32,
+}
+
+impl OverheadRow {
+    /// Relative overhead of CTA in percent (positive = CTA slower), the
+    /// quantity Table 4 reports — measured in deterministic simulated time.
+    pub fn delta_percent(&self) -> f64 {
+        (self.cta_sim_ns - self.baseline_sim_ns) / self.baseline_sim_ns * 100.0
+    }
+
+    /// Wall-clock delta in percent: the noisy host-side measurement,
+    /// comparable to the paper's real-machine numbers (which fluctuate
+    /// within ±1.5%).
+    pub fn wall_delta_percent(&self) -> f64 {
+        (self.cta_wall_ns - self.baseline_wall_ns) / self.baseline_wall_ns * 100.0
+    }
+}
+
+impl fmt::Display for OverheadRow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:<18} {:+.2}%", self.name, self.delta_percent())
+    }
+}
+
+/// Executes workload specs against simulated kernels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Runner {
+    /// Repetitions per measurement (the paper uses 10 for SPEC, 100 for
+    /// Phoronix; simulated time is deterministic so fewer suffice).
+    pub repetitions: u32,
+    /// Seed stream for access patterns.
+    pub seed: u64,
+}
+
+impl Default for Runner {
+    fn default() -> Self {
+        Runner { repetitions: 3, seed: 0x57AB1E }
+    }
+}
+
+impl Runner {
+    /// Runs one workload on `kernel` (fresh process; torn down afterwards).
+    ///
+    /// # Errors
+    ///
+    /// Kernel errors (out of memory for oversized specs).
+    pub fn run(&self, kernel: &mut Kernel, spec: &WorkloadSpec) -> Result<RunMeasurement, VmError> {
+        let wall_start = Instant::now();
+        let sim_start = kernel.now_ns();
+        let walks_start = kernel.stats().walks;
+        let pt_start = kernel.stats().pt_pages_allocated;
+        let mut rng = ChaCha8Rng::seed_from_u64(self.seed ^ hash_name(spec.name));
+
+        let pid = kernel.create_process(false)?;
+        // Lay out the working set across the regions.
+        let pages_per_region = (spec.working_set_pages / spec.regions).max(1);
+        let mut regions = Vec::with_capacity(spec.regions as usize);
+        for r in 0..spec.regions {
+            let va = VirtAddr(VA_BASE + r * REGION_STRIDE);
+            kernel.mmap_anonymous(pid, va, pages_per_region * PAGE_SIZE, true)?;
+            regions.push(va);
+        }
+
+        // Access phase with interleaved churn.
+        let churn_every = if spec.churn_cycles == 0 {
+            u64::MAX
+        } else {
+            (spec.access_ops / spec.churn_cycles).max(1)
+        };
+        let mut hot_page = 0u64;
+        let mut buf = [0u8; 64];
+        for op in 0..spec.access_ops {
+            // Pick a page: stay hot with probability `locality`.
+            let page = if rng.gen::<f64>() < spec.locality {
+                hot_page
+            } else {
+                let p = rng.gen_range(0..spec.regions * pages_per_region);
+                hot_page = p;
+                p
+            };
+            let region = &regions[(page / pages_per_region) as usize];
+            let va = region.offset((page % pages_per_region) * PAGE_SIZE + (page % 63) * 64);
+            if rng.gen::<f64>() < spec.write_fraction {
+                kernel.write_virt(pid, va, &buf, Access::user_write())?;
+            } else {
+                kernel.read_virt(pid, va, &mut buf, Access::user_read())?;
+            }
+            // Churn: unmap and remap one region (fresh frames + PTEs).
+            if op % churn_every == churn_every - 1 {
+                let idx = rng.gen_range(0..regions.len());
+                kernel.munmap(pid, regions[idx], pages_per_region * PAGE_SIZE)?;
+                kernel.mmap_anonymous(pid, regions[idx], pages_per_region * PAGE_SIZE, true)?;
+            }
+        }
+
+        let tlb = kernel.tlb_stats();
+        let measurement = RunMeasurement {
+            sim_ns: kernel.now_ns() - sim_start,
+            wall_ns: wall_start.elapsed().as_nanos(),
+            walks: kernel.stats().walks - walks_start,
+            tlb_hit_rate: tlb.hit_rate(),
+            pt_pages: kernel.stats().pt_pages_allocated - pt_start,
+        };
+        kernel.destroy_process(pid)?;
+        Ok(measurement)
+    }
+
+    /// Runs a benchmark on both machines and produces its Table 4 row.
+    ///
+    /// `build` receives `true` for the CTA machine and `false` for stock.
+    ///
+    /// # Errors
+    ///
+    /// Propagates kernel errors from either machine.
+    pub fn compare<F>(&self, mut build: F, spec: &WorkloadSpec) -> Result<OverheadRow, VmError>
+    where
+        F: FnMut(bool) -> Kernel,
+    {
+        let mut baseline = 0f64;
+        let mut cta = 0f64;
+        let mut baseline_wall = 0f64;
+        let mut cta_wall = 0f64;
+        for _ in 0..self.repetitions {
+            let mut stock_kernel = build(false);
+            let m = self.run(&mut stock_kernel, spec)?;
+            baseline += m.sim_ns as f64;
+            baseline_wall += m.wall_ns as f64;
+            let mut cta_kernel = build(true);
+            let m = self.run(&mut cta_kernel, spec)?;
+            cta += m.sim_ns as f64;
+            cta_wall += m.wall_ns as f64;
+        }
+        let n = self.repetitions as f64;
+        Ok(OverheadRow {
+            name: spec.name.to_string(),
+            baseline_sim_ns: baseline / n,
+            cta_sim_ns: cta / n,
+            baseline_wall_ns: baseline_wall / n,
+            cta_wall_ns: cta_wall / n,
+            repetitions: self.repetitions,
+        })
+    }
+}
+
+fn hash_name(name: &str) -> u64 {
+    name.bytes().fold(0xcbf29ce484222325u64, |h, b| (h ^ b as u64).wrapping_mul(0x100000001b3))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::specs::{phoronix, spec2006};
+    use cta_core::SystemBuilder;
+
+    fn machine(protected: bool) -> Kernel {
+        SystemBuilder::new(16 << 20)
+            .ptp_bytes(1 << 20)
+            .seed(77)
+            .protected(protected)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn run_produces_activity() {
+        let mut k = machine(false);
+        let spec = &spec2006()[0];
+        let m = Runner::default().run(&mut k, spec).unwrap();
+        assert!(m.sim_ns > 0);
+        assert!(m.walks > 0);
+        assert!(m.pt_pages >= spec.regions);
+        assert!(m.tlb_hit_rate > 0.0);
+    }
+
+    #[test]
+    fn run_is_deterministic_in_sim_time() {
+        let spec = &spec2006()[3]; // mcf
+        let runner = Runner::default();
+        let a = runner.run(&mut machine(false), spec).unwrap();
+        let b = runner.run(&mut machine(false), spec).unwrap();
+        assert_eq!(a.sim_ns, b.sim_ns);
+        assert_eq!(a.walks, b.walks);
+    }
+
+    #[test]
+    fn cta_overhead_is_negligible_like_table4() {
+        // The headline claim: per-benchmark |Δ| stays within the paper's
+        // observed band (max |Δ| in Table 4 is 1.4%).
+        let runner = Runner { repetitions: 1, seed: 5 };
+        for spec in spec2006().iter().take(3).chain(phoronix().iter().take(3)) {
+            let row = runner.compare(machine, spec).unwrap();
+            assert!(
+                row.delta_percent().abs() < 2.0,
+                "{}: Δ = {:.3}%",
+                spec.name,
+                row.delta_percent()
+            );
+        }
+    }
+
+    #[test]
+    fn workload_teardown_releases_memory() {
+        let mut k = machine(true);
+        let free0 = k.allocator().free_page_count();
+        Runner::default().run(&mut k, &spec2006()[1]).unwrap();
+        assert_eq!(k.allocator().free_page_count(), free0);
+    }
+
+    #[test]
+    fn overhead_row_display() {
+        let row = OverheadRow {
+            name: "bzip2".into(),
+            baseline_sim_ns: 100.0,
+            cta_sim_ns: 100.34,
+            baseline_wall_ns: 200.0,
+            cta_wall_ns: 199.0,
+            repetitions: 1,
+        };
+        assert!((row.delta_percent() - 0.34).abs() < 1e-9);
+        assert!((row.wall_delta_percent() + 0.5).abs() < 1e-9);
+        assert!(row.to_string().contains("bzip2"));
+    }
+}

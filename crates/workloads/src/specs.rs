@@ -1,0 +1,148 @@
+use std::fmt;
+
+/// Which benchmark suite a workload models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Suite {
+    /// SPEC CPU2006.
+    Spec2006,
+    /// Phoronix Test Suite.
+    Phoronix,
+}
+
+impl fmt::Display for Suite {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Suite::Spec2006 => f.write_str("SPEC2006"),
+            Suite::Phoronix => f.write_str("Phoronix"),
+        }
+    }
+}
+
+/// The memory-system profile of one benchmark.
+///
+/// Footprints are scaled from published SPEC CPU2006 memory-footprint data
+/// (Henning, CAN 2007) and Phoronix workload shapes down to the simulated
+/// machine; what matters for the CTA comparison is the *relative* mix of
+/// page-table pressure, churn, and access locality.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WorkloadSpec {
+    /// Benchmark name as reported in Table 4.
+    pub name: &'static str,
+    /// Owning suite.
+    pub suite: Suite,
+    /// Resident working set in pages.
+    pub working_set_pages: u64,
+    /// Distinct mapped regions (drives the number of page tables).
+    pub regions: u64,
+    /// map/unmap churn cycles interleaved with the access phase.
+    pub churn_cycles: u64,
+    /// Memory operations performed.
+    pub access_ops: u64,
+    /// Fraction of operations that are writes.
+    pub write_fraction: f64,
+    /// Access locality in [0, 1]: probability the next access stays on the
+    /// recent hot set (drives TLB behavior).
+    pub locality: f64,
+}
+
+/// The 12 SPEC CPU2006 rows of Table 4.
+pub fn spec2006() -> Vec<WorkloadSpec> {
+    let w = |name, working_set_pages, regions, churn_cycles, access_ops, write_fraction, locality| {
+        WorkloadSpec {
+            name,
+            suite: Suite::Spec2006,
+            working_set_pages,
+            regions,
+            churn_cycles,
+            access_ops,
+            write_fraction,
+            locality,
+        }
+    };
+    vec![
+        w("perlbench", 160, 6, 24, 4000, 0.45, 0.80),
+        w("bzip2", 220, 3, 6, 5000, 0.50, 0.90),
+        w("gcc", 280, 10, 40, 4500, 0.40, 0.70),
+        w("mcf", 420, 4, 4, 6000, 0.35, 0.35),
+        w("gobmk", 90, 4, 12, 3500, 0.40, 0.85),
+        w("hmmer", 70, 3, 6, 4000, 0.30, 0.92),
+        w("sjeng", 110, 3, 4, 3500, 0.35, 0.88),
+        w("libquantum", 190, 2, 2, 5000, 0.55, 0.60),
+        w("h264ref", 130, 5, 10, 4500, 0.45, 0.82),
+        w("omnetpp", 260, 8, 30, 4000, 0.40, 0.55),
+        w("astar", 180, 4, 8, 3800, 0.35, 0.65),
+        w("xalancbmk", 300, 12, 36, 4200, 0.40, 0.60),
+    ]
+}
+
+/// The 15 Phoronix rows of Table 4.
+pub fn phoronix() -> Vec<WorkloadSpec> {
+    let w = |name, working_set_pages, regions, churn_cycles, access_ops, write_fraction, locality| {
+        WorkloadSpec {
+            name,
+            suite: Suite::Phoronix,
+            working_set_pages,
+            regions,
+            churn_cycles,
+            access_ops,
+            write_fraction,
+            locality,
+        }
+    };
+    vec![
+        w("unpack-linux", 200, 16, 60, 3500, 0.60, 0.50),
+        w("postmark", 150, 10, 80, 3800, 0.55, 0.45),
+        w("ramspeed:INT", 380, 2, 2, 6000, 0.50, 0.30),
+        w("ramspeed:FP", 380, 2, 2, 6000, 0.50, 0.30),
+        w("stream:Copy", 340, 2, 2, 5500, 0.50, 0.25),
+        w("stream:Scale", 340, 2, 2, 5500, 0.50, 0.25),
+        w("stream:Triad", 360, 3, 2, 5500, 0.45, 0.25),
+        w("stream:Add", 360, 3, 2, 5500, 0.45, 0.25),
+        w("cachebench:Read", 60, 2, 2, 5000, 0.05, 0.95),
+        w("cachebench:Write", 60, 2, 2, 5000, 0.95, 0.95),
+        w("cachebench:Modify", 60, 2, 2, 5000, 0.50, 0.95),
+        w("compress-7zip", 240, 6, 16, 5200, 0.50, 0.70),
+        w("openssl", 40, 2, 4, 4500, 0.20, 0.97),
+        w("pybench", 120, 8, 40, 3600, 0.40, 0.75),
+        w("phpbench", 110, 8, 44, 3600, 0.40, 0.75),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_sizes_match_table4() {
+        assert_eq!(spec2006().len(), 12);
+        assert_eq!(phoronix().len(), 15);
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<&str> =
+            spec2006().iter().chain(phoronix().iter()).map(|w| w.name).collect();
+        let before = names.len();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), before);
+    }
+
+    #[test]
+    fn parameters_are_sane() {
+        for w in spec2006().into_iter().chain(phoronix()) {
+            assert!(w.working_set_pages >= w.regions, "{}", w.name);
+            assert!((0.0..=1.0).contains(&w.write_fraction), "{}", w.name);
+            assert!((0.0..=1.0).contains(&w.locality), "{}", w.name);
+            assert!(w.access_ops > 0);
+        }
+    }
+
+    #[test]
+    fn mcf_is_the_memory_hog() {
+        let specs = spec2006();
+        let mcf = specs.iter().find(|w| w.name == "mcf").unwrap();
+        assert!(specs.iter().all(|w| w.working_set_pages <= mcf.working_set_pages));
+        assert!(specs.iter().all(|w| w.locality >= mcf.locality));
+    }
+}

@@ -1,0 +1,36 @@
+//! # monotonic-cta
+//!
+//! A full-system reproduction of *Protecting Page Tables from RowHammer
+//! Attacks using Monotonic Pointers in DRAM True-Cells* (Wu, Sherwood,
+//! Chong, Li — ASPLOS 2019), built as a pure-Rust simulation stack.
+//!
+//! This facade crate re-exports the workspace:
+//!
+//! - [`dram`] — bit-accurate DRAM module simulator (true/anti-cells,
+//!   RowHammer disturbance, refresh, retention, profiling);
+//! - [`mem`] — zoned buddy allocator with GFP flags and the Cell-Type-Aware
+//!   `ZONE_PTP` construction;
+//! - [`vm`] — x86-64 page tables stored in simulated DRAM, software MMU,
+//!   TLB, processes, and a miniature kernel;
+//! - [`core`] — the paper's contribution: CTA policy, low-water-mark
+//!   calculus, monotonic pointers, and the No Self-Reference verifier;
+//! - [`attack`] — RowHammer attacks: PTE spray, memory templating, and the
+//!   paper's Algorithm 1;
+//! - [`analysis`] — the section 5 analytic security model (Tables 2–3) and
+//!   Monte Carlo validation;
+//! - [`workloads`] — SPEC/Phoronix-shaped workloads for the Table 4
+//!   overhead study;
+//! - [`ext`] — section 8 extensions (permission vectors, coldboot guard,
+//!   hamming-weight error detection).
+//!
+//! See `examples/quickstart.rs` for a guided tour and `DESIGN.md` /
+//! `EXPERIMENTS.md` for the experiment inventory.
+
+pub use cta_analysis as analysis;
+pub use cta_attack as attack;
+pub use cta_core as core;
+pub use cta_dram as dram;
+pub use cta_ext as ext;
+pub use cta_mem as mem;
+pub use cta_vm as vm;
+pub use cta_workloads as workloads;

@@ -1,0 +1,95 @@
+//! Cross-crate integration: the analytic model against independent
+//! implementations (Monte Carlo and the attack crate's projections).
+
+use monotonic_cta::analysis::{
+    expected_exploitable_ptes, monte_carlo_p_exploitable, p_exploitable, table2, table3,
+    AttackTiming, FlipStats, Restriction, SystemShape,
+};
+use monotonic_cta::attack::AttackTimeModel;
+
+#[test]
+fn attack_crate_and_analysis_crate_agree_on_times() {
+    // Two independently written implementations of the section 5 timing
+    // model must produce identical numbers.
+    let analysis = AttackTiming::default();
+    let attack = AttackTimeModel::default();
+    for (gb, mb) in [(8u64, 32u64), (16, 32), (32, 64)] {
+        let shape = SystemShape::new(gb << 30, mb << 20);
+        for e in [0.5f64, 6.7, 83.59] {
+            let a = analysis.expected_days(&shape, e);
+            let b = attack.expected_days(
+                shape.target_pages(),
+                shape.zone_rows(),
+                shape.ptes_per_row(),
+                e,
+            );
+            assert!((a - b).abs() / a < 1e-12, "{gb}GB/{mb}MB e={e}: {a} vs {b}");
+        }
+    }
+}
+
+#[test]
+fn monte_carlo_validates_closed_form_at_scaled_stats() {
+    for (pf, p01) in [(0.02f64, 0.1f64), (0.05, 0.3), (0.01, 0.9)] {
+        let stats = FlipStats { pf, p0_to_1: p01, p1_to_0: 1.0 - p01 };
+        for restriction in [Restriction::None, Restriction::AtLeastTwoZeros] {
+            let analytic = p_exploitable(8, &stats, restriction);
+            let mc = monte_carlo_p_exploitable(8, &stats, restriction, 400_000, 99);
+            let tolerance = (4.0 * mc.std_error()).max(analytic * 0.15);
+            assert!(
+                (mc.p_hat - analytic).abs() < tolerance,
+                "pf={pf} p01={p01} {restriction:?}: mc={} analytic={analytic}",
+                mc.p_hat
+            );
+        }
+    }
+}
+
+#[test]
+fn headline_numbers_match_the_paper() {
+    // The abstract's three headline numbers.
+    let shape = SystemShape::new(8 << 30, 32 << 20);
+    let stats = FlipStats::paper_default();
+
+    // "only one out of 2.04 × 10^5 systems is vulnerable"
+    let restricted = expected_exploitable_ptes(&shape, &stats, Restriction::AtLeastTwoZeros);
+    let one_in = 1.0 / restricted;
+    assert!((one_in - 2.04e5).abs() / 2.04e5 < 0.05, "one in {one_in:.3e}");
+
+    // "expected attack time on the vulnerable system is 231 days"
+    let days = AttackTiming::default().expected_days(&shape, restricted);
+    assert!((days - 230.7).abs() < 2.5, "days {days}");
+
+    // Six-orders-of-magnitude slowdown vs the 20 s fastest attack.
+    let unrestricted = expected_exploitable_ptes(&shape, &stats, Restriction::None);
+    let seconds = AttackTiming::default().expected_days(&shape, unrestricted) * 86_400.0;
+    assert!(seconds / 20.0 > 1e5);
+}
+
+#[test]
+fn tables_are_internally_consistent() {
+    for spec in [table2(), table3()] {
+        let rows = spec.generate();
+        for row in &rows {
+            assert!(row.exploitable > 0.0);
+            assert!(row.attack_days > 0.0);
+        }
+        // Larger memory ⇒ longer attack (more target pages), same zone.
+        for mb in [32u64, 64] {
+            let days: Vec<f64> = [8u64, 16, 32]
+                .iter()
+                .map(|gb| {
+                    rows.iter()
+                        .find(|r| {
+                            r.phys_gib == *gb
+                                && r.ptp_mib == mb
+                                && r.restriction == Restriction::None
+                        })
+                        .unwrap()
+                        .attack_days
+                })
+                .collect();
+            assert!(days[0] < days[1] && days[1] < days[2], "{days:?}");
+        }
+    }
+}

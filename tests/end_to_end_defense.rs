@@ -1,0 +1,96 @@
+//! Cross-crate integration: the full attack/defense matrix.
+
+use monotonic_cta::attack::{BruteForceCtaAttack, SprayAttack, TemplatingAttack};
+use monotonic_cta::core::verify::{escalation_armed, verify_system};
+use monotonic_cta::core::SystemBuilder;
+use monotonic_cta::dram::DisturbanceParams;
+use monotonic_cta::vm::Kernel;
+
+fn machine(seed: u64, protected: bool, pf: f64, threshold: u64) -> Kernel {
+    SystemBuilder::new(8 << 20)
+        .ptp_bytes(512 * 1024)
+        .seed(seed)
+        .protected(protected)
+        .disturbance(DisturbanceParams {
+            pf,
+            hammer_threshold: threshold,
+            ..DisturbanceParams::default()
+        })
+        .build()
+        .expect("machine boots")
+}
+
+#[test]
+fn spray_attack_matrix() {
+    let attack = SprayAttack::default();
+    let mut stock_successes = 0;
+    for seed in 0..10u64 {
+        // Stock kernel: count successes.
+        let mut kernel = machine(seed, false, 0.05, 128 * 1024);
+        let outcome = attack.run(&mut kernel).expect("attack runs");
+        if outcome.success() {
+            stock_successes += 1;
+            // Success must be corroborated by the ground-truth verifier and
+            // by physical evidence.
+            assert!(verify_system(&kernel).expect("verifier").self_references().count() > 0);
+            let pid = *kernel.pids().last().expect("attacker pid");
+            assert!(escalation_armed(&kernel, pid).expect("armed check"));
+        }
+        // CTA kernel: never.
+        let mut kernel = machine(seed, true, 0.05, 128 * 1024);
+        let outcome = attack.run(&mut kernel).expect("attack runs");
+        assert!(!outcome.success(), "seed {seed} escaped CTA");
+        assert_eq!(
+            verify_system(&kernel).expect("verifier").self_references().count(),
+            0,
+            "seed {seed}"
+        );
+    }
+    assert!(stock_successes >= 2, "stock kernels should fall: {stock_successes}/10");
+}
+
+#[test]
+fn templating_attack_matrix() {
+    let attack = TemplatingAttack::default();
+    let mut stock_successes = 0;
+    for seed in 0..6u64 {
+        let mut kernel = machine(seed, false, 0.004, 128 * 1024);
+        if attack.run(&mut kernel).expect("attack runs").success() {
+            stock_successes += 1;
+        }
+        let mut kernel = machine(seed, true, 0.004, 128 * 1024);
+        assert!(!attack.run(&mut kernel).expect("attack runs").success(), "seed {seed}");
+    }
+    assert!(stock_successes >= 1, "templating should beat some stock kernel");
+}
+
+#[test]
+fn algorithm1_matrix() {
+    let attack = BruteForceCtaAttack::default();
+    for seed in 0..3u64 {
+        let mut kernel = machine(seed, true, 0.02, 128);
+        let (outcome, report) = attack.run(&mut kernel).expect("attack runs");
+        assert!(!outcome.success());
+        assert!(report.ptes_checked > 0);
+        // The walk-hammer mechanism works — flips occur — yet no
+        // self-reference ever forms.
+        let verify = verify_system(&kernel).expect("verifier");
+        assert_eq!(verify.self_references().count(), 0);
+    }
+}
+
+#[test]
+fn defense_does_not_depend_on_luck_across_attack_order() {
+    // Run all three attacks back to back against one CTA machine: the
+    // accumulated corruption still never forms a self-reference.
+    let mut kernel = machine(9, true, 0.03, 128);
+    let _ = SprayAttack::default().run(&mut kernel).expect("spray");
+    let _ = TemplatingAttack::default().run(&mut kernel).expect("templating");
+    let _ = BruteForceCtaAttack::default().run(&mut kernel).expect("brute");
+    let report = verify_system(&kernel).expect("verifier");
+    assert_eq!(report.self_references().count(), 0);
+    assert!(report.entries_checked > 0);
+    // And the kernel secret is untouched.
+    let (pfn, secret) = kernel.kernel_secret();
+    assert_eq!(kernel.dram().peek(pfn.addr().0, 16).expect("oracle"), secret);
+}

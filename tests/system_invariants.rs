@@ -1,0 +1,144 @@
+//! Cross-crate integration: CTA system invariants across boot variants.
+
+use monotonic_cta::core::verify::verify_system;
+use monotonic_cta::core::{PtpIndicator, SystemBuilder};
+use monotonic_cta::dram::CellType;
+use monotonic_cta::mem::{PtLevel, ZoneKind, PAGE_SIZE};
+use monotonic_cta::vm::VirtAddr;
+
+#[test]
+fn profiled_boot_equals_oracle_boot() {
+    for seed in [1u64, 2, 3] {
+        let a = SystemBuilder::small_test().seed(seed).protected(true).build().unwrap();
+        let b = SystemBuilder::small_test()
+            .seed(seed)
+            .protected(true)
+            .profile_cells(true)
+            .build()
+            .unwrap();
+        assert_eq!(
+            a.ptp_layout().unwrap().low_water_mark(),
+            b.ptp_layout().unwrap().low_water_mark()
+        );
+        assert_eq!(
+            a.ptp_layout().unwrap().subzones(),
+            b.ptp_layout().unwrap().subzones()
+        );
+    }
+}
+
+#[test]
+fn every_pt_page_is_true_cell_above_mark_under_load() {
+    let mut kernel = SystemBuilder::new(16 << 20)
+        .ptp_bytes(1 << 20)
+        .protected(true)
+        .build()
+        .unwrap();
+    // Three processes with scattered mappings.
+    for p in 0..3u64 {
+        let pid = kernel.create_process(p == 0).unwrap();
+        for i in 0..5u64 {
+            kernel
+                .mmap_anonymous(pid, VirtAddr(0x4000_0000 + i * (4 << 20)), 2 * PAGE_SIZE, true)
+                .unwrap();
+        }
+    }
+    let mark = kernel.ptp_layout().unwrap().low_water_mark();
+    for pid in kernel.pids() {
+        for (pfn, _) in kernel.process(pid).unwrap().pt_pages() {
+            let addr = pfn.addr().0;
+            assert!(addr >= mark);
+            let row = kernel.dram().geometry().row_of_addr(addr).unwrap();
+            assert_eq!(kernel.dram().cell_type_of_row(row).unwrap(), CellType::True);
+            assert_eq!(kernel.allocator().zone_of(*pfn), Some(ZoneKind::Ptp));
+        }
+    }
+    assert!(verify_system(&kernel).unwrap().is_clean());
+}
+
+#[test]
+fn multi_level_boot_keeps_levels_ordered_and_verifies() {
+    let mut kernel = SystemBuilder::new(16 << 20)
+        .ptp_bytes(1 << 20)
+        .protected(true)
+        .multi_level(true)
+        .build()
+        .unwrap();
+    let pid = kernel.create_process(false).unwrap();
+    for i in 0..6u64 {
+        kernel
+            .mmap_anonymous(pid, VirtAddr(0x4000_0000 + i * (2 << 20)), PAGE_SIZE, true)
+            .unwrap();
+    }
+    let layout = kernel.ptp_layout().unwrap().clone();
+    for (pfn, level) in kernel.process(pid).unwrap().pt_pages() {
+        let addr = pfn.addr().0;
+        let home = layout
+            .subzones()
+            .iter()
+            .find(|(r, _)| r.contains(&addr))
+            .and_then(|(_, l)| *l)
+            .expect("PT page in a tagged sub-zone");
+        assert_eq!(home, *level);
+    }
+    assert!(verify_system(&kernel).unwrap().is_clean());
+}
+
+#[test]
+fn two_zeros_restriction_keeps_untrusted_data_out_of_stripes() {
+    let mut kernel = SystemBuilder::new(16 << 20)
+        .ptp_bytes(1 << 20)
+        .protected(true)
+        .restrict_two_zeros(true)
+        .build()
+        .unwrap();
+    let layout = kernel.ptp_layout().unwrap().clone();
+    let indicator = PtpIndicator::of_layout(&layout);
+    let pid = kernel.create_process(false).unwrap();
+    kernel.mmap_anonymous(pid, VirtAddr(0x4000_0000), 64 * PAGE_SIZE, true).unwrap();
+    for record in kernel.iter_pt_entries(pid).unwrap() {
+        if record.level == PtLevel::Pt {
+            let target = record.pte.pfn().addr().0;
+            assert!(
+                indicator.zeros(target) >= 2,
+                "untrusted data page at {target:#x} has under-two-zero indicator"
+            );
+        }
+    }
+}
+
+#[test]
+fn capacity_loss_agrees_with_analysis_model() {
+    // Build a system where the worst case is realized (anti region on top)
+    // and check the measured loss against the section 6.2 model.
+    let kernel = SystemBuilder::new(16 << 20)
+        .ptp_bytes(256 * 1024)
+        .cell_period(64) // 256 KiB runs with 4 KiB rows
+        .protected(true)
+        .build()
+        .unwrap();
+    let layout = kernel.ptp_layout().unwrap();
+    let measured = layout.capacity_loss_bytes();
+    let region_bytes = 64 * 4096; // period_rows × row_bytes
+    let model =
+        monotonic_cta::analysis::capacity::worst_case_loss_bytes(256 * 1024, region_bytes);
+    assert!(measured <= model, "measured {measured} must not exceed worst case {model}");
+}
+
+#[test]
+fn row_remapping_is_transparent_to_cta() {
+    let mut kernel = SystemBuilder::small_test().protected(true).build().unwrap();
+    // Remap a true-cell row inside ZONE_PTP to a same-type spare.
+    let mark_row =
+        kernel.ptp_layout().unwrap().low_water_mark() / kernel.dram().geometry().row_bytes();
+    let faulty = cta_dram::RowId(mark_row + 1);
+    let spare = cta_dram::RowId(mark_row + 3);
+    assert_eq!(kernel.dram().cell_type_of_row(faulty).unwrap(), CellType::True);
+    kernel.dram_mut().remap_row(faulty, spare).unwrap();
+    // The remapped row still reports true-cell and the system still boots
+    // processes and verifies.
+    assert_eq!(kernel.dram().cell_type_of_row(faulty).unwrap(), CellType::True);
+    let pid = kernel.create_process(false).unwrap();
+    kernel.mmap_anonymous(pid, VirtAddr(0x4000_0000), 4 * PAGE_SIZE, true).unwrap();
+    assert!(verify_system(&kernel).unwrap().is_clean());
+}
