@@ -27,6 +27,8 @@ pub mod tables;
 
 pub use attack_time::AttackTiming;
 pub use exploit::{expected_exploitable_ptes, p_exploitable, Restriction};
-pub use monte_carlo::{monte_carlo_p_exploitable, MonteCarloResult};
+pub use monte_carlo::{
+    monte_carlo_p_exploitable, monte_carlo_p_exploitable_sharded, MonteCarloResult,
+};
 pub use params::{FlipStats, SystemShape};
 pub use tables::{table2, table3, EvalRow, TableSpec};

@@ -40,15 +40,11 @@ impl MonteCarloResult {
     }
 }
 
-/// Estimates the exploitable-location probability by sampling `samples`
-/// locations with indicator width `n`.
-pub fn monte_carlo_p_exploitable(
-    n: u32,
-    stats: &FlipStats,
-    restriction: Restriction,
-    samples: u64,
-    seed: u64,
-) -> MonteCarloResult {
+/// One shard's worth of sampling: counts exploitable locations among
+/// `samples` draws from the stream seeded by `seed`. This is the single
+/// sampling loop shared by the serial and sharded entry points — both
+/// produce their hits through exactly this code.
+fn count_hits(n: u32, stats: &FlipStats, restriction: Restriction, samples: u64, seed: u64) -> u64 {
     use rand::SeedableRng;
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     let mut hits = 0u64;
@@ -68,6 +64,55 @@ pub fn monte_carlo_p_exploitable(
             hits += 1;
         }
     }
+    hits
+}
+
+/// Estimates the exploitable-location probability by sampling `samples`
+/// locations with indicator width `n`.
+pub fn monte_carlo_p_exploitable(
+    n: u32,
+    stats: &FlipStats,
+    restriction: Restriction,
+    samples: u64,
+    seed: u64,
+) -> MonteCarloResult {
+    let hits = count_hits(n, stats, restriction, samples, seed);
+    MonteCarloResult { p_hat: hits as f64 / samples as f64, samples, hits }
+}
+
+/// Sharded Monte Carlo estimation: splits `samples` across `shards`
+/// independent streams and runs them on scoped worker threads.
+///
+/// Determinism contract (see `cta_parallel`):
+///
+/// - the result is a pure function of `(n, stats, restriction, samples,
+///   seed, shards)` — thread scheduling never changes `hits` or `p_hat`,
+///   because shard results merge in shard order;
+/// - `shards == 1` reproduces [`monte_carlo_p_exploitable`] **bit for
+///   bit**: shard 0's seed is the campaign seed itself and it samples the
+///   whole budget through the same loop;
+/// - shard `i > 0` draws [`cta_parallel::shard_sizes`]`[i]` samples from
+///   the stream seeded with [`cta_parallel::shard_seed`]`(seed, i)`.
+///
+/// # Panics
+///
+/// Panics if `shards == 0`.
+pub fn monte_carlo_p_exploitable_sharded(
+    n: u32,
+    stats: &FlipStats,
+    restriction: Restriction,
+    samples: u64,
+    seed: u64,
+    shards: u32,
+) -> MonteCarloResult {
+    assert!(shards > 0, "need at least one shard");
+    let sizes = cta_parallel::shard_sizes(samples, shards);
+    let shard_hits = cta_parallel::parallel_map(shards as usize, shards as usize, |i| {
+        count_hits(n, stats, restriction, sizes[i], cta_parallel::shard_seed(seed, i as u32))
+    });
+    // Merge in shard order. Integer addition is order-independent, but the
+    // fixed order is the contract every merged statistic must follow.
+    let hits: u64 = shard_hits.iter().sum();
     MonteCarloResult { p_hat: hits as f64 / samples as f64, samples, hits }
 }
 
@@ -116,6 +161,51 @@ mod tests {
         let a = monte_carlo_p_exploitable(8, &stats, Restriction::None, 10_000, 9);
         let b = monte_carlo_p_exploitable(8, &stats, Restriction::None, 10_000, 9);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn one_shard_is_bit_identical_to_serial() {
+        let stats = FlipStats { pf: 0.05, p0_to_1: 0.2, p1_to_0: 0.8 };
+        for seed in [0u64, 9, 0xC0FFEE] {
+            let serial = monte_carlo_p_exploitable(8, &stats, Restriction::None, 50_000, seed);
+            let one = monte_carlo_p_exploitable_sharded(
+                8,
+                &stats,
+                Restriction::None,
+                50_000,
+                seed,
+                1,
+            );
+            assert_eq!(serial, one, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn sharded_result_depends_only_on_shard_count() {
+        // Same (seed, shards) twice: identical. The scheduling of the
+        // scoped workers differs between runs; the merge order does not.
+        let stats = FlipStats { pf: 0.05, p0_to_1: 0.3, p1_to_0: 0.7 };
+        let a = monte_carlo_p_exploitable_sharded(8, &stats, Restriction::None, 100_000, 11, 4);
+        let b = monte_carlo_p_exploitable_sharded(8, &stats, Restriction::None, 100_000, 11, 4);
+        assert_eq!(a, b);
+        assert_eq!(a.samples, 100_000);
+    }
+
+    #[test]
+    fn sharded_estimate_agrees_statistically_with_serial() {
+        // Different shard counts sample different streams, so hits differ —
+        // but the estimates must agree within Monte Carlo error.
+        let stats = FlipStats { pf: 0.05, p0_to_1: 0.2, p1_to_0: 0.8 };
+        let serial = monte_carlo_p_exploitable(8, &stats, Restriction::None, 400_000, 5);
+        let sharded =
+            monte_carlo_p_exploitable_sharded(8, &stats, Restriction::None, 400_000, 5, 8);
+        let tol = 5.0 * serial.std_error().max(sharded.std_error());
+        assert!(
+            (serial.p_hat - sharded.p_hat).abs() < tol,
+            "serial={:.4e} sharded={:.4e} tol={tol:.1e}",
+            serial.p_hat,
+            sharded.p_hat
+        );
     }
 
     #[test]

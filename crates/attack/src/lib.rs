@@ -20,6 +20,10 @@
 //!   CTA systems, with the section 5 attack-time accounting;
 //! - [`catalog()`] — the Table 1 registry of published RowHammer attacks.
 //!
+//! [`campaign`] runs any of these across many seeds — one freshly built
+//! kernel per trial, optionally in parallel with deterministic,
+//! seed-ordered results (see `cta_parallel`).
+//!
 //! Every attack returns an [`outcome::AttackOutcome`] scoring success by
 //! *observed behavior* (kernel secret leaked / overwritten), cross-checked
 //! against the [`cta_core::verify`] self-reference detector.
@@ -28,6 +32,7 @@
 #![warn(missing_docs)]
 
 pub mod brute;
+pub mod campaign;
 pub mod catalog;
 pub mod hammer;
 pub mod outcome;
@@ -35,6 +40,9 @@ pub mod spray;
 pub mod templating;
 
 pub use brute::BruteForceCtaAttack;
+pub use campaign::{
+    brute_campaign, run_campaign, spray_campaign, templating_campaign, CampaignSummary,
+};
 pub use catalog::{catalog, KnownAttack, Platform, VictimData};
 pub use hammer::HammerDriver;
 pub use outcome::{AttackOutcome, AttackTimeModel};

@@ -1,0 +1,309 @@
+//! `bench-baseline` — the machine-readable performance record.
+//!
+//! Runs the repo's four headline hot paths — PTE-walk latency, DRAM
+//! `read_u64` throughput, Monte Carlo samples/sec (serial and sharded),
+//! and a Table 4 harness smoke — plus allocator throughput, and merges
+//! the results into `BENCH_baseline.json` at the repo root under a
+//! `--label` key. Re-running with a different label preserves the other
+//! labels' sections, so before/after trajectories accumulate in one file
+//! (see EXPERIMENTS.md for the field reference).
+//!
+//! Usage:
+//!
+//! ```text
+//! bench-baseline [--label <name>] [--quick] [--out <path>]
+//! ```
+//!
+//! `--quick` shrinks every workload so the whole run finishes well under
+//! 60 s — the smoke-test mode wired into `scripts/check.sh`.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use cta_analysis::{
+    monte_carlo_p_exploitable, monte_carlo_p_exploitable_sharded, FlipStats, Restriction,
+};
+use cta_bench::{header, kv};
+use cta_core::SystemBuilder;
+use cta_dram::{DisturbanceParams, DramConfig, DramModule};
+use cta_mem::PAGE_SIZE;
+use cta_vm::{Access, Kernel, VirtAddr};
+use cta_workloads::{spec2006, Runner};
+
+const MC_SEED: u64 = 7;
+const MC_N: u32 = 8;
+
+struct Options {
+    label: String,
+    quick: bool,
+    out: std::path::PathBuf,
+}
+
+fn parse_args() -> Options {
+    let mut label = "run".to_string();
+    let mut quick = false;
+    let mut out = default_out_path();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--label" => label = args.next().expect("--label needs a value"),
+            "--quick" => quick = true,
+            "--out" => out = args.next().expect("--out needs a value").into(),
+            "--help" | "-h" => {
+                println!("usage: bench-baseline [--label <name>] [--quick] [--out <path>]");
+                std::process::exit(0);
+            }
+            other => panic!("unknown argument {other:?}"),
+        }
+    }
+    Options { label, quick, out }
+}
+
+/// `BENCH_baseline.json` lives at the repo root, two levels above this
+/// crate's manifest.
+fn default_out_path() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_baseline.json")
+}
+
+fn flip_free_machine(protected: bool) -> Kernel {
+    // Flip-free module: the walk benchmark drives millions of walks and
+    // must not RowHammer its own page tables (same rationale as
+    // `benches/vm.rs`); timing paths are identical.
+    SystemBuilder::new(16 << 20)
+        .ptp_bytes(1 << 20)
+        .seed(3)
+        .protected(protected)
+        .disturbance(DisturbanceParams { pf: 0.0, ..DisturbanceParams::default() })
+        .build()
+        .expect("machine boots")
+}
+
+/// Times `f` over `iters` calls and returns mean ns/call.
+fn time_per_iter(iters: u64, mut f: impl FnMut()) -> f64 {
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    start.elapsed().as_nanos() as f64 / iters as f64
+}
+
+fn bench_walk_latency(quick: bool, metrics: &mut Vec<(String, f64)>) {
+    let iters = if quick { 20_000 } else { 200_000 };
+    for protected in [false, true] {
+        let label = if protected { "cta" } else { "stock" };
+        let mut k = flip_free_machine(protected);
+        let pid = k.create_process(false).unwrap();
+        let va = VirtAddr(0x4000_0000);
+        k.mmap_anonymous(pid, va, 8 * PAGE_SIZE, true).unwrap();
+
+        let cold = time_per_iter(iters, || {
+            k.flush_tlb();
+            std::hint::black_box(k.translate(pid, va, Access::user_read()).unwrap());
+        });
+        metrics.push((format!("pte_walk_cold_{label}_ns"), cold));
+
+        k.translate(pid, va, Access::user_read()).unwrap();
+        let hot = time_per_iter(iters, || {
+            std::hint::black_box(k.translate(pid, va, Access::user_read()).unwrap());
+        });
+        metrics.push((format!("translate_tlb_hit_{label}_ns"), hot));
+    }
+}
+
+fn bench_dram_throughput(quick: bool, metrics: &mut Vec<(String, f64)>) {
+    let iters = if quick { 200_000 } else { 2_000_000 };
+    let mut m = DramModule::new(DramConfig::small_test());
+    m.fill(0, 64 * 1024, 0xAB).unwrap();
+
+    let mut addr = 0u64;
+    let per_read = time_per_iter(iters, || {
+        std::hint::black_box(m.read_u64(addr % 4000).unwrap());
+        addr += 8;
+    });
+    metrics.push(("dram_read_u64_ops_per_sec".into(), 1e9 / per_read));
+
+    let mut addr = 0u64;
+    let per_write = time_per_iter(iters, || {
+        m.write_u64(addr % 200_000, 0xDEAD_BEEF).unwrap();
+        addr += 8;
+    });
+    metrics.push(("dram_write_u64_ops_per_sec".into(), 1e9 / per_write));
+
+    let page_iters = iters / 50;
+    let mut addr = 2048u64;
+    let per_page = time_per_iter(page_iters, || {
+        std::hint::black_box(m.read(addr % 60_000, 4096).unwrap());
+        addr += 4096;
+    });
+    metrics.push(("dram_read_page_cross_row_mb_per_sec".into(), 4096.0 * 1e9 / per_page / 1e6));
+}
+
+fn bench_alloc_throughput(quick: bool, metrics: &mut Vec<(String, f64)>) {
+    use cta_dram::{AddressMapping, CellLayout, CellType, CellTypeMap, DramGeometry};
+    use cta_mem::{GfpFlags, MemoryMap, PtpLayout, PtpSpec, ZonedAllocator};
+    let iters = if quick { 100_000 } else { 1_000_000 };
+    let geometry = DramGeometry::new(64 * 1024, 1024, 1, AddressMapping::RowLinear);
+    let cells = CellTypeMap::from_layout(
+        &geometry,
+        CellLayout::Alternating { period_rows: 64, first: CellType::True },
+    );
+    let layout =
+        PtpLayout::build(&cells, 64 << 20, &PtpSpec::paper_default().with_size(4 << 20)).unwrap();
+    let mut alloc = ZonedAllocator::new(MemoryMap::x86_64(64 << 20).with_cta(layout));
+    let per_cycle = time_per_iter(iters, || {
+        let p = alloc.alloc_pages(GfpFlags::PTP, 0).unwrap();
+        alloc.free_pages(p, 0).unwrap();
+    });
+    metrics.push(("alloc_free_ptp_page_pairs_per_sec".into(), 1e9 / per_cycle));
+}
+
+fn bench_monte_carlo(quick: bool, metrics: &mut Vec<(String, f64)>) {
+    let stats = FlipStats { pf: 1e-3, p0_to_1: 0.3, p1_to_0: 0.7 };
+    let samples: u64 = if quick { 400_000 } else { 4_000_000 };
+
+    let start = Instant::now();
+    let serial = monte_carlo_p_exploitable(MC_N, &stats, Restriction::None, samples, MC_SEED);
+    let serial_rate = samples as f64 / start.elapsed().as_secs_f64();
+    metrics.push(("mc_serial_samples_per_sec".into(), serial_rate));
+    metrics.push(("mc_serial_hits".into(), serial.hits as f64));
+
+    // One shard reproduces the serial stream bit for bit — record the
+    // identity so the baseline file itself witnesses the contract.
+    let one = monte_carlo_p_exploitable_sharded(MC_N, &stats, Restriction::None, samples, MC_SEED, 1);
+    assert_eq!(one.hits, serial.hits, "shards=1 must be bit-identical to serial");
+    metrics.push(("mc_shards1_hits".into(), one.hits as f64));
+
+    // Sharded across the host's cores (≥ 2 shards so the parallel path is
+    // exercised even on a single-core runner).
+    let shards = cta_parallel::worker_count(0).max(2) as u32;
+    let start = Instant::now();
+    let sharded =
+        monte_carlo_p_exploitable_sharded(MC_N, &stats, Restriction::None, samples, MC_SEED, shards);
+    let sharded_rate = samples as f64 / start.elapsed().as_secs_f64();
+    metrics.push(("mc_sharded_shards".into(), shards as f64));
+    metrics.push(("mc_sharded_samples_per_sec".into(), sharded_rate));
+    metrics.push(("mc_sharded_hits".into(), sharded.hits as f64));
+}
+
+fn bench_table4_smoke(quick: bool, metrics: &mut Vec<(String, f64)>) {
+    let specs = spec2006();
+    let smoke: Vec<_> = specs.iter().take(if quick { 2 } else { 4 }).collect();
+    let runner = Runner { repetitions: 2, seed: 0x1234 };
+    let machine = |protected: bool| {
+        SystemBuilder::new(16 << 20)
+            .ptp_bytes(1 << 20)
+            .seed(0x7AB1E4)
+            .protected(protected)
+            .build()
+            .expect("machine boots")
+    };
+
+    let start = Instant::now();
+    let mut sim_delta_sum = 0.0;
+    let mut serial_rows = Vec::new();
+    for spec in &smoke {
+        let row = runner.compare(machine, spec).expect("workload runs");
+        sim_delta_sum += row.delta_percent();
+        serial_rows.push(row);
+    }
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    metrics.push(("table4_smoke_serial_wall_ms".into(), wall_ms));
+    metrics.push(("table4_smoke_mean_sim_delta_pct".into(), sim_delta_sum / smoke.len() as f64));
+
+    // The same cells through the parallel harness (threads = cores, min 2
+    // so the worker path runs even single-core); simulated results must be
+    // bit-identical to the serial loop.
+    let owned: Vec<_> = smoke.iter().map(|s| **s).collect();
+    let threads = cta_parallel::worker_count(0).max(2);
+    let start = Instant::now();
+    let parallel_rows =
+        runner.compare_many(machine, &owned, threads).expect("workloads run");
+    let parallel_ms = start.elapsed().as_secs_f64() * 1e3;
+    for (serial, parallel) in serial_rows.iter().zip(&parallel_rows) {
+        assert_eq!(
+            serial.baseline_sim_ns.to_bits(),
+            parallel.baseline_sim_ns.to_bits(),
+            "parallel Table 4 must be bit-identical to serial"
+        );
+        assert_eq!(serial.cta_sim_ns.to_bits(), parallel.cta_sim_ns.to_bits());
+    }
+    metrics.push(("table4_smoke_parallel_wall_ms".into(), parallel_ms));
+    metrics.push(("table4_smoke_parallel_threads".into(), threads as f64));
+}
+
+/// Serializes one label's section as a single JSON line (self-merging
+/// format: the file is parsed back line-by-line, no JSON library needed).
+fn render_section(label: &str, quick: bool, metrics: &[(String, f64)]) -> String {
+    let mut line = format!("  \"{label}\": {{\"quick\": {quick}, \"metrics\": {{");
+    for (i, (key, value)) in metrics.iter().enumerate() {
+        if i > 0 {
+            line.push_str(", ");
+        }
+        let _ = write!(line, "\"{key}\": {value:.3}");
+    }
+    line.push_str("}}");
+    line
+}
+
+/// Merges this run's section into the JSON file, preserving every other
+/// label's single-line section.
+fn merge_into_file(path: &std::path::Path, label: &str, section: String) {
+    let mut sections: Vec<(String, String)> = Vec::new();
+    if let Ok(existing) = std::fs::read_to_string(path) {
+        for line in existing.lines() {
+            let trimmed = line.trim_start();
+            if let Some(rest) = trimmed.strip_prefix('"') {
+                if let Some(end) = rest.find('"') {
+                    let existing_label = &rest[..end];
+                    if existing_label != label {
+                        sections.push((
+                            existing_label.to_string(),
+                            line.trim_end().trim_end_matches(',').to_string(),
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    sections.push((label.to_string(), section));
+
+    let mut out = String::from("{\n");
+    for (i, (_, line)) in sections.iter().enumerate() {
+        out.push_str(line);
+        if i + 1 < sections.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("}\n");
+    std::fs::write(path, out).expect("write BENCH_baseline.json");
+}
+
+fn main() {
+    let opts = parse_args();
+    header(&format!(
+        "bench-baseline — label '{}'{}",
+        opts.label,
+        if opts.quick { " (quick)" } else { "" }
+    ));
+
+    let mut metrics: Vec<(String, f64)> = Vec::new();
+    let overall = Instant::now();
+
+    bench_walk_latency(opts.quick, &mut metrics);
+    bench_dram_throughput(opts.quick, &mut metrics);
+    bench_alloc_throughput(opts.quick, &mut metrics);
+    bench_monte_carlo(opts.quick, &mut metrics);
+    bench_table4_smoke(opts.quick, &mut metrics);
+
+    metrics.push(("total_wall_s".into(), overall.elapsed().as_secs_f64()));
+    for (key, value) in &metrics {
+        kv(key, format!("{value:.3}"));
+    }
+
+    let section = render_section(&opts.label, opts.quick, &metrics);
+    merge_into_file(&opts.out, &opts.label, section);
+    kv("written", opts.out.display());
+}

@@ -74,7 +74,7 @@ fn algorithm1(kernel: &mut Kernel) -> (usize, usize, u64) {
             .expect("translate")
             / PAGE_SIZE;
         soaked += 1;
-        if soaked % 32 == 0 {
+        if soaked.is_multiple_of(32) {
             kernel.dram_mut().advance(interval);
         }
         if pfn + 1 >= stripe_lo {

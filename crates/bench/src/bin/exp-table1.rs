@@ -5,7 +5,7 @@ use cta_bench::header;
 
 fn main() {
     header("Table 1: Existing RowHammer Attacks");
-    println!("{:<36} {:<10} {:<44} {:<9} {}", "Techniques", "Victim", "Attacks", "Platform", "CTA mitigates");
+    println!("{:<36} {:<10} {:<44} {:<9} CTA mitigates", "Techniques", "Victim", "Attacks", "Platform");
     for row in catalog() {
         println!(
             "{:<36} {:<10} {:<44} {:<9} {}",

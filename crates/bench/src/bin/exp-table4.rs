@@ -1,11 +1,16 @@
 //! Regenerates Table 4: per-benchmark overhead of CTA on two machine
 //! shapes (the paper's 8 GiB and 128 GiB hosts, scaled to simulator size
 //! while preserving the `ZONE_PTP`:memory ratio).
+//!
+//! Benchmark×repetition cells run through [`Runner::compare_many`], which
+//! parallelizes across worker threads while keeping simulated results
+//! bit-identical to the serial loop (`--threads 1` *is* the serial loop).
+//! Wall-clock deltas are host measurements and remain noisy either way.
 
 use cta_bench::{header, kv};
 use cta_core::SystemBuilder;
 use cta_vm::Kernel;
-use cta_workloads::{phoronix, spec2006, Runner, Suite};
+use cta_workloads::{phoronix, spec2006, Runner, Suite, WorkloadSpec};
 
 fn machine(total: u64, ptp: u64, protected: bool) -> Kernel {
     SystemBuilder::new(total)
@@ -16,16 +21,18 @@ fn machine(total: u64, ptp: u64, protected: bool) -> Kernel {
         .expect("machine boots")
 }
 
-fn run_suite(title: &str, total: u64, ptp: u64) {
+fn run_suite(title: &str, total: u64, ptp: u64, threads: usize) {
     header(title);
     println!("{:<20} {:>14} {:>14}", "Benchmark", "sim-time Δ%", "wall-clock Δ%");
     let runner = Runner { repetitions: 2, seed: 0x1234 };
+    let specs: Vec<WorkloadSpec> =
+        spec2006().iter().chain(phoronix().iter()).cloned().collect();
+    let rows = runner
+        .compare_many(|protected| machine(total, ptp, protected), &specs, threads)
+        .expect("workloads run");
     let mut sums: std::collections::HashMap<Suite, (f64, f64, u32)> =
         std::collections::HashMap::new();
-    for spec in spec2006().iter().chain(phoronix().iter()) {
-        let row = runner
-            .compare(|protected| machine(total, ptp, protected), spec)
-            .expect("workload runs");
+    for (spec, row) in specs.iter().zip(&rows) {
         println!(
             "{:<20} {:>13.2}% {:>13.2}%",
             spec.name,
@@ -46,11 +53,36 @@ fn run_suite(title: &str, total: u64, ptp: u64) {
 }
 
 fn main() {
+    // `--threads N` (default 0 = one worker per core; 1 = serial loop).
+    let mut threads = 0usize;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--threads" => {
+                threads = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--threads needs a number");
+            }
+            other => panic!("unknown argument {other:?} (supported: --threads N)"),
+        }
+    }
+
     // "8 GB system": 16 MiB sim memory with a 1 MiB ZONE_PTP preserves the
     // paper's 1:256 zone ratio (n = 8 indicator bits, as on the real host).
-    run_suite("Table 4 — small host (8GB-analog: 16 MiB sim, 1 MiB ZONE_PTP)", 16 << 20, 1 << 20);
+    run_suite(
+        "Table 4 — small host (8GB-analog: 16 MiB sim, 1 MiB ZONE_PTP)",
+        16 << 20,
+        1 << 20,
+        threads,
+    );
     // "128 GB system": same ratio class, larger memory.
-    run_suite("Table 4 — large host (128GB-analog: 64 MiB sim, 4 MiB ZONE_PTP)", 64 << 20, 4 << 20);
+    run_suite(
+        "Table 4 — large host (128GB-analog: 64 MiB sim, 4 MiB ZONE_PTP)",
+        64 << 20,
+        4 << 20,
+        threads,
+    );
 
     header("Interpretation");
     kv("expected result", "every |Δ| within noise; suite means ≈ 0 (Table 4)");

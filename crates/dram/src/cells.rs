@@ -88,7 +88,7 @@ impl CellLayout {
     pub fn cell_type(self, row: RowId) -> CellType {
         match self {
             CellLayout::Alternating { period_rows, first } => {
-                if (row.0 / period_rows) % 2 == 0 {
+                if (row.0 / period_rows).is_multiple_of(2) {
                     first
                 } else {
                     first.opposite()

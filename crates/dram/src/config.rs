@@ -108,7 +108,7 @@ impl DramConfig {
         const ROW: u64 = 128 * 1024;
         const BANKS: u32 = 8;
         assert!(
-            capacity_bytes > 0 && capacity_bytes % (ROW * BANKS as u64) == 0,
+            capacity_bytes > 0 && capacity_bytes.is_multiple_of(ROW * BANKS as u64),
             "capacity must be a positive multiple of banks*row_bytes"
         );
         let rows_per_bank = capacity_bytes / ROW / BANKS as u64;

@@ -82,7 +82,7 @@ pub fn profile_cell_types(
         return Err(DramError::RowOutOfBounds { row: RowId(range.end - 1), rows: total_rows });
     }
     let row_bytes = module.geometry().row_bytes() as usize;
-    for row in range.clone() {
+    for row in range.start..range.end {
         let addr = module.geometry().addr_of_row(RowId(row))?;
         module.fill(addr, row_bytes, 0xFF)?;
     }
@@ -90,9 +90,10 @@ pub fn profile_cell_types(
     module.advance(config.wait_ns);
     let mut types = Vec::with_capacity((range.end - range.start) as usize);
     let mut dissent = Vec::with_capacity(types.capacity());
-    for row in range.clone() {
+    let mut data = vec![0u8; row_bytes];
+    for row in range.start..range.end {
         let addr = module.geometry().addr_of_row(RowId(row))?;
-        let data = module.read(addr, row_bytes)?;
+        module.read_into(addr, &mut data)?;
         let ones: u64 = data.iter().map(|b| b.count_ones() as u64).sum();
         let bits = (row_bytes * crate::BITS_PER_BYTE) as u64;
         // Charged value was `1`. Decayed true-cells read 0, anti-cells 1.
@@ -162,7 +163,7 @@ pub fn profile_retention(
     let row_bytes = module.geometry().row_bytes() as usize;
     // Write the *charged* pattern per row polarity: 1s to true-cells, 0s to
     // anti-cells.
-    for row in rows.clone() {
+    for row in rows.start..rows.end {
         let cell_type = module.cell_type_of_row(RowId(row))?;
         let addr = module.geometry().addr_of_row(RowId(row))?;
         let pattern = match cell_type {
@@ -174,10 +175,11 @@ pub fn profile_retention(
     module.disable_refresh();
     module.advance(probe_ns);
     let mut long_cells = Vec::new();
-    for row in rows.clone() {
+    let mut data = vec![0u8; row_bytes];
+    for row in rows.start..rows.end {
         let cell_type = module.cell_type_of_row(RowId(row))?;
         let addr = module.geometry().addr_of_row(RowId(row))?;
-        let data = module.read(addr, row_bytes)?;
+        module.read_into(addr, &mut data)?;
         let charged = !cell_type.discharged_value();
         for (byte_idx, byte) in data.iter().enumerate() {
             if (charged && *byte == 0) || (!charged && *byte == 0xFF) {

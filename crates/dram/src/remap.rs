@@ -69,7 +69,13 @@ impl RemapTable {
 
     /// The physical row actually backing `row` (swap semantics: the spare
     /// resolves back to the faulty row's storage).
+    #[inline]
     pub fn resolve(&self, row: RowId) -> RowId {
+        // Almost every module has no repairs at all; make that case free
+        // (it sits under every data access the simulator performs).
+        if self.map.is_empty() {
+            return row;
+        }
         if let Some(spare) = self.map.get(&row.0) {
             return RowId(*spare);
         }

@@ -45,7 +45,7 @@ impl MemoryMap {
     }
 
     fn from_boundaries(total_bytes: u64, boundaries: &[(ZoneKind, u64)]) -> Self {
-        assert!(total_bytes > 0 && total_bytes % PAGE_SIZE == 0, "memory must be page aligned");
+        assert!(total_bytes > 0 && total_bytes.is_multiple_of(PAGE_SIZE), "memory must be page aligned");
         let mut zones = Vec::new();
         for (i, (kind, start)) in boundaries.iter().enumerate() {
             let end = boundaries.get(i + 1).map(|(_, s)| *s).unwrap_or(total_bytes).min(total_bytes);
@@ -68,8 +68,8 @@ impl MemoryMap {
     /// Panics unless `user_bytes + guard_bytes < total_bytes` and all sizes
     /// are page-aligned.
     pub fn x86_64_with_catt(total_bytes: u64, user_bytes: u64, guard_bytes: u64) -> Self {
-        assert!(total_bytes % PAGE_SIZE == 0 && user_bytes % PAGE_SIZE == 0);
-        assert!(guard_bytes % PAGE_SIZE == 0);
+        assert!(total_bytes.is_multiple_of(PAGE_SIZE) && user_bytes.is_multiple_of(PAGE_SIZE));
+        assert!(guard_bytes.is_multiple_of(PAGE_SIZE));
         assert!(user_bytes + guard_bytes < total_bytes, "no room for the kernel partition");
         let kernel_top = total_bytes - user_bytes - guard_bytes;
         let mut map = Self::from_boundaries(

@@ -15,7 +15,7 @@ impl PhysAddr {
 
     /// Whether the address is page-aligned.
     pub fn is_page_aligned(self) -> bool {
-        self.0 % PAGE_SIZE == 0
+        self.0.is_multiple_of(PAGE_SIZE)
     }
 
     /// Byte offset within the page.

@@ -436,7 +436,7 @@ impl Kernel {
             }
             let _ = va;
         }
-        for (_, block) in &proc.huge_mappings {
+        for block in proc.huge_mappings.values() {
             for f in 0..HUGE_PAGE_SIZE / PAGE_SIZE {
                 self.owners.remove(&(block.0 + f));
             }
@@ -557,10 +557,10 @@ impl Kernel {
         len: u64,
         writable: bool,
     ) -> Result<(), VmError> {
-        if va.0 % HUGE_PAGE_SIZE != 0 {
+        if !va.0.is_multiple_of(HUGE_PAGE_SIZE) {
             return Err(VmError::Unaligned { value: va.0 });
         }
-        if len == 0 || len % HUGE_PAGE_SIZE != 0 {
+        if len == 0 || !len.is_multiple_of(HUGE_PAGE_SIZE) {
             return Err(VmError::Unaligned { value: len });
         }
         self.check_range(pid, va, len)?;
@@ -622,7 +622,7 @@ impl Kernel {
     /// Alignment errors; [`VmError::NotMapped`] if a chunk is not a live
     /// huge mapping.
     pub fn munmap_huge(&mut self, pid: Pid, va: VirtAddr, len: u64) -> Result<(), VmError> {
-        if va.0 % HUGE_PAGE_SIZE != 0 || len == 0 || len % HUGE_PAGE_SIZE != 0 {
+        if !va.0.is_multiple_of(HUGE_PAGE_SIZE) || len == 0 || !len.is_multiple_of(HUGE_PAGE_SIZE) {
             return Err(VmError::Unaligned { value: va.0 | len });
         }
         for i in 0..len / HUGE_PAGE_SIZE {
@@ -707,7 +707,7 @@ impl Kernel {
     ///
     /// [`VmError::Unaligned`]; allocation failures.
     pub fn create_file(&mut self, len: u64) -> Result<FileId, VmError> {
-        if len == 0 || len % PAGE_SIZE != 0 {
+        if len == 0 || !len.is_multiple_of(PAGE_SIZE) {
             return Err(VmError::Unaligned { value: len });
         }
         let id = FileId(self.next_file);
@@ -766,7 +766,7 @@ impl Kernel {
         len: u64,
         writable: bool,
     ) -> Result<(), VmError> {
-        if va.0 % PAGE_SIZE != 0 || len == 0 || len % PAGE_SIZE != 0 {
+        if !va.0.is_multiple_of(PAGE_SIZE) || len == 0 || !len.is_multiple_of(PAGE_SIZE) {
             return Err(VmError::Unaligned { value: va.0 | len });
         }
         let cr3 = self.process(pid)?.cr3();
@@ -794,8 +794,8 @@ impl Kernel {
     ///
     /// [`VmError::NotMapped`] if a page in the range is not mapped.
     pub fn munmap(&mut self, pid: Pid, va: VirtAddr, len: u64) -> Result<(), VmError> {
-        if va.0 % PAGE_SIZE != 0 || len == 0 || len % PAGE_SIZE != 0 {
-            return Err(VmError::Unaligned { value: if len % PAGE_SIZE != 0 { len } else { va.0 } });
+        if !va.0.is_multiple_of(PAGE_SIZE) || len == 0 || !len.is_multiple_of(PAGE_SIZE) {
+            return Err(VmError::Unaligned { value: if !len.is_multiple_of(PAGE_SIZE) { len } else { va.0 } });
         }
         for i in 0..len / PAGE_SIZE {
             let page_va = va.offset(i * PAGE_SIZE);
@@ -831,10 +831,10 @@ impl Kernel {
     }
 
     fn check_range(&self, pid: Pid, va: VirtAddr, len: u64) -> Result<(), VmError> {
-        if va.0 % PAGE_SIZE != 0 {
+        if !va.0.is_multiple_of(PAGE_SIZE) {
             return Err(VmError::Unaligned { value: va.0 });
         }
-        if len == 0 || len % PAGE_SIZE != 0 {
+        if len == 0 || !len.is_multiple_of(PAGE_SIZE) {
             return Err(VmError::Unaligned { value: len });
         }
         let proc = self.process(pid)?;

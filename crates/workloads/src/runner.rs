@@ -104,11 +104,10 @@ impl Runner {
         }
 
         // Access phase with interleaved churn.
-        let churn_every = if spec.churn_cycles == 0 {
-            u64::MAX
-        } else {
-            (spec.access_ops / spec.churn_cycles).max(1)
-        };
+        let churn_every = spec
+            .access_ops
+            .checked_div(spec.churn_cycles)
+            .map_or(u64::MAX, |per| per.max(1));
         let mut hot_page = 0u64;
         let mut buf = [0u8; 64];
         for op in 0..spec.access_ops {
@@ -182,6 +181,72 @@ impl Runner {
             repetitions: self.repetitions,
         })
     }
+
+    /// Runs the whole Table 4 harness — every benchmark × repetition ×
+    /// {stock, CTA} cell — across up to `threads` worker threads
+    /// (`0` = one per core), returning one [`OverheadRow`] per spec in
+    /// input order.
+    ///
+    /// Each cell builds its **own** kernels inside its worker (simulated
+    /// machines are single-threaded and never cross threads), and the
+    /// per-spec reduction accumulates repetitions in repetition order on
+    /// the calling thread — so every *simulated-time* field is
+    /// bit-identical to running [`Runner::compare`] serially over `specs`.
+    /// Wall-clock fields measure the host and are inherently noisy in
+    /// either mode. `threads <= 1` runs the exact serial path.
+    ///
+    /// # Errors
+    ///
+    /// The lowest-indexed cell's kernel error, if any cell failed.
+    pub fn compare_many<F>(
+        &self,
+        build: F,
+        specs: &[WorkloadSpec],
+        threads: usize,
+    ) -> Result<Vec<OverheadRow>, VmError>
+    where
+        F: Fn(bool) -> Kernel + Sync,
+    {
+        let reps = self.repetitions as usize;
+        let jobs = specs.len() * reps;
+        // One job per benchmark×repetition: run the stock and CTA kernels
+        // back-to-back like the serial loop does.
+        let cells = cta_parallel::try_parallel_map(jobs, threads, |job| {
+            let spec = &specs[job / reps];
+            let mut stock_kernel = build(false);
+            let stock = self.run(&mut stock_kernel, spec)?;
+            let mut cta_kernel = build(true);
+            let cta = self.run(&mut cta_kernel, spec)?;
+            Ok::<_, VmError>((stock, cta))
+        })?;
+
+        let n = self.repetitions as f64;
+        Ok(specs
+            .iter()
+            .enumerate()
+            .map(|(s, spec)| {
+                let mut baseline = 0f64;
+                let mut cta = 0f64;
+                let mut baseline_wall = 0f64;
+                let mut cta_wall = 0f64;
+                // Repetition order, exactly like `compare`.
+                for (stock_m, cta_m) in &cells[s * reps..(s + 1) * reps] {
+                    baseline += stock_m.sim_ns as f64;
+                    baseline_wall += stock_m.wall_ns as f64;
+                    cta += cta_m.sim_ns as f64;
+                    cta_wall += cta_m.wall_ns as f64;
+                }
+                OverheadRow {
+                    name: spec.name.to_string(),
+                    baseline_sim_ns: baseline / n,
+                    cta_sim_ns: cta / n,
+                    baseline_wall_ns: baseline_wall / n,
+                    cta_wall_ns: cta_wall / n,
+                    repetitions: self.repetitions,
+                }
+            })
+            .collect())
+    }
 }
 
 fn hash_name(name: &str) -> u64 {
@@ -201,6 +266,27 @@ mod tests {
             .protected(protected)
             .build()
             .unwrap()
+    }
+
+    #[test]
+    fn compare_many_is_bit_identical_to_serial_compare() {
+        let specs = spec2006();
+        let smoke = &specs[..3];
+        let runner = Runner { repetitions: 2, seed: 0x1234 };
+        let serial: Vec<_> =
+            smoke.iter().map(|s| runner.compare(machine, s).unwrap()).collect();
+        for threads in [1, 4] {
+            let parallel = runner.compare_many(machine, smoke, threads).unwrap();
+            assert_eq!(parallel.len(), serial.len());
+            for (a, b) in serial.iter().zip(&parallel) {
+                assert_eq!(a.name, b.name);
+                // Simulated-time fields are the deterministic contract:
+                // compare at the bit level, not within an epsilon.
+                assert_eq!(a.baseline_sim_ns.to_bits(), b.baseline_sim_ns.to_bits());
+                assert_eq!(a.cta_sim_ns.to_bits(), b.cta_sim_ns.to_bits());
+                assert_eq!(a.repetitions, b.repetitions);
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,26 @@
+#!/usr/bin/env sh
+# Tier-1 gate for monotonic-cta: build, full test suite, clippy (deny
+# warnings), and a quick bench-baseline smoke run. Everything here must
+# pass before a change lands.
+#
+# Usage: scripts/check.sh
+#
+# The bench smoke writes under the "check" label in BENCH_baseline.json
+# so it never clobbers the recorded before/after sections.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release --workspace
+
+echo "==> cargo test --workspace"
+cargo test --workspace -q
+
+echo "==> cargo clippy --workspace -- -D warnings"
+cargo clippy --workspace -q -- -D warnings
+
+echo "==> bench-baseline --quick smoke"
+cargo run --release -q -p cta-bench --bin bench-baseline -- --label check --quick
+
+echo "==> check.sh: all gates passed"

@@ -1,0 +1,228 @@
+//! Offline, in-tree micro-benchmark harness.
+//!
+//! Implements the slice of the `criterion` crate API this workspace's
+//! `benches/` targets use: [`Criterion::bench_function`],
+//! [`Criterion::benchmark_group`], [`Bencher::iter`] /
+//! [`Bencher::iter_batched`], [`BatchSize`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Compared to upstream there is no statistical analysis, HTML report, or
+//! baseline comparison: each benchmark is auto-calibrated to a minimum
+//! measurement window, run for a handful of samples, and the median
+//! per-iteration time is printed as one line. That is enough to keep
+//! `cargo bench` functional and comparable run-to-run in this offline
+//! environment; the repo's `bench-baseline` binary is the machine-readable
+//! performance record.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// How batched inputs are grouped; accepted for API compatibility.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+/// Runs one benchmark's measured section.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` over the calibrated iteration count.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Times `routine` only, re-running `setup` outside the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.elapsed = total;
+    }
+}
+
+/// The benchmark driver handed to `criterion_group!` targets.
+pub struct Criterion {
+    sample_size: usize,
+    /// Minimum wall time one sample should cover, for calibration.
+    min_sample: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 10,
+            min_sample: Duration::from_millis(5),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Registers and immediately runs one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<String>,
+        f: F,
+    ) -> &mut Self {
+        run_bench(&id.into(), self.sample_size, self.min_sample, f);
+        self
+    }
+
+    /// Opens a named group; benchmark ids are prefixed with `name/`.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of samples for benchmarks in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.criterion.sample_size(n);
+        self
+    }
+
+    /// Registers and immediately runs one benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<String>,
+        f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into());
+        run_bench(
+            &full,
+            self.criterion.sample_size,
+            self.criterion.min_sample,
+            f,
+        );
+        self
+    }
+
+    /// Ends the group (report flushing is a no-op here).
+    pub fn finish(self) {}
+}
+
+/// Calibrates the iteration count, takes samples, prints the median.
+fn run_bench<F: FnMut(&mut Bencher)>(id: &str, samples: usize, min_sample: Duration, mut f: F) {
+    // Calibration: grow iters until one sample covers the minimum window.
+    let mut iters = 1u64;
+    loop {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        if b.elapsed >= min_sample || iters >= 1 << 20 {
+            break;
+        }
+        // Jump toward the target window rather than doubling blindly.
+        let factor = if b.elapsed.is_zero() {
+            16.0
+        } else {
+            (min_sample.as_secs_f64() / b.elapsed.as_secs_f64()).clamp(1.5, 16.0)
+        };
+        iters = ((iters as f64 * factor).ceil() as u64).min(1 << 20);
+    }
+
+    let mut per_iter_ns: Vec<f64> = (0..samples.max(2))
+        .map(|_| {
+            let mut b = Bencher {
+                iters,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            b.elapsed.as_nanos() as f64 / iters as f64
+        })
+        .collect();
+    per_iter_ns.sort_by(|a, b| a.total_cmp(b));
+    let median = per_iter_ns[per_iter_ns.len() / 2];
+    println!("bench {id:<48} {median:>14.1} ns/iter ({iters} iters x {samples} samples)");
+}
+
+/// Declares a function running each listed benchmark target in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_calibrates() {
+        let mut c = Criterion::default();
+        c.sample_size(2);
+        let mut calls = 0u64;
+        c.bench_function("smoke/add", |b| {
+            b.iter(|| {
+                calls += 1;
+                std::hint::black_box(2u64 + 2)
+            })
+        });
+        assert!(calls > 0);
+    }
+
+    #[test]
+    fn iter_batched_separates_setup() {
+        let mut c = Criterion::default();
+        c.sample_size(2);
+        let mut group = c.benchmark_group("smoke");
+        group.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 64], |v| v.len(), BatchSize::SmallInput)
+        });
+        group.finish();
+    }
+}

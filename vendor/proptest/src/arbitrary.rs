@@ -1,0 +1,78 @@
+//! `any::<T>()` — full-range strategies for primitive types.
+
+use std::fmt::Debug;
+use std::marker::PhantomData;
+
+use rand::{Rng, RngCore};
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Types with a canonical full-range strategy.
+pub trait Arbitrary: Sized + Debug {
+    /// Draws one value covering the type's whole domain.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.gen()
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        // Unit-interval like upstream's finite-f64 bias toward usability.
+        rng.gen()
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),* $(,)?) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Strategy returned by [`any`].
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The strategy generating any value of `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn any_u64_spans_high_bits() {
+        let mut rng = TestRng::seed_from_u64(4);
+        let strat = any::<u64>();
+        let high = (0..256).filter(|_| strat.generate(&mut rng) > u64::MAX / 2).count();
+        assert!(high > 64, "high half should appear often, got {high}");
+    }
+
+    #[test]
+    fn any_bool_yields_both() {
+        let mut rng = TestRng::seed_from_u64(5);
+        let strat = any::<bool>();
+        let trues = (0..128).filter(|_| strat.generate(&mut rng)).count();
+        assert!(trues > 16 && trues < 112);
+    }
+}

@@ -1,0 +1,161 @@
+//! Offline, in-tree property-testing harness.
+//!
+//! Implements the slice of the `proptest` crate API this workspace's test
+//! suites use: the [`strategy::Strategy`] trait with `prop_map`, range and
+//! tuple strategies, [`collection::vec`], `any::<T>()`, `prop_oneof!` /
+//! `Just`, and the `proptest!` macro with `#![proptest_config(...)]`
+//! support and early-return `prop_assert!` semantics.
+//!
+//! Differences from upstream worth knowing:
+//!
+//! - **No shrinking.** A failing case reports the generated inputs but does
+//!   not minimize them.
+//! - **Deterministic by default.** Each test's RNG is seeded from the test
+//!   name (override with `PROPTEST_RNG_SEED=<u64>` in the environment), so
+//!   failures reproduce across runs without a persistence file.
+//! - Cases that panic are reported with their inputs, like upstream.
+
+#![forbid(unsafe_code)]
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// Commonly used items, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+}
+
+/// Strategy combinators and primitive strategies.
+pub mod strategy_impls {}
+
+/// Asserts a condition inside a `proptest!` body, failing the current case
+/// (with the generated inputs attached) instead of panicking.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = &$left;
+        let right = &$right;
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `{:?}` != `{:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let left = &$left;
+        let right = &$right;
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `{:?}` != `{:?}`: {}",
+            left,
+            right,
+            format!($($fmt)+)
+        );
+    }};
+}
+
+/// Asserts inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = &$left;
+        let right = &$right;
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: `{:?}` == `{:?}`",
+            left,
+            right
+        );
+    }};
+}
+
+/// Rejects the current case (it is regenerated, not counted as a pass).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                concat!("assumption failed: ", stringify!($cond)),
+            ));
+        }
+    };
+}
+
+/// Picks uniformly among several strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+/// Declares property tests. Each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` that runs the body over generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_each! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_each! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Internal: munches one test function at a time.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_each {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        #[test]
+        fn $name() {
+            let config = $cfg;
+            $crate::test_runner::run_cases(
+                &config,
+                stringify!($name),
+                |rng, desc| {
+                    let values = ($($crate::strategy::Strategy::generate(&($strat), rng),)+);
+                    *desc = format!("{:?}", values);
+                    let ($($pat,)+) = values;
+                    let body = move || -> ::core::result::Result<
+                        (),
+                        $crate::test_runner::TestCaseError,
+                    > {
+                        let _: () = $body;
+                        ::core::result::Result::Ok(())
+                    };
+                    body()
+                },
+            );
+        }
+        $crate::__proptest_each! { ($cfg) $($rest)* }
+    };
+}

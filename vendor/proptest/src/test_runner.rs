@@ -1,0 +1,174 @@
+//! Test-case execution: configuration, errors, and the case loop.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use rand::SeedableRng;
+
+/// The RNG driving input generation. A real ChaCha8 stream, seeded
+/// deterministically per test (see [`run_cases`]).
+pub type TestRng = rand_chacha::ChaCha8Rng;
+
+/// Configuration for a `proptest!` block.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of successful cases required for the test to pass.
+    pub cases: u32,
+    /// Maximum number of rejected (assumed-away) cases before giving up.
+    pub max_global_rejects: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 256,
+            max_global_rejects: 1024,
+        }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` successful cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig {
+            cases,
+            ..ProptestConfig::default()
+        }
+    }
+}
+
+/// Why a single test case did not pass.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TestCaseError {
+    /// The case failed an assertion.
+    Fail(String),
+    /// The case was rejected by an assumption and should be regenerated.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// A failure with the given message.
+    pub fn fail(reason: impl Into<String>) -> Self {
+        TestCaseError::Fail(reason.into())
+    }
+
+    /// A rejection (not a failure) with the given message.
+    pub fn reject(reason: impl Into<String>) -> Self {
+        TestCaseError::Reject(reason.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TestCaseError::Fail(r) => write!(f, "test case failed: {r}"),
+            TestCaseError::Reject(r) => write!(f, "test case rejected: {r}"),
+        }
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// FNV-1a over the test name: a stable per-test default seed.
+fn name_seed(name: &str) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1_0000_01B3);
+    }
+    h
+}
+
+/// Runs `case` until `config.cases` successes, panicking on the first
+/// failure with the generated inputs included in the message.
+///
+/// The `case` closure receives the RNG and a scratch `String` it must fill
+/// with a debug rendering of the generated inputs *before* running the body,
+/// so failures and panics can report them.
+pub fn run_cases<F>(config: &ProptestConfig, name: &str, mut case: F)
+where
+    F: FnMut(&mut TestRng, &mut String) -> Result<(), TestCaseError>,
+{
+    let seed = std::env::var("PROPTEST_RNG_SEED")
+        .ok()
+        .and_then(|s| s.parse::<u64>().ok())
+        .unwrap_or_else(|| name_seed(name));
+    let mut rng = TestRng::seed_from_u64(seed);
+
+    let mut passed = 0u32;
+    let mut rejected = 0u32;
+    while passed < config.cases {
+        let mut desc = String::new();
+        let outcome = catch_unwind(AssertUnwindSafe(|| case(&mut rng, &mut desc)));
+        match outcome {
+            Ok(Ok(())) => passed += 1,
+            Ok(Err(TestCaseError::Reject(_))) => {
+                rejected += 1;
+                assert!(
+                    rejected <= config.max_global_rejects,
+                    "[{name}] too many rejected cases ({rejected}) — \
+                     assumptions are too strict"
+                );
+            }
+            Ok(Err(TestCaseError::Fail(msg))) => {
+                panic!(
+                    "[{name}] failed after {passed} passing case(s)\n\
+                     inputs: {desc}\nseed: {seed}\n{msg}"
+                );
+            }
+            Err(payload) => {
+                let msg = payload
+                    .downcast_ref::<String>()
+                    .cloned()
+                    .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+                    .unwrap_or_else(|| "<non-string panic payload>".to_string());
+                panic!(
+                    "[{name}] panicked after {passed} passing case(s)\n\
+                     inputs: {desc}\nseed: {seed}\n{msg}"
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_requested_number_of_cases() {
+        let mut n = 0u32;
+        run_cases(
+            &ProptestConfig::with_cases(37),
+            "counter",
+            |_rng, _desc| {
+                n += 1;
+                Ok(())
+            },
+        );
+        assert_eq!(n, 37);
+    }
+
+    #[test]
+    #[should_panic(expected = "inputs: (5,)")]
+    fn failure_reports_inputs() {
+        run_cases(&ProptestConfig::with_cases(5), "fail", |_rng, desc| {
+            *desc = "(5,)".to_string();
+            Err(TestCaseError::fail("boom"))
+        });
+    }
+
+    #[test]
+    fn rejects_do_not_count_as_passes() {
+        let mut calls = 0u32;
+        run_cases(&ProptestConfig::with_cases(10), "rej", |_rng, _desc| {
+            calls += 1;
+            if calls % 2 == 0 {
+                Err(TestCaseError::reject("skip"))
+            } else {
+                Ok(())
+            }
+        });
+        // Passes land on odd calls; the 10th pass is call 19.
+        assert_eq!(calls, 19);
+    }
+}

@@ -1,0 +1,272 @@
+//! Offline, in-tree stand-in for the subset of the `rand` 0.8 API this
+//! workspace uses.
+//!
+//! The build environment has no access to crates.io (see the "Offline
+//! builds" section of the repository README), so the workspace vendors the
+//! small slice of `rand` it actually depends on: the [`RngCore`] /
+//! [`SeedableRng`] traits, the [`Rng`] extension trait with `gen`,
+//! `gen_range`, and `gen_bool`, and unbiased integer/float sampling.
+//!
+//! Semantics match upstream `rand` where the workspace depends on them
+//! (uniform `[0, 1)` floats with 53 significant bits, unbiased integer
+//! ranges, `seed_from_u64` via SplitMix64 expansion). Exact output
+//! *streams* are not guaranteed to match upstream — the simulation defines
+//! its own reproducibility contract keyed on seeds, not on a particular
+//! `rand` release.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::ops::Range;
+
+/// Core random-number-generator interface: a source of `u32`/`u64` words.
+pub trait RngCore {
+    /// Returns the next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let word = self.next_u64().to_le_bytes();
+            rem.copy_from_slice(&word[..rem.len()]);
+        }
+    }
+}
+
+/// A generator that can be instantiated from a fixed-size seed.
+pub trait SeedableRng: Sized {
+    /// The seed type, e.g. `[u8; 32]`.
+    type Seed: Default + AsMut<[u8]>;
+
+    /// Creates a generator from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Creates a generator from a `u64`, expanding it into a full seed with
+    /// SplitMix64 (the same construction upstream `rand_core` uses).
+    fn seed_from_u64(state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        let mut x = state;
+        for chunk in seed.as_mut().chunks_mut(8) {
+            x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            let bytes = z.to_le_bytes();
+            let n = chunk.len();
+            chunk.copy_from_slice(&bytes[..n]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// Types that can be sampled uniformly from an RNG's raw bit stream
+/// (the stand-in for `rand`'s `Standard` distribution).
+pub trait Standard: Sized {
+    /// Draws one uniformly distributed value.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for f64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 significant bits in [0, 1), as in upstream rand.
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl Standard for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32() & 1 == 1
+    }
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty => $via:ident),* $(,)?) => {$(
+        impl Standard for $t {
+            fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.$via() as $t
+            }
+        }
+    )*};
+}
+
+impl_standard_int! {
+    u8 => next_u32, u16 => next_u32, u32 => next_u32, u64 => next_u64,
+    usize => next_u64, i8 => next_u32, i16 => next_u32, i32 => next_u32,
+    i64 => next_u64, isize => next_u64, u128 => next_u64, i128 => next_u64,
+}
+
+/// Ranges that [`Rng::gen_range`] accepts.
+pub trait SampleRange<T> {
+    /// Draws one value uniformly from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_sample_range_uint {
+    ($($t:ty),* $(,)?) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end - self.start) as u64;
+                // Unbiased sampling by power-of-two masking + rejection.
+                let mask = span.next_power_of_two().wrapping_sub(1);
+                loop {
+                    let x = rng.next_u64() & mask;
+                    if x < span {
+                        return self.start + x as $t;
+                    }
+                }
+            }
+        }
+    )*};
+}
+
+impl_sample_range_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_sample_range_int {
+    ($($t:ty as $u:ty),* $(,)?) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i64).wrapping_sub(self.start as i64) as u64;
+                let mask = span.next_power_of_two().wrapping_sub(1);
+                loop {
+                    let x = rng.next_u64() & mask;
+                    if x < span {
+                        return ((self.start as i64).wrapping_add(x as i64)) as $t;
+                    }
+                }
+            }
+        }
+    )*};
+}
+
+impl_sample_range_int!(i8 as u8, i16 as u16, i32 as u32, i64 as u64);
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        self.start + f64::sample(rng) * (self.end - self.start)
+    }
+}
+
+impl SampleRange<f32> for Range<f32> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f32 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        self.start + f32::sample(rng) * (self.end - self.start)
+    }
+}
+
+/// Convenience extension methods over [`RngCore`], mirroring `rand::Rng`.
+pub trait Rng: RngCore {
+    /// Draws a uniformly distributed value of type `T`.
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// Draws one value uniformly from `range`.
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "p must be a probability");
+        self.gen::<f64>() < p
+    }
+
+    /// Fills `dest` with random bytes (alias of [`RngCore::fill_bytes`]).
+    fn fill(&mut self, dest: &mut [u8]) {
+        self.fill_bytes(dest)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Commonly used items, mirroring `rand::prelude`.
+pub mod prelude {
+    pub use crate::{Rng, RngCore, SeedableRng};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Counter(u64);
+    impl RngCore for Counter {
+        fn next_u32(&mut self) -> u32 {
+            self.next_u64() as u32
+        }
+        fn next_u64(&mut self) -> u64 {
+            // SplitMix64 over an incrementing state: cheap and well spread.
+            self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut rng = Counter(7);
+        for _ in 0..10_000 {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds_and_covers() {
+        let mut rng = Counter(3);
+        let mut seen = [false; 10];
+        for _ in 0..10_000 {
+            let x = rng.gen_range(2u64..12);
+            assert!((2..12).contains(&x));
+            seen[(x - 2) as usize] = true;
+        }
+        assert!(seen.iter().all(|s| *s), "all values of a small range appear");
+    }
+
+    #[test]
+    fn usize_and_float_ranges() {
+        let mut rng = Counter(11);
+        for _ in 0..1000 {
+            let i = rng.gen_range(0usize..7);
+            assert!(i < 7);
+            let f = rng.gen_range(1e-6f64..1e-2);
+            assert!((1e-6..1e-2).contains(&f));
+        }
+    }
+
+    #[test]
+    fn fill_bytes_fills_every_byte_eventually() {
+        let mut rng = Counter(5);
+        let mut buf = [0u8; 13];
+        rng.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|b| *b != 0));
+    }
+
+    #[test]
+    fn gen_bool_rate_tracks_p() {
+        let mut rng = Counter(9);
+        let n = 20_000;
+        let hits = (0..n).filter(|_| rng.gen_bool(0.25)).count();
+        let rate = hits as f64 / n as f64;
+        assert!((rate - 0.25).abs() < 0.02, "rate={rate}");
+    }
+}

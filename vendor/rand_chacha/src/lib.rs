@@ -1,0 +1,217 @@
+//! Offline, in-tree ChaCha8 random number generator.
+//!
+//! Implements the real ChaCha block function (IETF variant, 8 rounds) over
+//! the vendored `rand` traits. The keystream is a genuine ChaCha8 stream —
+//! statistically strong and fully reproducible from a 32-byte seed — but
+//! word-for-word equality with the upstream `rand_chacha` crate's stream is
+//! *not* part of this workspace's contract (no test or experiment here pins
+//! upstream output values; determinism is keyed on seeds alone).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rand::{RngCore, SeedableRng};
+
+/// Number of ChaCha quarter-round double-rounds: ChaCha8 = 4 double rounds.
+const DOUBLE_ROUNDS: usize = 4;
+
+/// A ChaCha8 stream cipher used as a random number generator.
+///
+/// Mirrors `rand_chacha::ChaCha8Rng`: seeded from 32 bytes (the ChaCha key),
+/// with a 64-bit block counter and a selectable 64-bit stream id.
+#[derive(Clone, Debug)]
+pub struct ChaCha8Rng {
+    /// Key words (state words 4..12), little-endian from the seed bytes.
+    key: [u32; 8],
+    /// 64-bit block counter (state words 12..14).
+    counter: u64,
+    /// 64-bit stream id / nonce (state words 14..16).
+    stream: u64,
+    /// Buffered keystream block.
+    buf: [u32; 16],
+    /// Next unconsumed word index in `buf`; 16 means "buffer exhausted".
+    index: usize,
+}
+
+#[inline(always)]
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+impl ChaCha8Rng {
+    /// ChaCha constants: "expand 32-byte k".
+    const SIGMA: [u32; 4] = [0x6170_7865, 0x3320_646E, 0x7962_2D32, 0x6B20_6574];
+
+    /// Generates the keystream block for the current counter into `buf`.
+    fn refill(&mut self) {
+        let mut state = [0u32; 16];
+        state[..4].copy_from_slice(&Self::SIGMA);
+        state[4..12].copy_from_slice(&self.key);
+        state[12] = self.counter as u32;
+        state[13] = (self.counter >> 32) as u32;
+        state[14] = self.stream as u32;
+        state[15] = (self.stream >> 32) as u32;
+
+        let mut working = state;
+        for _ in 0..DOUBLE_ROUNDS {
+            // Column round.
+            quarter_round(&mut working, 0, 4, 8, 12);
+            quarter_round(&mut working, 1, 5, 9, 13);
+            quarter_round(&mut working, 2, 6, 10, 14);
+            quarter_round(&mut working, 3, 7, 11, 15);
+            // Diagonal round.
+            quarter_round(&mut working, 0, 5, 10, 15);
+            quarter_round(&mut working, 1, 6, 11, 12);
+            quarter_round(&mut working, 2, 7, 8, 13);
+            quarter_round(&mut working, 3, 4, 9, 14);
+        }
+        for (out, (w, s)) in self.buf.iter_mut().zip(working.iter().zip(state.iter())) {
+            *out = w.wrapping_add(*s);
+        }
+        self.counter = self.counter.wrapping_add(1);
+        self.index = 0;
+    }
+
+    #[inline]
+    fn next_word(&mut self) -> u32 {
+        if self.index >= 16 {
+            self.refill();
+        }
+        let word = self.buf[self.index];
+        self.index += 1;
+        word
+    }
+
+    /// Sets the stream id (nonce), restarting the keystream from block 0.
+    ///
+    /// Different stream ids on the same key yield independent keystreams —
+    /// this is what per-shard RNG derivation builds on.
+    pub fn set_stream(&mut self, stream: u64) {
+        self.stream = stream;
+        self.counter = 0;
+        self.index = 16;
+    }
+
+    /// Returns the current stream id.
+    pub fn get_stream(&self) -> u64 {
+        self.stream
+    }
+
+    /// Sets the block position within the stream.
+    pub fn set_word_pos(&mut self, block: u64) {
+        self.counter = block;
+        self.index = 16;
+    }
+}
+
+impl SeedableRng for ChaCha8Rng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut key = [0u32; 8];
+        for (k, chunk) in key.iter_mut().zip(seed.chunks_exact(4)) {
+            *k = u32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+        }
+        ChaCha8Rng {
+            key,
+            counter: 0,
+            stream: 0,
+            buf: [0u32; 16],
+            index: 16,
+        }
+    }
+}
+
+impl RngCore for ChaCha8Rng {
+    #[inline]
+    fn next_u32(&mut self) -> u32 {
+        self.next_word()
+    }
+
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        let lo = self.next_word() as u64;
+        let hi = self.next_word() as u64;
+        (hi << 32) | lo
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = ChaCha8Rng::seed_from_u64(42);
+        let mut b = ChaCha8Rng::seed_from_u64(42);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn seeds_diverge() {
+        let mut a = ChaCha8Rng::seed_from_u64(1);
+        let mut b = ChaCha8Rng::seed_from_u64(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn streams_diverge_and_are_deterministic() {
+        let mut a = ChaCha8Rng::seed_from_u64(7);
+        let mut b = ChaCha8Rng::seed_from_u64(7);
+        b.set_stream(1);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+
+        let mut c = ChaCha8Rng::seed_from_u64(7);
+        c.set_stream(1);
+        let mut b2 = ChaCha8Rng::seed_from_u64(7);
+        b2.set_stream(1);
+        for _ in 0..100 {
+            assert_eq!(c.next_u64(), b2.next_u64());
+        }
+    }
+
+    #[test]
+    fn clone_preserves_position() {
+        let mut a = ChaCha8Rng::seed_from_u64(9);
+        for _ in 0..37 {
+            a.next_u32();
+        }
+        let mut b = a.clone();
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn unit_floats_and_ranges_work_through_rand_traits() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0xC0FFEE);
+        for _ in 0..1000 {
+            let f: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&f));
+            let x = rng.gen_range(0u64..97);
+            assert!(x < 97);
+        }
+    }
+
+    /// The keystream must be a real ChaCha8 stream: uniform-ish bit counts.
+    #[test]
+    fn keystream_bits_look_uniform() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1234);
+        let n = 10_000u64;
+        let ones: u32 = (0..n).map(|_| rng.next_u64().count_ones()).sum();
+        let mean = ones as f64 / n as f64;
+        assert!((mean - 32.0).abs() < 0.5, "mean ones per u64 = {mean}");
+    }
+}
