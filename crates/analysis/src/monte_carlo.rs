@@ -17,9 +17,9 @@
 use rand::Rng;
 use rand_chacha::ChaCha8Rng;
 
-use crate::exploit::Restriction;
 #[cfg(test)]
 use crate::exploit::p_exploitable;
+use crate::exploit::Restriction;
 use crate::params::FlipStats;
 
 /// Result of a Monte Carlo estimation.
@@ -168,14 +168,8 @@ mod tests {
         let stats = FlipStats { pf: 0.05, p0_to_1: 0.2, p1_to_0: 0.8 };
         for seed in [0u64, 9, 0xC0FFEE] {
             let serial = monte_carlo_p_exploitable(8, &stats, Restriction::None, 50_000, seed);
-            let one = monte_carlo_p_exploitable_sharded(
-                8,
-                &stats,
-                Restriction::None,
-                50_000,
-                seed,
-                1,
-            );
+            let one =
+                monte_carlo_p_exploitable_sharded(8, &stats, Restriction::None, 50_000, seed, 1);
             assert_eq!(serial, one, "seed {seed}");
         }
     }

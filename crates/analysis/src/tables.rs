@@ -42,13 +42,7 @@ impl TableSpec {
                     let shape = SystemShape::new(phys_gib << 30, ptp_mib << 20);
                     let exploitable = expected_exploitable_ptes(&shape, &self.stats, restriction);
                     let attack_days = self.timing.expected_days(&shape, exploitable);
-                    rows.push(EvalRow {
-                        phys_gib,
-                        ptp_mib,
-                        restriction,
-                        exploitable,
-                        attack_days,
-                    });
+                    rows.push(EvalRow { phys_gib, ptp_mib, restriction, exploitable, attack_days });
                 }
             }
         }
@@ -78,10 +72,8 @@ impl TableSpec {
                     .expect("generated")
             };
             let (u32m, u64m) = (cell(Restriction::None, 32), cell(Restriction::None, 64));
-            let (r32m, r64m) = (
-                cell(Restriction::AtLeastTwoZeros, 32),
-                cell(Restriction::AtLeastTwoZeros, 64),
-            );
+            let (r32m, r64m) =
+                (cell(Restriction::AtLeastTwoZeros, 32), cell(Restriction::AtLeastTwoZeros, 64));
             s.push_str(&format!(
                 "{phys_gib:>4}GB          | # of Exploitable PTEs   | {:>8} | {:>10} | {:>8} | {:>8}\n",
                 fmt_count(u32m.exploitable),

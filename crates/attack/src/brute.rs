@@ -96,9 +96,7 @@ impl BruteForceCtaAttack {
             let file = kernel.create_file(PAGE_SIZE)?;
             let mut region_vas = Vec::new();
             for i in 0..self.fill_regions {
-                let va = VirtAddr(
-                    VA_BASE + target * self.fill_regions * (2 << 20) + i * (2 << 20),
-                );
+                let va = VirtAddr(VA_BASE + target * self.fill_regions * (2 << 20) + i * (2 << 20));
                 match kernel.mmap_file(pid, va, file, true) {
                     Ok(()) => {
                         region_vas.push(va);
@@ -206,13 +204,10 @@ mod tests {
         // The attack's hammer mechanism works — flips do occur inside
         // ZONE_PTP — they are just monotonic and therefore harmless.
         let mut k = cta_system(7);
-        let (out, _) = BruteForceCtaAttack {
-            fill_regions: 16,
-            walks_per_row: 512,
-            target_page_budget: 1,
-        }
-        .run(&mut k)
-        .unwrap();
+        let (out, _) =
+            BruteForceCtaAttack { fill_regions: 16, walks_per_row: 512, target_page_budget: 1 }
+                .run(&mut k)
+                .unwrap();
         assert!(out.flips_induced > 0, "expected disturbance flips in PT rows");
     }
 

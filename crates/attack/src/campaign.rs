@@ -12,6 +12,7 @@
 //! the output is a pure function of the seed list regardless of
 //! `threads`. `threads <= 1` runs the exact serial loop.
 
+use cta_telemetry::{Counters, Group, StatSource};
 use cta_vm::{Kernel, VmError};
 
 use crate::brute::BruteForceReport;
@@ -98,6 +99,48 @@ where
     run_campaign(seeds, threads, build, |k| attack.run(k))
 }
 
+/// Like [`run_campaign`], but each trial also snapshots its kernel's full
+/// telemetry (DRAM, TLB, kernel, allocator counters) before the machine is
+/// dropped, and the per-trial snapshots are merged **in seed order** into
+/// one labeled [`Counters`] registry.
+///
+/// Counter merging is integer addition, so the merged registry is
+/// identical for any `threads` value — the same determinism contract the
+/// trial results themselves follow.
+///
+/// # Errors
+///
+/// The lowest-seed-index error, if any trial failed to build or run.
+pub fn run_campaign_with_counters<T, B, R>(
+    label: &str,
+    seeds: &[u64],
+    threads: usize,
+    build: B,
+    run: R,
+) -> Result<(Vec<T>, Counters), VmError>
+where
+    T: Send,
+    B: Fn(u64) -> Result<Kernel, VmError> + Sync,
+    R: Fn(&mut Kernel) -> Result<T, VmError> + Sync,
+{
+    let trials = cta_parallel::try_parallel_map(seeds.len(), threads, |i| {
+        let mut kernel = build(seeds[i])?;
+        let result = run(&mut kernel)?;
+        let mut shard = Counters::new(label);
+        kernel.record_counters(&mut shard);
+        Ok::<_, VmError>((result, shard))
+    })?;
+
+    let mut counters = Counters::new(label);
+    let mut results = Vec::with_capacity(trials.len());
+    for (result, shard) in trials {
+        counters.merge(&shard);
+        results.push(result);
+    }
+    counters.set_u64("campaign", "trials", seeds.len() as u64);
+    Ok((results, counters))
+}
+
 /// Aggregate statistics over a campaign's outcomes.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CampaignSummary {
@@ -142,6 +185,20 @@ impl CampaignSummary {
             return 0.0;
         }
         self.successes as f64 / self.trials as f64
+    }
+}
+
+impl StatSource for CampaignSummary {
+    fn group(&self) -> &'static str {
+        "campaign"
+    }
+
+    fn record(&self, g: &mut Group) {
+        g.add_u64("trials", self.trials as u64);
+        g.add_u64("successes", self.successes as u64);
+        g.add_u64("total_flips", self.total_flips);
+        g.add_u64("total_rows_hammered", self.total_rows_hammered);
+        g.add_u64("total_sim_time_ns", self.total_sim_time_ns);
     }
 }
 
@@ -192,6 +249,35 @@ mod tests {
         assert_eq!(cta_summary.trials, 8);
         assert!(cta_summary.total_rows_hammered > 0);
         assert!((0.0..=1.0).contains(&stock_summary.success_rate()));
+    }
+
+    #[test]
+    fn campaign_counters_merge_deterministically_across_shards() {
+        let attack = SprayAttack::default();
+        let seeds: Vec<u64> = (0..6).collect();
+        let run = |k: &mut Kernel| attack.run(k);
+
+        let (serial_out, serial_counters) =
+            run_campaign_with_counters("spray", &seeds, 1, |s| build(s, false), run).unwrap();
+        for threads in [2, 4] {
+            let (out, counters) =
+                run_campaign_with_counters("spray", &seeds, threads, |s| build(s, false), run)
+                    .unwrap();
+            assert_eq!(out, serial_out, "threads={threads}");
+            // The merged registry — every group, key, and flag — must be
+            // exactly what the serial run produced.
+            assert_eq!(counters, serial_counters, "threads={threads}");
+            assert_eq!(counters.to_json(), serial_counters.to_json(), "threads={threads}");
+        }
+
+        // The merged counters really aggregate across trials: flips seen
+        // by the DRAM group equal the sum over individual outcomes.
+        let dram = serial_counters.group("dram").unwrap();
+        let outcome_flips: u64 = serial_out.iter().map(|o| o.flips_induced).sum();
+        let one_to_zero = dram.get_u64("flips_one_to_zero").unwrap();
+        let zero_to_one = dram.get_u64("flips_zero_to_one").unwrap();
+        assert_eq!(one_to_zero + zero_to_one, outcome_flips);
+        assert_eq!(serial_counters.group("campaign").unwrap().get_u64("trials"), Some(6));
     }
 
     #[test]

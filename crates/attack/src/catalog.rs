@@ -67,16 +67,76 @@ pub struct KnownAttack {
 /// The Table 1 rows.
 pub fn catalog() -> Vec<KnownAttack> {
     vec![
-        KnownAttack { reference: "Seaborn & Dullien '15", victim: VictimData::Ptes, effect: "Privilege Escalation", platform: Platform::X86, mitigated_by_cta: true },
-        KnownAttack { reference: "Seaborn & Dullien '15", victim: VictimData::Opcodes, effect: "Sandbox Escapes", platform: Platform::X86, mitigated_by_cta: false },
-        KnownAttack { reference: "Cheng et al. '18", victim: VictimData::Ptes, effect: "Privilege Escalation", platform: Platform::X86, mitigated_by_cta: true },
-        KnownAttack { reference: "Xiao et al. '16", victim: VictimData::Ptes, effect: "Privilege Escalation", platform: Platform::Vm, mitigated_by_cta: true },
-        KnownAttack { reference: "Gruss et al. '16 (rowhammer.js)", victim: VictimData::Ptes, effect: "Privilege Escalation", platform: Platform::X86, mitigated_by_cta: true },
-        KnownAttack { reference: "Razavi et al. '16 (Flip Feng Shui)", victim: VictimData::RsaKeys, effect: "Compromised Authentication", platform: Platform::Vm, mitigated_by_cta: false },
-        KnownAttack { reference: "van der Veen et al. '16 (Drammer)", victim: VictimData::Ptes, effect: "Privilege Escalation", platform: Platform::Arm, mitigated_by_cta: true },
-        KnownAttack { reference: "Gruss et al. '17", victim: VictimData::Opcodes, effect: "Denial-of-Service and Privilege Escalation", platform: Platform::X86, mitigated_by_cta: false },
-        KnownAttack { reference: "Bhattacharya & Mukhopadhyay '16", victim: VictimData::RsaKeys, effect: "Fault Analysis", platform: Platform::X86, mitigated_by_cta: false },
-        KnownAttack { reference: "Jang et al. '17 (SGX-Bomb)", victim: VictimData::Sgx, effect: "Denial-of-Service", platform: Platform::X86, mitigated_by_cta: false },
+        KnownAttack {
+            reference: "Seaborn & Dullien '15",
+            victim: VictimData::Ptes,
+            effect: "Privilege Escalation",
+            platform: Platform::X86,
+            mitigated_by_cta: true,
+        },
+        KnownAttack {
+            reference: "Seaborn & Dullien '15",
+            victim: VictimData::Opcodes,
+            effect: "Sandbox Escapes",
+            platform: Platform::X86,
+            mitigated_by_cta: false,
+        },
+        KnownAttack {
+            reference: "Cheng et al. '18",
+            victim: VictimData::Ptes,
+            effect: "Privilege Escalation",
+            platform: Platform::X86,
+            mitigated_by_cta: true,
+        },
+        KnownAttack {
+            reference: "Xiao et al. '16",
+            victim: VictimData::Ptes,
+            effect: "Privilege Escalation",
+            platform: Platform::Vm,
+            mitigated_by_cta: true,
+        },
+        KnownAttack {
+            reference: "Gruss et al. '16 (rowhammer.js)",
+            victim: VictimData::Ptes,
+            effect: "Privilege Escalation",
+            platform: Platform::X86,
+            mitigated_by_cta: true,
+        },
+        KnownAttack {
+            reference: "Razavi et al. '16 (Flip Feng Shui)",
+            victim: VictimData::RsaKeys,
+            effect: "Compromised Authentication",
+            platform: Platform::Vm,
+            mitigated_by_cta: false,
+        },
+        KnownAttack {
+            reference: "van der Veen et al. '16 (Drammer)",
+            victim: VictimData::Ptes,
+            effect: "Privilege Escalation",
+            platform: Platform::Arm,
+            mitigated_by_cta: true,
+        },
+        KnownAttack {
+            reference: "Gruss et al. '17",
+            victim: VictimData::Opcodes,
+            effect: "Denial-of-Service and Privilege Escalation",
+            platform: Platform::X86,
+            mitigated_by_cta: false,
+        },
+        KnownAttack {
+            reference: "Bhattacharya & Mukhopadhyay '16",
+            victim: VictimData::RsaKeys,
+            effect: "Fault Analysis",
+            platform: Platform::X86,
+            mitigated_by_cta: false,
+        },
+        KnownAttack {
+            reference: "Jang et al. '17 (SGX-Bomb)",
+            victim: VictimData::Sgx,
+            effect: "Denial-of-Service",
+            platform: Platform::X86,
+            mitigated_by_cta: false,
+        },
     ]
 }
 

@@ -66,9 +66,7 @@ impl HammerDriver {
             match kernel.translate(pid, va, Access::user_read()) {
                 Ok(_) => ok += 1,
                 Err(VmError::Translate(_)) => {}
-                Err(VmError::NoSuchProcess { pid }) => {
-                    return Err(VmError::NoSuchProcess { pid })
-                }
+                Err(VmError::NoSuchProcess { pid }) => return Err(VmError::NoSuchProcess { pid }),
                 Err(_) => {}
             }
         }

@@ -100,11 +100,8 @@ impl AttackTimeModel {
         expected_exploitable: f64,
     ) -> f64 {
         let worst = self.worst_case_ns(target_pages, zone_rows, ptes_per_row) as f64;
-        let divisor = if expected_exploitable >= 1.0 {
-            expected_exploitable.ceil() + 1.0
-        } else {
-            2.0
-        };
+        let divisor =
+            if expected_exploitable >= 1.0 { expected_exploitable.ceil() + 1.0 } else { 2.0 };
         worst / divisor / 1e9 / 86_400.0
     }
 }

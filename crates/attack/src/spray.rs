@@ -116,7 +116,10 @@ impl SprayAttack {
             }
         }
         out.flips_induced = kernel.dram().stats().total_flips() - flips0;
-        out.note(format!("hammered {} rows, {} flips induced", out.rows_hammered, out.flips_induced));
+        out.note(format!(
+            "hammered {} rows, {} flips induced",
+            out.rows_hammered, out.flips_induced
+        ));
 
         // --- Phase 3: scan for corrupted mappings ---------------------------
         let max_pfn = kernel.dram().capacity_bytes() / PAGE_SIZE;
@@ -186,7 +189,12 @@ impl SprayAttack {
 
         // Craft: table[probe_entry] := file page `src_entry`'s frame.
         let crafted = Pte::new(f_src, PteFlags::user_data());
-        kernel.write_virt(pid, va_pte.offset(probe_entry * 8), &crafted.0.to_le_bytes(), Access::user_write())?;
+        kernel.write_virt(
+            pid,
+            va_pte.offset(probe_entry * 8),
+            &crafted.0.to_le_bytes(),
+            Access::user_write(),
+        )?;
         kernel.flush_tlb();
 
         // Marker-probe: stamp file page `src_entry`, then find the region
@@ -213,7 +221,8 @@ impl SprayAttack {
                 continue;
             }
             let mut buf = [0u8; 16];
-            if kernel.read_virt(pid, page_va, &mut buf, Access::user_read()).is_ok() && buf == MARKER
+            if kernel.read_virt(pid, page_va, &mut buf, Access::user_read()).is_ok()
+                && buf == MARKER
             {
                 probe_va = Some(page_va);
                 break;

@@ -92,8 +92,15 @@ impl TemplatingAttack {
                 continue; // one attempt per victim page
             }
             attempts += 1;
-            match self.attempt(kernel, pid, arena, template, &mut region_seq, &mut consumed, &mut out)
-            {
+            match self.attempt(
+                kernel,
+                pid,
+                arena,
+                template,
+                &mut region_seq,
+                &mut consumed,
+                &mut out,
+            ) {
                 Ok(true) => break,
                 Ok(false) => continue,
                 Err(_) => continue,
@@ -280,7 +287,12 @@ impl TemplatingAttack {
         for f in 0..max_pfn {
             let crafted = Pte::new(Pfn(f), PteFlags::user_data());
             if kernel
-                .write_virt(pid, window.offset(probe_entry * 8), &crafted.0.to_le_bytes(), Access::user_write())
+                .write_virt(
+                    pid,
+                    window.offset(probe_entry * 8),
+                    &crafted.0.to_le_bytes(),
+                    Access::user_write(),
+                )
                 .is_err()
             {
                 return Ok(false);
@@ -293,7 +305,9 @@ impl TemplatingAttack {
             if probe == secret {
                 out.secret_read = true;
                 out.note(format!("kernel secret read via templated self-map (frame {f})"));
-                if kernel.write_virt(pid, probe_va, b"PWNED-BY-TMPLT!!", Access::user_write()).is_ok()
+                if kernel
+                    .write_virt(pid, probe_va, b"PWNED-BY-TMPLT!!", Access::user_write())
+                    .is_ok()
                 {
                     out.secret_overwritten = true;
                 }

@@ -48,9 +48,11 @@ fn bench_hammer(c: &mut Criterion) {
     c.bench_function("dram/hammer_burst_to_threshold", |b| {
         b.iter_batched(
             || {
-                let mut m = DramModule::new(DramConfig::small_test().with_disturbance(
-                    DisturbanceParams { pf: 0.02, ..DisturbanceParams::default() },
-                ));
+                let mut m =
+                    DramModule::new(DramConfig::small_test().with_disturbance(DisturbanceParams {
+                        pf: 0.02,
+                        ..DisturbanceParams::default()
+                    }));
                 m.fill(0, 16 * 4096, 0xFF).unwrap();
                 m
             },

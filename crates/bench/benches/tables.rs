@@ -30,7 +30,13 @@ fn bench_monte_carlo(c: &mut Criterion) {
     let stats = FlipStats::paper_default().inverted();
     c.bench_function("analysis/monte_carlo_100k_samples", |b| {
         b.iter(|| {
-            monte_carlo_p_exploitable(black_box(8), black_box(&stats), Restriction::None, 100_000, 7)
+            monte_carlo_p_exploitable(
+                black_box(8),
+                black_box(&stats),
+                Restriction::None,
+                100_000,
+                7,
+            )
         })
     });
 }

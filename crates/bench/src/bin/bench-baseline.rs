@@ -23,12 +23,13 @@ use std::time::Instant;
 use cta_analysis::{
     monte_carlo_p_exploitable, monte_carlo_p_exploitable_sharded, FlipStats, Restriction,
 };
-use cta_bench::{header, kv};
+use cta_bench::{emit_telemetry, header, kv};
 use cta_core::SystemBuilder;
 use cta_dram::{DisturbanceParams, DramConfig, DramModule};
 use cta_mem::PAGE_SIZE;
+use cta_telemetry::Counters;
 use cta_vm::{Access, Kernel, VirtAddr};
-use cta_workloads::{spec2006, Runner};
+use cta_workloads::{record_overhead_rows, spec2006, Runner};
 
 const MC_SEED: u64 = 7;
 const MC_N: u32 = 8;
@@ -62,9 +63,7 @@ fn parse_args() -> Options {
 /// `BENCH_baseline.json` lives at the repo root, two levels above this
 /// crate's manifest.
 fn default_out_path() -> std::path::PathBuf {
-    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
-        .join("../..")
-        .join("BENCH_baseline.json")
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..").join("BENCH_baseline.json")
 }
 
 fn flip_free_machine(protected: bool) -> Kernel {
@@ -171,7 +170,8 @@ fn bench_monte_carlo(quick: bool, metrics: &mut Vec<(String, f64)>) {
 
     // One shard reproduces the serial stream bit for bit — record the
     // identity so the baseline file itself witnesses the contract.
-    let one = monte_carlo_p_exploitable_sharded(MC_N, &stats, Restriction::None, samples, MC_SEED, 1);
+    let one =
+        monte_carlo_p_exploitable_sharded(MC_N, &stats, Restriction::None, samples, MC_SEED, 1);
     assert_eq!(one.hits, serial.hits, "shards=1 must be bit-identical to serial");
     metrics.push(("mc_shards1_hits".into(), one.hits as f64));
 
@@ -179,15 +179,21 @@ fn bench_monte_carlo(quick: bool, metrics: &mut Vec<(String, f64)>) {
     // exercised even on a single-core runner).
     let shards = cta_parallel::worker_count(0).max(2) as u32;
     let start = Instant::now();
-    let sharded =
-        monte_carlo_p_exploitable_sharded(MC_N, &stats, Restriction::None, samples, MC_SEED, shards);
+    let sharded = monte_carlo_p_exploitable_sharded(
+        MC_N,
+        &stats,
+        Restriction::None,
+        samples,
+        MC_SEED,
+        shards,
+    );
     let sharded_rate = samples as f64 / start.elapsed().as_secs_f64();
     metrics.push(("mc_sharded_shards".into(), shards as f64));
     metrics.push(("mc_sharded_samples_per_sec".into(), sharded_rate));
     metrics.push(("mc_sharded_hits".into(), sharded.hits as f64));
 }
 
-fn bench_table4_smoke(quick: bool, metrics: &mut Vec<(String, f64)>) {
+fn bench_table4_smoke(quick: bool, metrics: &mut Vec<(String, f64)>, tel: &mut Counters) {
     let specs = spec2006();
     let smoke: Vec<_> = specs.iter().take(if quick { 2 } else { 4 }).collect();
     let runner = Runner { repetitions: 2, seed: 0x1234 };
@@ -218,8 +224,7 @@ fn bench_table4_smoke(quick: bool, metrics: &mut Vec<(String, f64)>) {
     let owned: Vec<_> = smoke.iter().map(|s| **s).collect();
     let threads = cta_parallel::worker_count(0).max(2);
     let start = Instant::now();
-    let parallel_rows =
-        runner.compare_many(machine, &owned, threads).expect("workloads run");
+    let parallel_rows = runner.compare_many(machine, &owned, threads).expect("workloads run");
     let parallel_ms = start.elapsed().as_secs_f64() * 1e3;
     for (serial, parallel) in serial_rows.iter().zip(&parallel_rows) {
         assert_eq!(
@@ -231,6 +236,7 @@ fn bench_table4_smoke(quick: bool, metrics: &mut Vec<(String, f64)>) {
     }
     metrics.push(("table4_smoke_parallel_wall_ms".into(), parallel_ms));
     metrics.push(("table4_smoke_parallel_threads".into(), threads as f64));
+    record_overhead_rows(tel, "table4_smoke", &serial_rows);
 }
 
 /// Serializes one label's section as a single JSON line (self-merging
@@ -290,20 +296,24 @@ fn main() {
     ));
 
     let mut metrics: Vec<(String, f64)> = Vec::new();
+    let mut tel = Counters::new(&format!("bench-baseline-{}", opts.label));
+    tel.set_bool("bench", "quick", opts.quick);
     let overall = Instant::now();
 
     bench_walk_latency(opts.quick, &mut metrics);
     bench_dram_throughput(opts.quick, &mut metrics);
     bench_alloc_throughput(opts.quick, &mut metrics);
     bench_monte_carlo(opts.quick, &mut metrics);
-    bench_table4_smoke(opts.quick, &mut metrics);
+    bench_table4_smoke(opts.quick, &mut metrics, &mut tel);
 
     metrics.push(("total_wall_s".into(), overall.elapsed().as_secs_f64()));
     for (key, value) in &metrics {
+        tel.set_f64("bench", key, *value);
         kv(key, format!("{value:.3}"));
     }
 
     let section = render_section(&opts.label, opts.quick, &metrics);
     merge_into_file(&opts.out, &opts.label, section);
     kv("written", opts.out.display());
+    emit_telemetry(&tel);
 }

@@ -16,11 +16,12 @@
 //! unchanged.
 
 use cta_attack::HammerDriver;
-use cta_bench::{header, kv};
+use cta_bench::{emit_telemetry, header, kv};
 use cta_core::verify::verify_system;
 use cta_core::SystemBuilder;
 use cta_dram::{CellType, CellTypeMap, DisturbanceParams, DramModule, RowId};
 use cta_mem::PAGE_SIZE;
+use cta_telemetry::Counters;
 use cta_vm::{Kernel, VirtAddr};
 
 const FILE_PAGES: u64 = 16;
@@ -54,9 +55,8 @@ fn algorithm1(kernel: &mut Kernel) -> (usize, usize, u64) {
     // the first page-table frames (which sit at the zone bottom = mark).
     // Pick the smallest k where mark_pfn − 2^k has bit k clear, so the flip
     // is an exact +2^k jump onto the PT frames.
-    let k = (7..12)
-        .find(|k| (mark_pfn - (1u64 << k)) >> k & 1 == 0)
-        .expect("a donor stripe exists");
+    let k =
+        (7..12).find(|k| (mark_pfn - (1u64 << k)) >> k & 1 == 0).expect("a donor stripe exists");
     let stripe_lo = mark_pfn - (1u64 << k);
 
     // Fast-forward of the brute-force sweep: soak memory below the stripe.
@@ -69,10 +69,8 @@ fn algorithm1(kernel: &mut Kernel) -> (usize, usize, u64) {
     loop {
         let va = arena.offset(soaked * PAGE_SIZE);
         kernel.mmap_anonymous(pid, va, PAGE_SIZE, true).expect("soak");
-        let pfn = kernel
-            .translate(pid, va, cta_vm::Access::user_read())
-            .expect("translate")
-            / PAGE_SIZE;
+        let pfn =
+            kernel.translate(pid, va, cta_vm::Access::user_read()).expect("translate") / PAGE_SIZE;
         soaked += 1;
         if soaked.is_multiple_of(32) {
             kernel.dram_mut().advance(interval);
@@ -105,8 +103,8 @@ fn algorithm1(kernel: &mut Kernel) -> (usize, usize, u64) {
         kernel.dram_mut().advance(interval);
         let _ = driver.hammer_by_walks(kernel, pid, *va, 320);
     }
-    let mark_row = kernel.ptp_layout().expect("zoned").low_water_mark()
-        / kernel.dram().geometry().row_bytes();
+    let mark_row =
+        kernel.ptp_layout().expect("zoned").low_water_mark() / kernel.dram().geometry().row_bytes();
     let total_rows = kernel.dram().geometry().total_rows();
     for row in mark_row..total_rows {
         kernel.dram_mut().advance(interval);
@@ -157,5 +155,14 @@ fn main() {
     assert_eq!(true_refs, 0, "true-cell CTA must never self-reference");
     assert!(anti_refs > 0, "the anti-cell zone should produce self-references");
     assert!(true_flips > 0, "CTA does not stop flips; it makes them harmless");
+
+    let mut tel = Counters::new("exp-anti-baseline");
+    tel.set_u64("anti_zone", "self_references", anti_refs as u64);
+    tel.set_u64("anti_zone", "intermediate_redirects", anti_redirects as u64);
+    tel.set_u64("anti_zone", "flips_induced", anti_flips);
+    tel.set_u64("true_zone", "self_references", true_refs as u64);
+    tel.set_u64("true_zone", "intermediate_redirects", true_redirects as u64);
+    tel.set_u64("true_zone", "flips_induced", true_flips);
+    emit_telemetry(&tel);
     println!("\nOK: a low water mark without true-cells is not a defense — CTA is load-bearing.");
 }

@@ -4,15 +4,18 @@
 //! matter; and for unprotected data rows, preemptive mitigation stops
 //! flips outright.
 
-use cta_bench::{header, kv};
+use cta_bench::{emit_telemetry, header, kv};
 use cta_dram::{DisturbanceParams, DramConfig, DramModule, RowId};
 use cta_ext::{AnvilConfig, AnvilDetector};
+use cta_telemetry::Counters;
 use cta_workloads::{spec2006, Runner};
 
 fn module(seed: u64) -> DramModule {
-    DramModule::new(DramConfig::small_test().with_seed(seed).with_disturbance(
-        DisturbanceParams { pf: 0.05, ..DisturbanceParams::default() },
-    ))
+    DramModule::new(
+        DramConfig::small_test()
+            .with_seed(seed)
+            .with_disturbance(DisturbanceParams { pf: 0.05, ..DisturbanceParams::default() }),
+    )
 }
 
 fn main() {
@@ -43,11 +46,8 @@ fn main() {
     assert_eq!(prevented, 20);
 
     header("False positives on benign workloads");
-    let mut kernel = cta_core::SystemBuilder::new(16 << 20)
-        .ptp_bytes(1 << 20)
-        .protected(true)
-        .build()
-        .unwrap();
+    let mut kernel =
+        cta_core::SystemBuilder::new(16 << 20).ptp_bytes(1 << 20).protected(true).build().unwrap();
     let mut detector = AnvilDetector::new(AnvilConfig::default());
     let runner = Runner { repetitions: 1, seed: 9 };
     let mut false_positives = 0;
@@ -57,6 +57,14 @@ fn main() {
     }
     kv("alarms across 6 SPEC-shaped workloads", false_positives);
     assert_eq!(false_positives, 0, "benign work must not trip the detector");
+
+    let mut tel = Counters::new("exp-anvil");
+    tel.set_u64("anvil", "campaigns", 20);
+    tel.set_u64("anvil", "campaigns_detected", detected);
+    tel.set_u64("anvil", "campaigns_preempted", prevented);
+    tel.set_u64("anvil", "benign_false_positives", false_positives as u64);
+    kernel.record_counters(&mut tel);
+    emit_telemetry(&tel);
 
     header("Why CTA makes sampling cheap (the paper's §5 argument)");
     kv("without CTA", "attack window ≈ 20 s — the sampler must run hot");

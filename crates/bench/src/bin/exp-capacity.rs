@@ -3,15 +3,19 @@
 //! concrete simulated layouts.
 
 use cta_analysis::capacity::{worst_case_loss_bytes, worst_case_loss_fraction, REGION_BYTES};
-use cta_bench::{header, kv};
+use cta_bench::{emit_telemetry, header, kv};
 use cta_dram::{AddressMapping, CellLayout, CellType, CellTypeMap, DramGeometry};
 use cta_mem::{PtpLayout, PtpSpec};
+use cta_telemetry::Counters;
 
 fn main() {
+    let mut tel = Counters::new("exp-capacity");
     header("Section 6.2 model: worst-case capacity loss (8 GiB system)");
     for ptp_mib in [32u64, 64, 96, 128] {
         let loss = worst_case_loss_bytes(ptp_mib << 20, REGION_BYTES);
         let frac = worst_case_loss_fraction(8 << 30, ptp_mib << 20, REGION_BYTES);
+        tel.set_u64("capacity_model", &format!("loss_bytes_{ptp_mib}mib"), loss);
+        tel.set_f64("capacity_model", &format!("loss_fraction_{ptp_mib}mib"), frac);
         kv(
             &format!("{ptp_mib} MiB ZONE_PTP"),
             format!("{} MiB reserved worst-case = {:.2}%", loss >> 20, frac * 100.0),
@@ -22,16 +26,32 @@ fn main() {
     header("Measured losses on simulated modules (512 MiB, 128 KiB rows)");
     let geometry = DramGeometry::new(128 * 1024, 4096, 1, AddressMapping::RowLinear);
     let cases: [(&str, CellLayout); 4] = [
-        ("anti region on top (worst case)", CellLayout::Alternating { period_rows: 64, first: CellType::True }),
-        ("true region on top (best case)", CellLayout::Alternating { period_rows: 64, first: CellType::Anti }),
+        (
+            "anti region on top (worst case)",
+            CellLayout::Alternating { period_rows: 64, first: CellType::True },
+        ),
+        (
+            "true region on top (best case)",
+            CellLayout::Alternating { period_rows: 64, first: CellType::Anti },
+        ),
         ("true-heavy 1000:1", CellLayout::TrueHeavy { anti_every: 1001 }),
         ("all-true module", CellLayout::AllTrue),
     ];
-    for (name, layout_kind) in cases {
+    for (i, (name, layout_kind)) in cases.into_iter().enumerate() {
         let cells = CellTypeMap::from_layout(&geometry, layout_kind);
         let layout =
             PtpLayout::build(&cells, 512 << 20, &PtpSpec::paper_default().with_size(8 << 20))
                 .expect("feasible");
+        tel.set_u64(
+            "capacity_measured",
+            &format!("case{i}_loss_bytes"),
+            layout.capacity_loss_bytes(),
+        );
+        tel.set_f64(
+            "capacity_measured",
+            &format!("case{i}_loss_fraction"),
+            layout.capacity_loss_fraction(),
+        );
         kv(
             name,
             format!(
@@ -42,5 +62,6 @@ fn main() {
             ),
         );
     }
+    emit_telemetry(&tel);
     println!("\nOK: measured losses bracket the model between best and worst case.");
 }

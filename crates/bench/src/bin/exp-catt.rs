@@ -18,11 +18,12 @@
 //! pfn-bit-10 above the kernel-partition PT frames — the flip pattern the
 //! bypasses exploit.
 
-use cta_bench::{header, kv};
+use cta_bench::{emit_telemetry, header, kv};
 use cta_core::verify::verify_system;
 use cta_core::SystemBuilder;
 use cta_dram::{CellType, DisturbanceParams, RowId};
 use cta_mem::{MemoryMap, PAGE_SIZE};
+use cta_telemetry::Counters;
 use cta_vm::{Access, Kernel, Pid, VirtAddr};
 
 const TOTAL: u64 = 8 << 20;
@@ -92,13 +93,7 @@ fn pt_row_flips(kernel: &Kernel, pid: Pid) -> u64 {
         .iter()
         .map(|(pfn, _)| pfn.addr().0 / row_bytes)
         .collect();
-    kernel
-        .dram()
-        .stats()
-        .flip_log
-        .iter()
-        .filter(|f| pt_rows.contains(&f.row.0))
-        .count() as u64
+    kernel.dram().stats().flip_log.iter().filter(|f| pt_rows.contains(&f.row.0)).count() as u64
 }
 
 /// The attacker-ownable VA (a file-page mapping) whose frame's row has the
@@ -214,10 +209,7 @@ fn main() {
         "CTA  + row remap: PT-row flips / self-refs",
         format!("{cta_remap_pt_flips} / {cta_remap_refs}"),
     );
-    assert!(
-        catt_remap_pt_flips > 0,
-        "remapping must breach CATT's kernel-integrity guarantee"
-    );
+    assert!(catt_remap_pt_flips > 0, "remapping must breach CATT's kernel-integrity guarantee");
     assert_eq!(cta_remap_refs, 0, "CTA tolerates PT-row flips: they stay monotonic");
 
     // ------------------------------------------------------------------
@@ -257,6 +249,18 @@ fn main() {
         "double-owned pages must breach CATT's kernel-integrity guarantee"
     );
     assert_eq!(cta_shared_refs, 0);
+
+    let mut tel = Counters::new("exp-catt");
+    tel.set_u64("catt", "vanilla_self_refs", catt_vanilla_refs as u64);
+    tel.set_u64("catt", "vanilla_pt_row_flips", catt_vanilla_pt_flips);
+    tel.set_u64("catt", "remap_self_refs", catt_remap_refs as u64);
+    tel.set_u64("catt", "remap_pt_row_flips", catt_remap_pt_flips);
+    tel.set_u64("catt", "shared_self_refs", catt_shared_refs as u64);
+    tel.set_u64("catt", "shared_pt_row_flips", catt_shared_pt_flips);
+    tel.set_u64("cta", "remap_self_refs", cta_remap_refs as u64);
+    tel.set_u64("cta", "remap_pt_row_flips", cta_remap_pt_flips);
+    tel.set_u64("cta", "shared_self_refs", cta_shared_refs as u64);
+    emit_telemetry(&tel);
 
     println!("\nOK: CATT's spatial isolation breaks under remapping and sharing; CTA's");
     println!("directional guarantee does not depend on physical adjacency at all.");

@@ -2,10 +2,9 @@
 //! (Aichinger's observation), measured on a real (72,64) SECDED code over
 //! the simulated module — and why CTA is orthogonal to it.
 
-use cta_bench::{header, kv};
-use cta_dram::{
-    CellLayout, DisturbanceParams, DramConfig, DramModule, EccRegion, RowId,
-};
+use cta_bench::{emit_telemetry, header, kv};
+use cta_dram::{CellLayout, DisturbanceParams, DramConfig, DramModule, EccRegion, RowId};
+use cta_telemetry::Counters;
 
 fn run_sweep(pf: f64, modules: u64) -> (u64, u64, u64, u64) {
     let mut corrected = 0;
@@ -38,6 +37,7 @@ fn run_sweep(pf: f64, modules: u64) -> (u64, u64, u64, u64) {
 }
 
 fn main() {
+    let mut tel = Counters::new("exp-ecc");
     header("SECDED ECC vs RowHammer (512 words/module, data + check rows hammered)");
     println!(
         "{:<12} {:>10} {:>12} {:>18} {:>10}",
@@ -45,6 +45,11 @@ fn main() {
     );
     for pf in [0.0002f64, 0.001, 0.005, 0.02] {
         let (corrected, detected, silent, flips) = run_sweep(pf, 40);
+        let group = format!("ecc:pf{pf}");
+        tel.set_u64(&group, "corrected", corrected);
+        tel.set_u64(&group, "detected_uncorrectable", detected);
+        tel.set_u64(&group, "silent_corruptions", silent);
+        tel.set_u64(&group, "total_flips", flips);
         println!("{pf:<12} {corrected:>10} {detected:>12} {silent:>18} {flips:>10}");
     }
 
@@ -52,15 +57,15 @@ fn main() {
     kv("single flips", "corrected — ECC works as designed");
     kv("double flips", "detected-uncorrectable: machine check = denial of service");
     kv("triple+ flips", "may alias to a valid syndrome: silent corruption");
-    kv(
-        "CTA's position",
-        "orthogonal — it needs no detection at all, only flip *direction*",
-    );
+    kv("CTA's position", "orthogonal — it needs no detection at all, only flip *direction*");
 
     // The qualitative claims, asserted.
     let (_, detected_low, _, _) = run_sweep(0.0002, 40);
     let (corrected_hi, detected_hi, _, _) = run_sweep(0.02, 40);
     assert!(corrected_hi > 0);
     assert!(detected_hi > detected_low, "heavier hammering must defeat correction more often");
-    println!("\nOK: ECC degrades from 'corrects' to 'crashes' (and occasionally lies) as flips densify.");
+    emit_telemetry(&tel);
+    println!(
+        "\nOK: ECC degrades from 'corrects' to 'crashes' (and occasionally lies) as flips densify."
+    );
 }

@@ -2,9 +2,10 @@
 //! permission-vector protection, coldboot detection, and the
 //! hamming-weight error-detection code.
 
-use cta_bench::{header, kv};
+use cta_bench::{emit_telemetry, header, kv};
 use cta_dram::{CellLayout, DisturbanceParams, DramConfig, DramModule, RowId};
 use cta_ext::{BootDecision, ColdbootGuard, Permission, PermissionStore, PopcountCode, Verdict};
+use cta_telemetry::Counters;
 
 fn module(layout: CellLayout, seed: u64) -> DramModule {
     DramModule::new(
@@ -16,11 +17,11 @@ fn module(layout: CellLayout, seed: u64) -> DramModule {
 }
 
 fn main() {
+    let mut tel = Counters::new("exp-ext");
     // ---------------- permission vectors --------------------------------
     header("Section 8: permission vectors under RowHammer (20 modules each)");
     let perms: Vec<Permission> = (0..512).map(|i| Permission::from_bits((i % 8) as u8)).collect();
-    for (name, layout) in
-        [("true-cells", CellLayout::AllTrue), ("anti-cells", CellLayout::AllAnti)]
+    for (name, layout) in [("true-cells", CellLayout::AllTrue), ("anti-cells", CellLayout::AllAnti)]
     {
         let mut escalations = 0usize;
         let mut denials = 0usize;
@@ -32,6 +33,9 @@ fn main() {
             escalations += e;
             denials += d;
         }
+        let group = format!("permissions:{name}");
+        tel.set_u64(&group, "escalations", escalations as u64);
+        tel.set_u64(&group, "denials", denials as u64);
         kv(
             &format!("{name}: escalations (denied→allowed)"),
             format!("{escalations} (denials: {denials})"),
@@ -90,5 +94,9 @@ fn main() {
     kv("modules with corrupted data", corrupted);
     kv("corruptions detected by POPCNT check", detected);
     kv("detection rate", format!("{:.1}%", 100.0 * detected as f64 / corrupted.max(1) as f64));
+    tel.set_u64("popcount", "modules_corrupted", u64::from(corrupted));
+    tel.set_u64("popcount", "corruptions_detected", u64::from(detected));
+    tel.set_f64("popcount", "detection_rate", f64::from(detected) / f64::from(corrupted.max(1)));
+    emit_telemetry(&tel);
     println!("\nOK: monotonicity secures permissions, detects coldboots, and checks integrity.");
 }

@@ -1,8 +1,9 @@
 //! Regenerates Figure 1: DRAM bank organization — rows, the row buffer
 //! abstraction, and which victim rows an aggressor disturbs.
 
-use cta_bench::{header, kv};
+use cta_bench::{emit_telemetry, header, kv};
 use cta_dram::{DramConfig, DramModule, RowId};
+use cta_telemetry::Counters;
 
 fn main() {
     let module = DramModule::new(DramConfig::paper_scale(1 << 30, 7));
@@ -19,7 +20,10 @@ fn main() {
         let victims = g.adjacent_rows(aggressor).expect("row in range");
         let coord = g.bank_coord(aggressor).expect("row in range");
         kv(
-            &format!("aggressor {aggressor} (bank {}, in-bank row {})", coord.bank, coord.row_in_bank),
+            &format!(
+                "aggressor {aggressor} (bank {}, in-bank row {})",
+                coord.bank, coord.row_in_bank
+            ),
             format!(
                 "victims: {}",
                 victims.iter().map(|r| r.to_string()).collect::<Vec<_>>().join(", ")
@@ -34,9 +38,14 @@ fn main() {
         &format!("{last_of_bank0} and {first_of_bank1}"),
         "consecutive indices but different banks: not neighbors",
     );
-    assert!(!g
-        .adjacent_rows(last_of_bank0)
-        .expect("in range")
-        .contains(&first_of_bank1));
+    assert!(!g.adjacent_rows(last_of_bank0).expect("in range").contains(&first_of_bank1));
+
+    let mut tel = Counters::new("exp-fig1");
+    tel.set_u64("geometry", "banks", g.banks() as u64);
+    tel.set_u64("geometry", "rows_per_bank", g.rows_per_bank());
+    tel.set_u64("geometry", "row_bytes", g.row_bytes());
+    tel.set_u64("geometry", "capacity_bytes", g.capacity_bytes());
+    tel.record(module.stats());
+    emit_telemetry(&tel);
     println!("\nOK: adjacency respects bank boundaries.");
 }

@@ -2,14 +2,17 @@
 //! true-cell and anti-cell regions by the write-1s / disable-refresh /
 //! read-back procedure.
 
-use cta_bench::{header, kv};
-use cta_dram::{
-    profile_cell_types, CellLayout, CellType, DramConfig, DramModule, ProfilerConfig,
-};
+use cta_bench::{emit_telemetry, header, kv};
+use cta_dram::{profile_cell_types, CellLayout, CellType, DramConfig, DramModule, ProfilerConfig};
+use cta_telemetry::Counters;
 
 fn main() {
+    let mut tel = Counters::new("exp-fig2");
     for (name, layout) in [
-        ("alternating every 8 rows", CellLayout::Alternating { period_rows: 8, first: CellType::True }),
+        (
+            "alternating every 8 rows",
+            CellLayout::Alternating { period_rows: 8, first: CellType::True },
+        ),
         ("true-heavy 15:1", CellLayout::TrueHeavy { anti_every: 16 }),
         ("all true-cells", CellLayout::AllTrue),
     ] {
@@ -21,14 +24,16 @@ fn main() {
         kv("rows profiled", profile.map.rows());
         kv("recovered regions", profile.map.regions().len());
         for region in profile.map.regions().iter().take(6) {
-            kv(
-                &format!("rows {}..{}", region.start_row.0, region.end_row.0),
-                region.cell_type,
-            );
+            kv(&format!("rows {}..{}", region.start_row.0, region.end_row.0), region.cell_type);
         }
         kv("max dissenting bits in any row", profile.max_dissent());
         kv("matches ground truth", profile.map == truth);
         assert_eq!(profile.map, truth, "profiler must recover the layout");
+        tel.add_u64("profiler", "layouts_profiled", 1);
+        tel.add_u64("profiler", "rows_profiled", profile.map.rows());
+        tel.add_u64("profiler", "max_dissent", profile.max_dissent());
+        tel.record(module.stats());
     }
+    emit_telemetry(&tel);
     println!("\nOK: the profiler recovers every layout exactly.");
 }

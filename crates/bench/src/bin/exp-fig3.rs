@@ -3,18 +3,22 @@
 //! failing on a CTA kernel.
 
 use cta_attack::SprayAttack;
-use cta_bench::{header, kv, standard_machine};
+use cta_bench::{emit_telemetry, header, kv, standard_machine};
 use cta_core::verify::verify_system;
+use cta_telemetry::Counters;
 
 fn main() {
     let attack = SprayAttack::default();
+    let mut tel = Counters::new("exp-fig3");
 
     header("Figure 3: spray attack on a STOCK kernel (first succeeding module of 16)");
     let mut succeeded = false;
     for seed in 0..16u64 {
         let mut kernel = standard_machine(seed, false);
         let outcome = attack.run(&mut kernel).expect("attack infrastructure");
+        kernel.record_counters(&mut tel);
         if outcome.success() {
+            tel.add_u64("attack", "stock_successes", 1);
             kv("module seed", seed);
             print!("{outcome}");
             let report = verify_system(&kernel).expect("verifier runs");
@@ -36,9 +40,13 @@ fn main() {
         assert!(!outcome.success(), "CTA breached at seed {seed}");
         let report = verify_system(&kernel).expect("verifier runs");
         assert_eq!(report.self_references().count(), 0);
+        kernel.record_counters(&mut tel);
         failures += 1;
     }
     kv("CTA kernels attacked", 16);
     kv("successful escalations", format!("0 / {failures}"));
+    tel.set_u64("attack", "cta_kernels_attacked", failures);
+    tel.set_u64("attack", "cta_successes", 0);
+    emit_telemetry(&tel);
     println!("\nOK: the Figure 3 attack escalates on stock kernels and never under CTA.");
 }

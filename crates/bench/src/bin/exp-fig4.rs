@@ -2,11 +2,13 @@
 //! placement — page tables above the mark, data below it, versus the
 //! interleaved free-for-all of a stock kernel.
 
-use cta_bench::{header, kv, standard_machine};
+use cta_bench::{emit_telemetry, header, kv, standard_machine};
 use cta_mem::{PtLevel, PAGE_SIZE};
+use cta_telemetry::Counters;
 use cta_vm::VirtAddr;
 
 fn main() {
+    let mut tel = Counters::new("exp-fig4");
     for protected in [false, true] {
         let mut kernel = standard_machine(3, protected);
         let pid = kernel.create_process(false).expect("process");
@@ -62,6 +64,13 @@ fn main() {
             assert_eq!(pt_below, 0);
             assert_eq!(leaf_above, 0);
         }
+        let group = if protected { "placement:cta" } else { "placement:stock" };
+        tel.set_u64(group, "pt_above_mark", pt_above);
+        tel.set_u64(group, "pt_below_mark", pt_below);
+        tel.set_u64(group, "leaf_targets_above_mark", leaf_above);
+        tel.set_u64(group, "leaf_targets_below_mark", leaf_below);
+        kernel.record_counters(&mut tel);
     }
+    emit_telemetry(&tel);
     println!("\nOK: the mark separates page tables from everything they point at.");
 }

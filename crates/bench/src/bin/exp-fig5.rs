@@ -5,9 +5,10 @@
 //! Reproduces the paper's worked example: a PTE holding 0x01100000 in
 //! true-cells can only become 0x00100000, 0x01000000, or 0x00000000.
 
-use cta_bench::{header, kv};
+use cta_bench::{emit_telemetry, header, kv};
 use cta_core::MonotonicValue;
 use cta_dram::{CellLayout, CellType, DisturbanceParams, DramConfig, DramModule, RowId};
+use cta_telemetry::Counters;
 
 fn corrupted_values(
     layout: CellLayout,
@@ -43,7 +44,10 @@ fn main() {
     kv("paper's reachable set", "0x00100000, 0x01000000, 0x00000000");
     let observed = corrupted_values(CellLayout::AllTrue, 0..400, original, 0.0);
     for v in &observed {
-        kv(&format!("observed corruption {v:#010x}"), if *v <= original { "≤ original ✓" } else { "VIOLATION" });
+        kv(
+            &format!("observed corruption {v:#010x}"),
+            if *v <= original { "≤ original ✓" } else { "VIOLATION" },
+        );
         assert!(mono.may_become(*v), "corruption outside the monotone set");
         assert!(*v < original);
     }
@@ -53,9 +57,14 @@ fn main() {
     let mut corrupted_modules = 0u32;
     let mut upward_modules = 0u32;
     for seed in 0..2000u64 {
-        let cfg = DramConfig::small_test().with_seed(seed).with_layout(CellLayout::AllTrue).with_disturbance(
-            DisturbanceParams { pf: 0.10, reverse_rate: 0.002, ..DisturbanceParams::default() },
-        );
+        let cfg = DramConfig::small_test()
+            .with_seed(seed)
+            .with_layout(CellLayout::AllTrue)
+            .with_disturbance(DisturbanceParams {
+                pf: 0.10,
+                reverse_rate: 0.002,
+                ..DisturbanceParams::default()
+            });
         let mut m = DramModule::new(cfg);
         let addr = m.geometry().row_bytes();
         m.write_u64(addr, original).expect("write");
@@ -81,5 +90,14 @@ fn main() {
         kv("highest observed pointer", format!("{max:#018x}"));
     }
     assert!(above > 0, "anti-cells must produce upward corruptions");
+
+    let mut tel = Counters::new("exp-fig5");
+    tel.set_u64("monotonic", "true_cell_corruptions", observed.len() as u64);
+    tel.set_u64("monotonic", "true_cell_upward_corruptions", 0);
+    tel.set_u64("monotonic", "anti_cell_corruptions", observed_anti.len() as u64);
+    tel.set_u64("monotonic", "anti_cell_upward_corruptions", above as u64);
+    tel.set_u64("monotonic", "reverse_rate_corrupted_modules", u64::from(corrupted_modules));
+    tel.set_u64("monotonic", "reverse_rate_upward_modules", u64::from(upward_modules));
+    emit_telemetry(&tel);
     println!("\nOK: true-cells only decrease pointers; anti-cells reach arbitrary high addresses.");
 }

@@ -1,9 +1,10 @@
 //! Regenerates Figure 6: the x86 (32-bit) and x86-64 physical memory zone
 //! layouts, plus the CTA variant with ZONE_PTP at the top.
 
-use cta_bench::{header, kv};
+use cta_bench::{emit_telemetry, header, kv};
 use cta_dram::{AddressMapping, CellLayout, CellTypeMap, DramGeometry};
 use cta_mem::{MemoryMap, PtpLayout, PtpSpec};
+use cta_telemetry::Counters;
 
 fn print_map(map: &MemoryMap) {
     for (kind, specs) in map.zones() {
@@ -31,10 +32,21 @@ fn main() {
     let layout =
         PtpLayout::build(&cells, 8 << 30, &PtpSpec::paper_default()).expect("layout feasible");
     kv("low water mark", format!("{:#012x}", layout.low_water_mark()));
-    kv("capacity loss (anti rows reserved)", format!(
-        "{} MiB ({:.2}%)",
-        layout.capacity_loss_bytes() >> 20,
-        layout.capacity_loss_fraction() * 100.0
-    ));
-    print_map(&MemoryMap::x86_64(8 << 30).with_cta(layout));
+    kv(
+        "capacity loss (anti rows reserved)",
+        format!(
+            "{} MiB ({:.2}%)",
+            layout.capacity_loss_bytes() >> 20,
+            layout.capacity_loss_fraction() * 100.0
+        ),
+    );
+
+    let mut tel = Counters::new("exp-fig6");
+    tel.set_u64("zones", "low_water_mark", layout.low_water_mark());
+    tel.set_u64("zones", "capacity_loss_bytes", layout.capacity_loss_bytes());
+    tel.set_f64("zones", "capacity_loss_fraction", layout.capacity_loss_fraction());
+    let cta_map = MemoryMap::x86_64(8 << 30).with_cta(layout);
+    tel.set_u64("zones", "cta_zone_count", cta_map.zones().len() as u64);
+    print_map(&cta_map);
+    emit_telemetry(&tel);
 }

@@ -2,8 +2,9 @@
 //! each GFP request class gets served, that `__GFP_PTP` never falls back,
 //! and that nothing else ever touches ZONE_PTP.
 
-use cta_bench::{header, kv, standard_machine};
+use cta_bench::{emit_telemetry, header, kv, standard_machine};
 use cta_mem::{GfpFlags, ZoneKind};
+use cta_telemetry::Counters;
 use cta_vm::VirtAddr;
 
 fn main() {
@@ -53,5 +54,12 @@ fn main() {
     kv("user pages served until OOM", user_pages);
     kv("ZONE_PTP pages untouched", alloc2.zone(ZoneKind::Ptp).expect("zone").free_pages());
     assert_eq!(alloc2.zone(ZoneKind::Ptp).expect("zone").free_pages(), ptp_free);
+
+    let mut tel = Counters::new("exp-fig7");
+    kernel.record_counters(&mut tel);
+    tel.set_u64("dispatch", "ptp_pages_until_exhaustion", served);
+    tel.set_u64("dispatch", "user_pages_until_oom", user_pages);
+    tel.set_u64("dispatch", "ptp_pages_untouched_by_user", ptp_free);
+    emit_telemetry(&tel);
     println!("\nOK: both CTA allocator rules hold under exhaustion.");
 }

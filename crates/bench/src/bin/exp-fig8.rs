@@ -2,49 +2,69 @@
 //! decomposed into true-cell sub-zones (ZONE_TC) with anti-cell rows
 //! skipped, for both the common alternating layout and a true-heavy module.
 
-use cta_bench::{header, kv};
+use cta_bench::{emit_telemetry, header, kv};
 use cta_dram::{AddressMapping, CellLayout, CellType, CellTypeMap, DramGeometry};
 use cta_mem::{PtpLayout, PtpSpec};
+use cta_telemetry::Counters;
 
-fn show(name: &str, layout_kind: CellLayout, ptp_mib: u64) {
+fn show(tel: &mut Counters, name: &str, layout_kind: CellLayout, ptp_mib: u64) {
     // 512 MiB module, 128 KiB rows.
     let geometry = DramGeometry::new(128 * 1024, 4096, 1, AddressMapping::RowLinear);
     let cells = CellTypeMap::from_layout(&geometry, layout_kind);
-    let layout = PtpLayout::build(
-        &cells,
-        512 << 20,
-        &PtpSpec::paper_default().with_size(ptp_mib << 20),
-    )
-    .expect("feasible");
+    let layout =
+        PtpLayout::build(&cells, 512 << 20, &PtpSpec::paper_default().with_size(ptp_mib << 20))
+            .expect("feasible");
     header(&format!("Figure 8 ({name}, {ptp_mib} MiB ZONE_PTP)"));
     kv("low water mark", format!("{:#010x}", layout.low_water_mark()));
     for (range, _) in layout.subzones() {
         kv(
             "ZONE_TC",
-            format!("{:#010x} .. {:#010x} ({} KiB true-cells)", range.start, range.end, (range.end - range.start) >> 10),
+            format!(
+                "{:#010x} .. {:#010x} ({} KiB true-cells)",
+                range.start,
+                range.end,
+                (range.end - range.start) >> 10
+            ),
         );
     }
     for range in layout.reserved_anti_ranges() {
         kv(
             "reserved anti-cell hole",
-            format!("{:#010x} .. {:#010x} ({} KiB unused)", range.start, range.end, (range.end - range.start) >> 10),
+            format!(
+                "{:#010x} .. {:#010x} ({} KiB unused)",
+                range.start,
+                range.end,
+                (range.end - range.start) >> 10
+            ),
         );
     }
     kv(
         "capacity loss",
-        format!("{} KiB ({:.3}%)", layout.capacity_loss_bytes() >> 10, layout.capacity_loss_fraction() * 100.0),
+        format!(
+            "{} KiB ({:.3}%)",
+            layout.capacity_loss_bytes() >> 10,
+            layout.capacity_loss_fraction() * 100.0
+        ),
     );
+    let group = format!("subzones:{name}");
+    tel.set_u64(&group, "tc_subzones", layout.subzones().len() as u64);
+    tel.set_u64(&group, "reserved_anti_holes", layout.reserved_anti_ranges().len() as u64);
+    tel.set_u64(&group, "capacity_loss_bytes", layout.capacity_loss_bytes());
+    tel.set_f64(&group, "capacity_loss_fraction", layout.capacity_loss_fraction());
 }
 
 fn main() {
+    let mut tel = Counters::new("exp-fig8");
     // Alternation every 64 rows of 128 KiB = 8 MiB runs.
     show(
+        &mut tel,
         "alternating module",
         CellLayout::Alternating { period_rows: 64, first: CellType::True },
         16,
     );
     // True-heavy module: almost no loss.
-    show("true-heavy 1000:1 module", CellLayout::TrueHeavy { anti_every: 1001 }, 16);
+    show(&mut tel, "true-heavy 1000:1 module", CellLayout::TrueHeavy { anti_every: 1001 }, 16);
     // All-true module: zero loss, zone is one contiguous ZONE_TC.
-    show("all-true module", CellLayout::AllTrue, 16);
+    show(&mut tel, "all-true module", CellLayout::AllTrue, 16);
+    emit_telemetry(&tel);
 }

@@ -5,11 +5,12 @@
 //! its own page tables nor reach any other guest's.
 
 use cta_attack::SprayAttack;
-use cta_bench::{header, kv};
+use cta_bench::{emit_telemetry, header, kv};
 use cta_core::verify::verify_system;
 use cta_core::SystemBuilder;
 use cta_dram::DisturbanceParams;
 use cta_mem::{GuestSpec, HypervisorPlan, MemoryMap};
+use cta_telemetry::Counters;
 use cta_vm::Kernel;
 
 fn main() {
@@ -33,6 +34,10 @@ fn main() {
     kv("structural invariant violations", problems.len());
     assert!(problems.is_empty(), "{problems:?}");
 
+    let mut tel = Counters::new("exp-hypervisor");
+    tel.set_u64("hypervisor", "guests", plan.guests().len() as u64);
+    tel.set_u64("hypervisor", "invariant_violations", problems.len() as u64);
+
     header("Guests boot on their slices and survive the spray attack");
     for guest in plan.guests() {
         let mut config = base.clone().to_config();
@@ -53,6 +58,11 @@ fn main() {
         );
         assert!(!outcome.success());
         assert_eq!(report.self_references().count(), 0);
+        let group = format!("guest:{}", guest.name);
+        tel.set_u64(&group, "escalated", u64::from(outcome.success()));
+        tel.set_u64(&group, "self_references", report.self_references().count() as u64);
+        tel.set_u64(&group, "flips_induced", outcome.flips_induced);
+        kernel.record_counters(&mut tel);
         // Every page table the guest built lives inside its assigned slice.
         for pid in kernel.pids() {
             for (pfn, _) in kernel.process(pid).expect("proc").pt_pages() {
@@ -65,5 +75,6 @@ fn main() {
             }
         }
     }
+    emit_telemetry(&tel);
     println!("\nOK: per-guest CTA holds, slices stay disjoint, no VM can reach another's tables.");
 }

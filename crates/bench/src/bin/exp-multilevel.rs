@@ -3,15 +3,13 @@
 //! physical addresses, so the No Self-Reference argument applies level by
 //! level even with multiple page sizes.
 
-use cta_bench::{header, kv, standard_builder};
+use cta_bench::{emit_telemetry, header, kv, standard_builder};
 use cta_mem::PtLevel;
+use cta_telemetry::Counters;
 use cta_vm::VirtAddr;
 
 fn main() {
-    let mut kernel = standard_builder(21, true)
-        .multi_level(true)
-        .build()
-        .expect("machine boots");
+    let mut kernel = standard_builder(21, true).multi_level(true).build().expect("machine boots");
     header("Section 7: multi-level PTP zones");
     let layout = kernel.ptp_layout().expect("CTA on").clone();
     for (range, level) in layout.subzones() {
@@ -52,8 +50,12 @@ fn main() {
         assert_eq!(home, *level, "a {level} page landed in the {home} sub-zone");
         *counts.entry(*level).or_insert(0u32) += 1;
     }
+    let mut tel = Counters::new("exp-multilevel");
+    tel.set_u64("multilevel", "subzones", layout.subzones().len() as u64);
     for level in PtLevel::ALL {
-        kv(&format!("{level} pages placed correctly"), counts.get(&level).copied().unwrap_or(0));
+        let placed = counts.get(&level).copied().unwrap_or(0);
+        tel.set_u64("multilevel", &format!("{level}_pages_placed"), u64::from(placed));
+        kv(&format!("{level} pages placed correctly"), placed);
     }
 
     // The per-level No Self-Reference argument: every entry at level L+1
@@ -69,5 +71,7 @@ fn main() {
         }
     }
     kv("per-level monotone pointer invariant", "holds");
+    kernel.record_counters(&mut tel);
+    emit_telemetry(&tel);
     println!("\nOK: multi-level zones preserve No Self-Reference at every level.");
 }

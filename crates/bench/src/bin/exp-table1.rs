@@ -1,11 +1,16 @@
 //! Regenerates Table 1: the catalog of published RowHammer attacks.
 
 use cta_attack::catalog;
-use cta_bench::header;
+use cta_bench::{emit_telemetry, header};
+use cta_telemetry::Counters;
 
 fn main() {
     header("Table 1: Existing RowHammer Attacks");
-    println!("{:<36} {:<10} {:<44} {:<9} CTA mitigates", "Techniques", "Victim", "Attacks", "Platform");
+    println!(
+        "{:<36} {:<10} {:<44} {:<9} CTA mitigates",
+        "Techniques", "Victim", "Attacks", "Platform"
+    );
+    let mut tel = Counters::new("exp-table1");
     for row in catalog() {
         println!(
             "{:<36} {:<10} {:<44} {:<9} {}",
@@ -15,5 +20,12 @@ fn main() {
             row.platform.to_string(),
             if row.mitigated_by_cta { "yes" } else { "out of scope" }
         );
+        tel.add_u64("catalog", "attacks", 1);
+        tel.add_u64(
+            "catalog",
+            if row.mitigated_by_cta { "mitigated_by_cta" } else { "out_of_scope" },
+            1,
+        );
     }
+    emit_telemetry(&tel);
 }

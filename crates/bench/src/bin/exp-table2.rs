@@ -6,9 +6,11 @@ use cta_analysis::{
     expected_exploitable_ptes, monte_carlo_p_exploitable, p_exploitable, table2, FlipStats,
     Restriction, SystemShape,
 };
-use cta_bench::{header, kv};
+use cta_bench::{emit_telemetry, header, kv};
+use cta_telemetry::Counters;
 
 fn main() {
+    let mut tel = Counters::new("exp-table2");
     header("Table 2: Expected Exploitable PTEs and Attack Time (Pf = 1e-4, P0→1 = 0.2%)");
     print!("{}", table2().render("Table 2"));
 
@@ -25,6 +27,9 @@ fn main() {
     let good = expected_exploitable_ptes(&shape, &stats, Restriction::None);
     kv("true-cell CTA expected exploitable", format!("{good:.2}"));
     kv("anti/true ratio", format!("{:.1e}", anti / good));
+    tel.set_f64("table2", "anti_cell_exploitable_ptes", anti);
+    tel.set_f64("table2", "true_cell_exploitable_ptes", good);
+    tel.set_f64("table2", "anti_true_ratio", anti / good);
 
     header("Monte Carlo cross-validation of the closed form");
     // True-cell statistics scaled so sampling is affordable; the agreement
@@ -37,12 +42,14 @@ fn main() {
             &format!("{restriction:?}: closed form vs Monte Carlo"),
             format!("{analytic:.4e} vs {:.4e} (±{:.1e})", mc.p_hat, mc.std_error()),
         );
+        let key = format!("{restriction:?}").to_lowercase();
+        tel.set_f64("monte_carlo", &format!("{key}_analytic"), analytic);
+        tel.set_f64("monte_carlo", &format!("{key}_p_hat"), mc.p_hat);
     }
 
     header("One-in-how-many-systems is even vulnerable (restricted, 8GB/32MB)");
     let restricted = expected_exploitable_ptes(&shape, &stats, Restriction::AtLeastTwoZeros);
-    kv(
-        "systems per vulnerable system (paper: 2.04e5)",
-        format!("{:.2e}", 1.0 / restricted),
-    );
+    kv("systems per vulnerable system (paper: 2.04e5)", format!("{:.2e}", 1.0 / restricted));
+    tel.set_f64("table2", "systems_per_vulnerable_system", 1.0 / restricted);
+    emit_telemetry(&tel);
 }

@@ -2,7 +2,8 @@
 //! (Pf ×5, P0→1 = 0.5%).
 
 use cta_analysis::{table2, table3};
-use cta_bench::{header, kv};
+use cta_bench::{emit_telemetry, header, kv};
+use cta_telemetry::Counters;
 
 fn main() {
     header("Table 3: Expected Exploitable PTEs and Attack Time (Pf = 5e-4, P0→1 = 0.5%)");
@@ -27,4 +28,9 @@ fn main() {
         "slowdown vs fastest reported attack (20 s)",
         format!("{:.1e}x", worst * 86_400.0 / fastest_reported_s),
     );
+    let mut tel = Counters::new("exp-table3");
+    tel.set_u64("table3", "rows", t3.len() as u64);
+    tel.set_f64("table3", "fastest_attack_days", worst);
+    tel.set_f64("table3", "slowdown_vs_20s_attack", worst * 86_400.0 / fastest_reported_s);
+    emit_telemetry(&tel);
 }

@@ -7,10 +7,11 @@
 //! bit-identical to the serial loop (`--threads 1` *is* the serial loop).
 //! Wall-clock deltas are host measurements and remain noisy either way.
 
-use cta_bench::{header, kv};
+use cta_bench::{emit_telemetry, header, kv};
 use cta_core::SystemBuilder;
+use cta_telemetry::Counters;
 use cta_vm::Kernel;
-use cta_workloads::{phoronix, spec2006, Runner, Suite, WorkloadSpec};
+use cta_workloads::{phoronix, record_overhead_rows, spec2006, Runner, Suite, WorkloadSpec};
 
 fn machine(total: u64, ptp: u64, protected: bool) -> Kernel {
     SystemBuilder::new(total)
@@ -21,15 +22,15 @@ fn machine(total: u64, ptp: u64, protected: bool) -> Kernel {
         .expect("machine boots")
 }
 
-fn run_suite(title: &str, total: u64, ptp: u64, threads: usize) {
+fn run_suite(title: &str, total: u64, ptp: u64, threads: usize, tel: &mut Counters, group: &str) {
     header(title);
     println!("{:<20} {:>14} {:>14}", "Benchmark", "sim-time Δ%", "wall-clock Δ%");
     let runner = Runner { repetitions: 2, seed: 0x1234 };
-    let specs: Vec<WorkloadSpec> =
-        spec2006().iter().chain(phoronix().iter()).cloned().collect();
+    let specs: Vec<WorkloadSpec> = spec2006().iter().chain(phoronix().iter()).cloned().collect();
     let rows = runner
         .compare_many(|protected| machine(total, ptp, protected), &specs, threads)
         .expect("workloads run");
+    record_overhead_rows(tel, group, &rows);
     let mut sums: std::collections::HashMap<Suite, (f64, f64, u32)> =
         std::collections::HashMap::new();
     for (spec, row) in specs.iter().zip(&rows) {
@@ -59,15 +60,14 @@ fn main() {
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--threads" => {
-                threads = args
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .expect("--threads needs a number");
+                threads =
+                    args.next().and_then(|v| v.parse().ok()).expect("--threads needs a number");
             }
             other => panic!("unknown argument {other:?} (supported: --threads N)"),
         }
     }
 
+    let mut tel = Counters::new("exp-table4");
     // "8 GB system": 16 MiB sim memory with a 1 MiB ZONE_PTP preserves the
     // paper's 1:256 zone ratio (n = 8 indicator bits, as on the real host).
     run_suite(
@@ -75,6 +75,8 @@ fn main() {
         16 << 20,
         1 << 20,
         threads,
+        &mut tel,
+        "overhead:small-host",
     );
     // "128 GB system": same ratio class, larger memory.
     run_suite(
@@ -82,9 +84,12 @@ fn main() {
         64 << 20,
         4 << 20,
         threads,
+        &mut tel,
+        "overhead:large-host",
     );
 
     header("Interpretation");
     kv("expected result", "every |Δ| within noise; suite means ≈ 0 (Table 4)");
     kv("paper totals", "SPEC mean -0.07%/+0.04%, Phoronix mean -0.08%/+0.25%");
+    emit_telemetry(&tel);
 }

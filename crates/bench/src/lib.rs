@@ -30,8 +30,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use std::path::PathBuf;
+
 use cta_core::SystemBuilder;
 use cta_dram::DisturbanceParams;
+use cta_telemetry::Counters;
 use cta_vm::Kernel;
 
 /// Prints a section header in the experiment binaries' house style.
@@ -63,4 +66,30 @@ pub fn standard_builder(seed: u64, protected: bool) -> SystemBuilder {
 /// fatal configuration error.
 pub fn standard_machine(seed: u64, protected: bool) -> Kernel {
     standard_builder(seed, protected).build().expect("machine boots")
+}
+
+/// Directory the experiment binaries write telemetry snapshots into:
+/// `$CTA_TELEMETRY_DIR` when set, otherwise `telemetry/` at the repo root.
+pub fn telemetry_dir() -> PathBuf {
+    if let Ok(dir) = std::env::var("CTA_TELEMETRY_DIR") {
+        return PathBuf::from(dir);
+    }
+    // CARGO_MANIFEST_DIR = <repo>/crates/bench, baked in at compile time.
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..").join("telemetry")
+}
+
+/// Writes `counters` to `<telemetry_dir>/<label>.telemetry.json` and prints
+/// the path, so every experiment run leaves a machine-readable artifact
+/// next to its human-readable output.
+///
+/// # Panics
+///
+/// Panics if the snapshot cannot be written — experiment binaries treat an
+/// unwritable results directory as a fatal configuration error.
+pub fn emit_telemetry(counters: &Counters) -> PathBuf {
+    let path = telemetry_dir().join(format!("{}.telemetry.json", counters.label()));
+    counters.write_to(&path).expect("telemetry snapshot is writable");
+    let shown = path.canonicalize().unwrap_or_else(|_| path.clone());
+    println!("\ntelemetry: {}", shown.display());
+    path
 }

@@ -52,7 +52,7 @@ pub mod screening;
 pub mod verify;
 
 pub use builder::SystemBuilder;
-pub use screening::screen_page_size_bit;
 pub use lwm::PtpIndicator;
 pub use mono::{can_reach, MonotonicValue};
+pub use screening::screen_page_size_bit;
 pub use verify::{verify_system, VerifyReport, Violation};

@@ -152,10 +152,7 @@ mod tests {
     fn reachable_count_is_powerset_of_flippable_bits() {
         assert_eq!(MonotonicValue::new(0b1011, CellType::True).reachable_count(), 8);
         assert_eq!(MonotonicValue::new(0, CellType::True).reachable_count(), 1);
-        assert_eq!(
-            MonotonicValue::new(u64::MAX, CellType::Anti).reachable_count(),
-            1
-        );
+        assert_eq!(MonotonicValue::new(u64::MAX, CellType::Anti).reachable_count(), 1);
     }
 
     #[test]

@@ -69,11 +69,10 @@ mod tests {
         for page in screened {
             let row = RowId(page / row_bytes);
             let base = (page % row_bytes) * 8;
-            let hit = module
-                .vulnerable_bits(row)
-                .unwrap()
-                .iter()
-                .any(|vb| vb.bit >= base && vb.bit < base + 4096 * 8 && (vb.bit - base) % 64 == 7);
+            let hit =
+                module.vulnerable_bits(row).unwrap().iter().any(|vb| {
+                    vb.bit >= base && vb.bit < base + 4096 * 8 && (vb.bit - base) % 64 == 7
+                });
             assert!(hit);
         }
     }

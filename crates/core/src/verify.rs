@@ -122,9 +122,7 @@ impl VerifyReport {
     /// Whether the report is clean apart from intermediate redirects (which
     /// are expected telemetry on hammered systems, not invariant breaches).
     pub fn is_clean_modulo_redirects(&self) -> bool {
-        self.violations
-            .iter()
-            .all(|v| matches!(v, Violation::IntermediateRedirect { .. }))
+        self.violations.iter().all(|v| matches!(v, Violation::IntermediateRedirect { .. }))
     }
 }
 
@@ -184,10 +182,8 @@ pub fn verify_system(kernel: &Kernel) -> Result<VerifyReport, VmError> {
                         if p == pid && Some(l) == expected_child
                 );
                 if !ok {
-                    let target_below_mark = layout
-                        .as_ref()
-                        .map(|l| target_addr < l.low_water_mark())
-                        .unwrap_or(false);
+                    let target_below_mark =
+                        layout.as_ref().map(|l| target_addr < l.low_water_mark()).unwrap_or(false);
                     report.violations.push(Violation::IntermediateRedirect {
                         pid,
                         entry_addr,
@@ -321,14 +317,8 @@ mod tests {
         k.mmap_anonymous(pid, va, PAGE_SIZE, true).unwrap();
         // Corrupt the leaf PTE to point at the process's own PT page —
         // exactly what a successful RowHammer attack achieves.
-        let pt_frame = k
-            .process(pid)
-            .unwrap()
-            .pt_pages()
-            .iter()
-            .find(|(_, l)| *l == PtLevel::Pt)
-            .unwrap()
-            .0;
+        let pt_frame =
+            k.process(pid).unwrap().pt_pages().iter().find(|(_, l)| *l == PtLevel::Pt).unwrap().0;
         let records = k.iter_pt_entries(pid).unwrap();
         let leaf = records.iter().find(|r| r.level == PtLevel::Pt).unwrap();
         let corrupted = leaf.pte.with_pfn(pt_frame);

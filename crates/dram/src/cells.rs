@@ -247,7 +247,10 @@ mod tests {
 
     fn map_4x4() -> CellTypeMap {
         let g = DramGeometry::new(1024, 16, 1, AddressMapping::RowLinear);
-        CellTypeMap::from_layout(&g, CellLayout::Alternating { period_rows: 4, first: CellType::True })
+        CellTypeMap::from_layout(
+            &g,
+            CellLayout::Alternating { period_rows: 4, first: CellType::True },
+        )
     }
 
     #[test]

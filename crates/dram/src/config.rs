@@ -27,7 +27,12 @@ pub struct DisturbanceParams {
 
 impl Default for DisturbanceParams {
     fn default() -> Self {
-        DisturbanceParams { pf: 1e-4, reverse_rate: 0.002, hammer_threshold: 128 * 1024, trc_ns: 45 }
+        DisturbanceParams {
+            pf: 1e-4,
+            reverse_rate: 0.002,
+            hammer_threshold: 128 * 1024,
+            trc_ns: 45,
+        }
     }
 }
 
@@ -64,8 +69,8 @@ pub struct RetentionParams {
 impl Default for RetentionParams {
     fn default() -> Self {
         RetentionParams {
-            min_ns: 500_000_000,          // 0.5 s
-            max_ns: 5_000_000_000,        // 5 s
+            min_ns: 500_000_000,   // 0.5 s
+            max_ns: 5_000_000_000, // 5 s
             long_fraction: 1e-3,
             long_min_ns: 30_000_000_000,  // 30 s
             long_max_ns: 120_000_000_000, // 120 s

@@ -171,7 +171,12 @@ impl EccRegion {
     /// # Errors
     ///
     /// [`DramError::OutOfBounds`] for `index >= words`.
-    pub fn write_word(&mut self, module: &mut DramModule, index: u64, data: u64) -> Result<(), DramError> {
+    pub fn write_word(
+        &mut self,
+        module: &mut DramModule,
+        index: u64,
+        data: u64,
+    ) -> Result<(), DramError> {
         self.check_index(module, index)?;
         module.write_u64(self.data_base + index * 8, data)?;
         module.write(self.check_base + index, &[self.code.encode(data)])?;
@@ -184,7 +189,11 @@ impl EccRegion {
     /// # Errors
     ///
     /// [`DramError::OutOfBounds`] for `index >= words`.
-    pub fn read_word(&self, module: &mut DramModule, index: u64) -> Result<(u64, EccResult), DramError> {
+    pub fn read_word(
+        &self,
+        module: &mut DramModule,
+        index: u64,
+    ) -> Result<(u64, EccResult), DramError> {
         self.check_index(module, index)?;
         let data = module.read_u64(self.data_base + index * 8)?;
         let check = module.read(self.check_base + index, 1)?[0];

@@ -163,9 +163,7 @@ impl DramGeometry {
     /// row of this module.
     pub fn row_of_bank_coord(&self, coord: BankCoord) -> Result<RowId, DramError> {
         let row = match self.mapping {
-            AddressMapping::RowLinear => {
-                coord.bank as u64 * self.rows_per_bank + coord.row_in_bank
-            }
+            AddressMapping::RowLinear => coord.bank as u64 * self.rows_per_bank + coord.row_in_bank,
             AddressMapping::BankInterleaved => {
                 coord.row_in_bank * self.banks as u64 + coord.bank as u64
             }

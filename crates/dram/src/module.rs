@@ -200,9 +200,18 @@ impl DramModule {
         self.stats.clear_flip_log();
     }
 
-    /// Takes the flip log, leaving it empty.
+    /// Takes the retained flip log (oldest first), leaving it empty and
+    /// resetting its drop counter. Events already evicted by the bounded
+    /// log are not returned; only the aggregate counters remember them.
     pub fn take_flip_log(&mut self) -> Vec<FlipEvent> {
-        std::mem::take(&mut self.stats.flip_log)
+        self.stats.flip_log.drain_to_vec()
+    }
+
+    /// Reconfigures how many flip events the bounded log retains. Zero
+    /// disables event retention entirely (counters still accumulate);
+    /// shrinking evicts the oldest retained events.
+    pub fn set_flip_log_capacity(&mut self, capacity: usize) {
+        self.stats.flip_log.set_capacity(capacity);
     }
 
     /// Whether auto-refresh is currently running.
@@ -495,8 +504,10 @@ impl DramModule {
         let mut remaining = count;
         while remaining > 0 {
             let window_end = match self.refresh_disabled_at {
-                None => (self.clock_ns / self.config.refresh_interval_ns + 1)
-                    * self.config.refresh_interval_ns,
+                None => {
+                    (self.clock_ns / self.config.refresh_interval_ns + 1)
+                        * self.config.refresh_interval_ns
+                }
                 Some(_) => u64::MAX,
             };
             let fit_by_time = ((window_end.saturating_sub(self.clock_ns)) / trc).max(1);
@@ -669,12 +680,8 @@ impl DramModule {
         if self.refresh_disabled_at.is_some() {
             self.apply_decay_to(backing, self.clock_ns);
         }
-        let bank = self
-            .config
-            .geometry
-            .bank_coord(backing)
-            .expect("backing row in bounds")
-            .bank as usize;
+        let bank =
+            self.config.geometry.bank_coord(backing).expect("backing row in bounds").bank as usize;
         let miss = self.open_rows[bank] != backing.0;
         if miss {
             self.open_rows[bank] = backing.0;

@@ -220,11 +220,7 @@ mod tests {
         let cfg = DramConfig::small_test().with_layout(crate::CellLayout::AllAnti);
         let mut m = DramModule::new(cfg);
         let profile = profile_cell_types(&mut m, &ProfilerConfig::default()).unwrap();
-        assert!(profile
-            .map
-            .regions()
-            .iter()
-            .all(|r| r.cell_type == CellType::Anti));
+        assert!(profile.map.regions().iter().all(|r| r.cell_type == CellType::Anti));
     }
 
     #[test]
@@ -264,7 +260,10 @@ mod tests {
         assert!(n > 0.0, "should find some long cells");
         assert!(n < expected * 4.0, "found {n}, expected about {expected}");
         // Both polarities represented (rows 0..8 true, 8..16 anti), usually.
-        assert!(profile.of_type(CellType::True).count() + profile.of_type(CellType::Anti).count() == profile.long_cells.len());
+        assert!(
+            profile.of_type(CellType::True).count() + profile.of_type(CellType::Anti).count()
+                == profile.long_cells.len()
+        );
     }
 
     #[test]

@@ -48,7 +48,12 @@ impl RemapTable {
     ///   types under `layout`;
     /// - [`DramError::SpareInUse`] if either row already participates in a
     ///   remap.
-    pub fn remap(&mut self, faulty: RowId, spare: RowId, layout: CellLayout) -> Result<(), DramError> {
+    pub fn remap(
+        &mut self,
+        faulty: RowId,
+        spare: RowId,
+        layout: CellLayout,
+    ) -> Result<(), DramError> {
         let faulty_type = layout.cell_type(faulty);
         let spare_type = layout.cell_type(spare);
         if faulty_type != spare_type {

@@ -38,7 +38,8 @@ pub(crate) fn stream_rng(seed: u64, stream_id: u64) -> ChaCha8Rng {
     key[..8].copy_from_slice(&seed.to_le_bytes());
     key[8..16].copy_from_slice(&stream_id.to_le_bytes());
     key[16..24].copy_from_slice(&splitmix64(seed ^ stream_id).to_le_bytes());
-    key[24..32].copy_from_slice(&splitmix64(stream_id.wrapping_mul(31).wrapping_add(seed)).to_le_bytes());
+    key[24..32]
+        .copy_from_slice(&splitmix64(stream_id.wrapping_mul(31).wrapping_add(seed)).to_le_bytes());
     ChaCha8Rng::from_seed(key)
 }
 
@@ -111,10 +112,7 @@ mod tests {
             let n = 4000;
             let total: u64 = (0..n).map(|_| poisson(&mut rng, lambda)).sum();
             let mean = total as f64 / n as f64;
-            assert!(
-                (mean - lambda).abs() < lambda.max(1.0) * 0.15,
-                "lambda={lambda} mean={mean}"
-            );
+            assert!((mean - lambda).abs() < lambda.max(1.0) * 0.15, "lambda={lambda} mean={mean}");
         }
     }
 

@@ -1,5 +1,7 @@
 use std::fmt;
 
+use cta_telemetry::{Group, RingLog, StatSource};
+
 use crate::geometry::RowId;
 use crate::vuln::FlipDirection;
 
@@ -35,8 +37,11 @@ pub struct DramStats {
     pub flips_zero_to_one: u64,
     /// Bits whose logic value changed through retention decay.
     pub decay_flips: u64,
-    /// Log of individual disturbance flips, in order of occurrence.
-    pub flip_log: Vec<FlipEvent>,
+    /// Bounded log of the most recent disturbance flips, in order of
+    /// occurrence. Older events beyond the capacity are evicted but counted
+    /// (`flip_log.dropped()`), so `total_flips()` always equals
+    /// `flip_log.total_recorded()` between log resets.
+    pub flip_log: RingLog<FlipEvent>,
 }
 
 impl DramStats {
@@ -54,9 +59,29 @@ impl DramStats {
         self.flip_log.push(event);
     }
 
-    /// Clears the flip log (counters are retained).
+    /// Clears the flip log, including its drop counter (the aggregate flip
+    /// counters are retained).
     pub fn clear_flip_log(&mut self) {
         self.flip_log.clear();
+    }
+}
+
+impl StatSource for DramStats {
+    fn group(&self) -> &'static str {
+        "dram"
+    }
+
+    fn record(&self, g: &mut Group) {
+        g.add_u64("activations", self.activations);
+        g.add_u64("reads", self.reads);
+        g.add_u64("writes", self.writes);
+        g.add_u64("refresh_windows", self.refresh_windows);
+        g.add_u64("disturbances", self.disturbances);
+        g.add_u64("flips_one_to_zero", self.flips_one_to_zero);
+        g.add_u64("flips_zero_to_one", self.flips_zero_to_one);
+        g.add_u64("decay_flips", self.decay_flips);
+        g.add_u64("flip_log_retained", self.flip_log.len() as u64);
+        g.add_u64("flip_log_dropped", self.flip_log.dropped());
     }
 }
 
@@ -84,8 +109,18 @@ mod tests {
     #[test]
     fn record_flip_updates_both_counters_and_log() {
         let mut s = DramStats::default();
-        s.record_flip(FlipEvent { row: RowId(1), bit: 2, direction: FlipDirection::OneToZero, time_ns: 5 });
-        s.record_flip(FlipEvent { row: RowId(1), bit: 3, direction: FlipDirection::ZeroToOne, time_ns: 6 });
+        s.record_flip(FlipEvent {
+            row: RowId(1),
+            bit: 2,
+            direction: FlipDirection::OneToZero,
+            time_ns: 5,
+        });
+        s.record_flip(FlipEvent {
+            row: RowId(1),
+            bit: 3,
+            direction: FlipDirection::ZeroToOne,
+            time_ns: 6,
+        });
         assert_eq!(s.flips_one_to_zero, 1);
         assert_eq!(s.flips_zero_to_one, 1);
         assert_eq!(s.total_flips(), 2);
@@ -93,6 +128,47 @@ mod tests {
         s.clear_flip_log();
         assert!(s.flip_log.is_empty());
         assert_eq!(s.total_flips(), 2);
+    }
+
+    #[test]
+    fn flip_log_is_bounded_with_exact_totals() {
+        let mut s = DramStats::default();
+        s.flip_log.set_capacity(4);
+        for i in 0..100 {
+            s.record_flip(FlipEvent {
+                row: RowId(i % 7),
+                bit: i,
+                direction: if i % 2 == 0 {
+                    FlipDirection::OneToZero
+                } else {
+                    FlipDirection::ZeroToOne
+                },
+                time_ns: i,
+            });
+        }
+        assert_eq!(s.flip_log.len(), 4);
+        assert_eq!(s.flip_log.dropped(), 96);
+        assert_eq!(s.total_flips(), s.flip_log.total_recorded());
+        // The retained window is the most recent events.
+        assert_eq!(s.flip_log.iter().map(|e| e.bit).collect::<Vec<_>>(), vec![96, 97, 98, 99]);
+    }
+
+    #[test]
+    fn stat_source_snapshot_matches_counters() {
+        let mut s = DramStats { activations: 3, reads: 2, ..DramStats::default() };
+        s.record_flip(FlipEvent {
+            row: RowId(0),
+            bit: 0,
+            direction: FlipDirection::OneToZero,
+            time_ns: 1,
+        });
+        let mut c = cta_telemetry::Counters::new("t");
+        c.record(&s);
+        let g = c.group("dram").unwrap();
+        assert_eq!(g.get_u64("activations"), Some(3));
+        assert_eq!(g.get_u64("flips_one_to_zero"), Some(1));
+        assert_eq!(g.get_u64("flip_log_retained"), Some(1));
+        assert_eq!(g.get_u64("flip_log_dropped"), Some(0));
     }
 
     #[test]

@@ -92,7 +92,12 @@ impl fmt::Debug for VulnerabilityModel {
 
 impl VulnerabilityModel {
     /// Creates the model for a module.
-    pub fn new(geometry: &DramGeometry, layout: CellLayout, params: DisturbanceParams, seed: u64) -> Self {
+    pub fn new(
+        geometry: &DramGeometry,
+        layout: CellLayout,
+        params: DisturbanceParams,
+        seed: u64,
+    ) -> Self {
         VulnerabilityModel {
             seed,
             params,

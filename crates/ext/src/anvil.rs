@@ -91,7 +91,10 @@ impl AnvilDetector {
     /// # Errors
     ///
     /// DRAM errors from the mitigation path.
-    pub fn sample_and_mitigate(&mut self, module: &mut DramModule) -> Result<Vec<AnvilAlarm>, DramError> {
+    pub fn sample_and_mitigate(
+        &mut self,
+        module: &mut DramModule,
+    ) -> Result<Vec<AnvilAlarm>, DramError> {
         let flagged = self.sample(module);
         for alarm in &flagged {
             module.refresh_neighbors_of(alarm.row)?;
@@ -106,10 +109,10 @@ mod tests {
     use cta_dram::{DisturbanceParams, DramConfig};
 
     fn module() -> DramModule {
-        DramModule::new(DramConfig::small_test().with_disturbance(DisturbanceParams {
-            pf: 0.05,
-            ..DisturbanceParams::default()
-        }))
+        DramModule::new(
+            DramConfig::small_test()
+                .with_disturbance(DisturbanceParams { pf: 0.05, ..DisturbanceParams::default() }),
+        )
     }
 
     #[test]
@@ -140,10 +143,8 @@ mod tests {
     fn preemptive_mitigation_prevents_all_flips() {
         let mut m = module();
         m.fill(2 * 4096, 4096, 0xFF).unwrap(); // victim content in row 2
-        let mut detector = AnvilDetector::new(AnvilConfig {
-            activation_threshold: 16 * 1024,
-            sample_width: 8,
-        });
+        let mut detector =
+            AnvilDetector::new(AnvilConfig { activation_threshold: 16 * 1024, sample_width: 8 });
         let threshold = m.config().disturbance.hammer_threshold;
         // The attacker hammers in bursts; the detector samples between
         // bursts (modeling its periodic interrupt).

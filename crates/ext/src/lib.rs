@@ -23,5 +23,5 @@ pub mod popcount;
 
 pub use anvil::{AnvilAlarm, AnvilConfig, AnvilDetector};
 pub use coldboot::{BootDecision, ColdbootGuard};
-pub use permvec::{Permission, PermissionVector, PermissionStore};
+pub use permvec::{Permission, PermissionStore, PermissionVector};
 pub use popcount::{PopcountCode, Verdict};

@@ -123,9 +123,12 @@ mod tests {
     use cta_dram::{CellLayout, DisturbanceParams, DramConfig};
 
     fn module(layout: CellLayout) -> DramModule {
-        let cfg = DramConfig::small_test()
-            .with_layout(layout)
-            .with_disturbance(DisturbanceParams { pf: 0.05, reverse_rate: 0.0, ..DisturbanceParams::default() });
+        let cfg =
+            DramConfig::small_test().with_layout(layout).with_disturbance(DisturbanceParams {
+                pf: 0.05,
+                reverse_rate: 0.0,
+                ..DisturbanceParams::default()
+            });
         DramModule::new(cfg)
     }
 

@@ -133,10 +133,7 @@ mod tests {
         m.hammer_double_sided(RowId(2)).unwrap();
         match code.check(&mut m).unwrap() {
             Verdict::ErrorDetected { observed_weight, stored_weight } => {
-                assert!(
-                    observed_weight < stored_weight,
-                    "true-cell data can only lose weight"
-                );
+                assert!(observed_weight < stored_weight, "true-cell data can only lose weight");
             }
             Verdict::Clean => panic!("pf=2% over 4 KiB must flip something"),
         }
@@ -182,9 +179,12 @@ mod tests {
         let mut detected = 0;
         let mut corrupted = 0;
         for seed in 0..20u64 {
-            let cfg = DramConfig::small_test().with_seed(seed).with_disturbance(
-                DisturbanceParams { pf: 0.01, reverse_rate: 0.0, ..DisturbanceParams::default() },
-            );
+            let cfg =
+                DramConfig::small_test().with_seed(seed).with_disturbance(DisturbanceParams {
+                    pf: 0.01,
+                    reverse_rate: 0.0,
+                    ..DisturbanceParams::default()
+                });
             let mut m = DramModule::new(cfg);
             let data = payload(4096);
             let code = PopcountCode::encode(&mut m, RowId(2), RowId(10), &data).unwrap();

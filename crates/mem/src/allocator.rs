@@ -28,7 +28,8 @@ impl MemoryMap {
     ///
     /// Panics if `total_bytes` is not a positive multiple of [`PAGE_SIZE`].
     pub fn x86_64(total_bytes: u64) -> Self {
-        let boundaries = [(ZoneKind::Dma, 0), (ZoneKind::Dma32, 16 * MIB), (ZoneKind::Normal, 4 * GIB)];
+        let boundaries =
+            [(ZoneKind::Dma, 0), (ZoneKind::Dma32, 16 * MIB), (ZoneKind::Normal, 4 * GIB)];
         Self::from_boundaries(total_bytes, &boundaries)
     }
 
@@ -45,10 +46,14 @@ impl MemoryMap {
     }
 
     fn from_boundaries(total_bytes: u64, boundaries: &[(ZoneKind, u64)]) -> Self {
-        assert!(total_bytes > 0 && total_bytes.is_multiple_of(PAGE_SIZE), "memory must be page aligned");
+        assert!(
+            total_bytes > 0 && total_bytes.is_multiple_of(PAGE_SIZE),
+            "memory must be page aligned"
+        );
         let mut zones = Vec::new();
         for (i, (kind, start)) in boundaries.iter().enumerate() {
-            let end = boundaries.get(i + 1).map(|(_, s)| *s).unwrap_or(total_bytes).min(total_bytes);
+            let end =
+                boundaries.get(i + 1).map(|(_, s)| *s).unwrap_or(total_bytes).min(total_bytes);
             if *start >= end {
                 continue;
             }
@@ -79,7 +84,9 @@ impl MemoryMap {
         map.total_bytes = total_bytes;
         map.zones.push((
             ZoneKind::HighMem,
-            vec![SubZoneSpec::plain((total_bytes - user_bytes) / PAGE_SIZE..total_bytes / PAGE_SIZE)],
+            vec![SubZoneSpec::plain(
+                (total_bytes - user_bytes) / PAGE_SIZE..total_bytes / PAGE_SIZE,
+            )],
         ));
         map.strict_user = true;
         map
@@ -241,6 +248,16 @@ impl ZonedAllocator {
         &self.stats
     }
 
+    /// Snapshots allocator telemetry into `c`: the global dispatch
+    /// counters under `alloc` and each zone's counters under
+    /// `zone:<ZONE_NAME>`.
+    pub fn record_counters(&self, c: &mut cta_telemetry::Counters) {
+        c.record(&self.stats);
+        for zone in &self.zones {
+            c.record_as(&format!("zone:{}", zone.kind()), zone.stats());
+        }
+    }
+
     /// Free frames across all zones.
     pub fn free_page_count(&self) -> u64 {
         self.zones.iter().map(|z| z.free_pages()).sum()
@@ -286,10 +303,7 @@ impl ZonedAllocator {
             if self.strict_user && gfp.zone == ZonePreference::HighUser { 3 } else { 0 };
         let mut attempt = 0u32;
         for height in (stop_height..=start_height).rev() {
-            let Some(zone) = self
-                .zones
-                .iter_mut()
-                .find(|z| z.kind().height() == Some(height))
+            let Some(zone) = self.zones.iter_mut().find(|z| z.kind().height() == Some(height))
             else {
                 continue;
             };
@@ -407,10 +421,7 @@ mod tests {
             let p = a.alloc_pages(GfpFlags::DMA, 0).unwrap();
             assert_eq!(a.zone_of(p), Some(ZoneKind::Dma));
         }
-        assert!(matches!(
-            a.alloc_pages(GfpFlags::DMA, 0),
-            Err(AllocError::OutOfMemory { .. })
-        ));
+        assert!(matches!(a.alloc_pages(GfpFlags::DMA, 0), Err(AllocError::OutOfMemory { .. })));
     }
 
     fn cta_allocator() -> ZonedAllocator {
@@ -484,7 +495,10 @@ mod tests {
         while let Ok(p) = a.alloc_pages(GfpFlags::HIGHUSER, 0) {
             let addr = p.addr().0;
             for r in &trusted {
-                assert!(!(r.start <= addr && addr < r.end), "user page {addr:#x} in trusted stripe");
+                assert!(
+                    !(r.start <= addr && addr < r.end),
+                    "user page {addr:#x} in trusted stripe"
+                );
             }
         }
         // The kernel can still use the stripes.

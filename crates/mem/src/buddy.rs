@@ -102,8 +102,7 @@ impl BuddyAllocator {
         }
         // Find the smallest order with a free block.
         let mut have = order;
-        while (have as usize) < self.free_lists.len() && self.free_lists[have as usize].is_empty()
-        {
+        while (have as usize) < self.free_lists.len() && self.free_lists[have as usize].is_empty() {
             have += 1;
         }
         if have >= MAX_ORDER {

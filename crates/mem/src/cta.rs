@@ -372,10 +372,7 @@ impl PtpLayout {
 
     /// Sub-zone byte ranges converted to frame ranges.
     pub fn subzone_pfn_ranges(&self) -> Vec<(Range<u64>, Option<PtLevel>)> {
-        self.subzones
-            .iter()
-            .map(|(r, l)| (r.start / PAGE_SIZE..r.end / PAGE_SIZE, *l))
-            .collect()
+        self.subzones.iter().map(|(r, l)| (r.start / PAGE_SIZE..r.end / PAGE_SIZE, *l)).collect()
     }
 
     /// Anti-cell byte ranges above the mark left unused.
@@ -506,8 +503,7 @@ mod tests {
     fn two_zero_restriction_builds_trusted_stripes() {
         let g = DramGeometry::new(64 * 1024, 1024, 1, AddressMapping::RowLinear);
         let map = CellTypeMap::from_layout(&g, CellLayout::AllTrue);
-        let spec =
-            PtpSpec::paper_default().with_size(4 << 20).with_two_zeros_restriction(true);
+        let spec = PtpSpec::paper_default().with_size(4 << 20).with_two_zeros_restriction(true);
         let layout = PtpLayout::build(&map, 64 << 20, &spec).unwrap();
         // n = 4 indicator bits; all-ones block is ZONE_PTP itself; 4 one-zero
         // stripes of 4 MiB each below the mark.
@@ -540,8 +536,8 @@ mod tests {
     fn screening_carves_pages_out_of_subzones() {
         let g = DramGeometry::new(64 * 1024, 1024, 1, AddressMapping::RowLinear);
         let map = CellTypeMap::from_layout(&g, CellLayout::AllTrue);
-        let layout = PtpLayout::build(&map, 64 << 20, &PtpSpec::paper_default().with_size(4 << 20))
-            .unwrap();
+        let layout =
+            PtpLayout::build(&map, 64 << 20, &PtpSpec::paper_default().with_size(4 << 20)).unwrap();
         let base = layout.low_water_mark();
         let bad = [base + 4096, base + 3 * 4096];
         let screened = layout.clone().with_screened_pages(&bad);
@@ -562,11 +558,10 @@ mod tests {
     fn screening_at_subzone_edges() {
         let g = DramGeometry::new(64 * 1024, 1024, 1, AddressMapping::RowLinear);
         let map = CellTypeMap::from_layout(&g, CellLayout::AllTrue);
-        let layout = PtpLayout::build(&map, 64 << 20, &PtpSpec::paper_default().with_size(4 << 20))
-            .unwrap();
+        let layout =
+            PtpLayout::build(&map, 64 << 20, &PtpSpec::paper_default().with_size(4 << 20)).unwrap();
         let (range, _) = layout.subzones()[0].clone();
-        let screened =
-            layout.clone().with_screened_pages(&[range.start, range.end - PAGE_SIZE]);
+        let screened = layout.clone().with_screened_pages(&[range.start, range.end - PAGE_SIZE]);
         for (r, _) in screened.subzones() {
             assert!(r.start < r.end, "no empty sub-zones");
         }
@@ -586,8 +581,7 @@ mod tests {
     fn is_above_mark() {
         let map = alternating_map();
         let layout =
-            PtpLayout::build(&map, 64 << 20, &PtpSpec::paper_default().with_size(4 << 20))
-                .unwrap();
+            PtpLayout::build(&map, 64 << 20, &PtpSpec::paper_default().with_size(4 << 20)).unwrap();
         assert!(layout.is_above_mark(layout.low_water_mark()));
         assert!(!layout.is_above_mark(layout.low_water_mark() - 1));
     }

@@ -59,10 +59,9 @@ impl fmt::Display for AllocError {
                 write!(f, "out of memory: no order-{order} block in {zone} or its fallbacks")
             }
             AllocError::NotAllocated { pfn } => write!(f, "{pfn} is not an allocated block"),
-            AllocError::OrderMismatch { pfn, allocated, freed } => write!(
-                f,
-                "{pfn} allocated at order {allocated} but freed at order {freed}"
-            ),
+            AllocError::OrderMismatch { pfn, allocated, freed } => {
+                write!(f, "{pfn} allocated at order {allocated} but freed at order {freed}")
+            }
             AllocError::UnknownFrame { pfn } => write!(f, "{pfn} belongs to no zone"),
             AllocError::OrderTooLarge { order } => {
                 write!(f, "order {order} exceeds MAX_ORDER {}", crate::MAX_ORDER)

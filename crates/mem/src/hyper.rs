@@ -167,7 +167,9 @@ impl HypervisorPlan {
                 if i < j && a.start < b.end && b.start < a.end {
                     problems.push(format!(
                         "guests {} and {} overlap at {:#x}",
-                        self.guests[*i].name, self.guests[*j].name, a.start.max(b.start)
+                        self.guests[*i].name,
+                        self.guests[*j].name,
+                        a.start.max(b.start)
                     ));
                 }
             }
@@ -259,12 +261,7 @@ mod tests {
         let map = map();
         let mut plan = HypervisorPlan::build(&map, 64 << 20, &guests()).unwrap();
         // Tamper: move guest-a's slice below the base.
-        let bad = PtpLayout::manual(
-            vec![0..(1 << 20)],
-            plan.zone_base(),
-            64 << 20,
-            1 << 20,
-        );
+        let bad = PtpLayout::manual(vec![0..(1 << 20)], plan.zone_base(), 64 << 20, 1 << 20);
         plan.guests[0].layout = bad;
         assert!(!plan.check(&map).is_empty());
     }

@@ -48,7 +48,7 @@ pub use allocator::{MemoryMap, ZonedAllocator};
 pub use buddy::{BuddyAllocator, MAX_ORDER};
 pub use cta::{PtLevel, PtpLayout, PtpSpec};
 pub use error::AllocError;
-pub use frame::{PhysAddr, Pfn, PAGE_SIZE};
+pub use frame::{Pfn, PhysAddr, PAGE_SIZE};
 pub use gfp::{GfpFlags, ZonePreference};
 pub use hyper::{GuestPlan, GuestSpec, HypervisorPlan};
 pub use screening::screen_page_size_bit;

@@ -1,5 +1,7 @@
 use std::fmt;
 
+use cta_telemetry::{Group, StatSource};
+
 /// Per-zone allocation counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ZoneStats {
@@ -13,6 +15,22 @@ pub struct ZoneStats {
     pub pages_freed: u64,
     /// Allocation attempts that found no block in this zone.
     pub failures: u64,
+}
+
+impl StatSource for ZoneStats {
+    fn group(&self) -> &'static str {
+        // Callers normally record per-zone via `Counters::record_as` with
+        // a `zone:<name>` group; this is the anonymous fallback.
+        "zone"
+    }
+
+    fn record(&self, g: &mut Group) {
+        g.add_u64("allocations", self.allocations);
+        g.add_u64("pages_allocated", self.pages_allocated);
+        g.add_u64("frees", self.frees);
+        g.add_u64("pages_freed", self.pages_freed);
+        g.add_u64("failures", self.failures);
+    }
 }
 
 impl fmt::Display for ZoneStats {
@@ -40,12 +58,30 @@ pub struct AllocStats {
     pub ptp_failures: u64,
 }
 
+impl StatSource for AllocStats {
+    fn group(&self) -> &'static str {
+        "alloc"
+    }
+
+    fn record(&self, g: &mut Group) {
+        g.add_u64("primary_hits", self.primary_hits);
+        g.add_u64("fallbacks", self.fallbacks);
+        g.add_u64("failures", self.failures);
+        g.add_u64("ptp_allocations", self.ptp_allocations);
+        g.add_u64("ptp_failures", self.ptp_failures);
+    }
+}
+
 impl fmt::Display for AllocStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
             "primary={} fallback={} failed={} ptp={} ptp_failed={}",
-            self.primary_hits, self.fallbacks, self.failures, self.ptp_allocations, self.ptp_failures
+            self.primary_hits,
+            self.fallbacks,
+            self.failures,
+            self.ptp_allocations,
+            self.ptp_failures
         )
     }
 }

@@ -1,0 +1,29 @@
+//! Unified observability layer for the monotonic-CTA simulator.
+//!
+//! Every subsystem in the workspace counts things — DRAM activations and
+//! disturbance flips, TLB hits and flushes, kernel page-table walks, buddy
+//! and CTA allocator traffic, attack campaign outcomes. This crate gives
+//! those counters one home:
+//!
+//! * [`Counters`] — a registry of named counter groups that any stat struct
+//!   can snapshot itself into via the [`StatSource`] trait. Snapshots can be
+//!   [`Counters::merge`]d (e.g. across parallel campaign shards) and
+//!   [`Counters::diff`]ed (e.g. before/after a workload phase), and emit
+//!   deterministic JSON via [`Counters::to_json`] / [`Counters::write_to`].
+//! * [`RingLog`] — a bounded ring-buffer event log with an exact drop
+//!   counter, replacing unbounded `Vec` event logs. The invariant
+//!   `len() + dropped() == total_recorded()` means aggregate totals stay
+//!   exact no matter how small the retained window is.
+//!
+//! The crate is dependency-free (JSON is emitted by hand with `BTreeMap`
+//! ordering) so every other crate in the workspace can depend on it without
+//! widening the build graph.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod counters;
+mod ring;
+
+pub use counters::{Counters, Group, StatSource, Value};
+pub use ring::{RingLog, DEFAULT_LOG_CAPACITY};

@@ -2,9 +2,7 @@ use std::collections::{BTreeMap, HashMap};
 use std::fmt;
 
 use cta_dram::{profile_cell_types, CellTypeMap, DramConfig, DramModule, ProfilerConfig, RowId};
-use cta_mem::{
-    GfpFlags, MemoryMap, Pfn, PtLevel, PtpLayout, PtpSpec, ZonedAllocator, PAGE_SIZE,
-};
+use cta_mem::{GfpFlags, MemoryMap, Pfn, PtLevel, PtpLayout, PtpSpec, ZonedAllocator, PAGE_SIZE};
 
 use crate::addr::VirtAddr;
 use crate::error::VmError;
@@ -50,11 +48,18 @@ pub enum FrameOwner {
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum MappingKind {
-    Anonymous { pfn: Pfn },
-    File { id: FileId, page_index: usize },
+    Anonymous {
+        pfn: Pfn,
+    },
+    File {
+        id: FileId,
+        page_index: usize,
+    },
     /// A kernel-owned frame mapped into user space (double-owned page,
     /// e.g. a video buffer — the CATT bypass of section 2.5).
-    SharedKernel { pfn: Pfn },
+    SharedKernel {
+        pfn: Pfn,
+    },
 }
 
 /// Size of a huge (PD-level) page: 2 MiB.
@@ -139,6 +144,20 @@ pub struct KernelStats {
     pub unmaps: u64,
     /// Page-table walks performed (TLB misses).
     pub walks: u64,
+}
+
+impl cta_telemetry::StatSource for KernelStats {
+    fn group(&self) -> &'static str {
+        "kernel"
+    }
+
+    fn record(&self, g: &mut cta_telemetry::Group) {
+        g.add_u64("pt_pages_allocated", self.pt_pages_allocated);
+        g.add_u64("user_pages_allocated", self.user_pages_allocated);
+        g.add_u64("maps", self.maps);
+        g.add_u64("unmaps", self.unmaps);
+        g.add_u64("walks", self.walks);
+    }
 }
 
 /// Configuration of a simulated machine.
@@ -262,22 +281,22 @@ impl Kernel {
             map
         } else {
             match &config.cta {
-            None => MemoryMap::x86_64(total_bytes),
-            Some(spec) => {
-                let cells: CellTypeMap = if let Some(map) = config.cell_map_override.clone() {
-                    map
-                } else if config.profile_cells {
-                    profile_cell_types(&mut dram, &ProfilerConfig::default())?.map
-                } else {
-                    dram.ground_truth_cell_map()
-                };
-                let mut layout = PtpLayout::build(&cells, total_bytes, spec)?;
-                if config.screen_ps_bit {
-                    let screened = cta_mem::screen_page_size_bit(&mut dram, &layout)?;
-                    layout = layout.with_screened_pages(&screened);
+                None => MemoryMap::x86_64(total_bytes),
+                Some(spec) => {
+                    let cells: CellTypeMap = if let Some(map) = config.cell_map_override.clone() {
+                        map
+                    } else if config.profile_cells {
+                        profile_cell_types(&mut dram, &ProfilerConfig::default())?.map
+                    } else {
+                        dram.ground_truth_cell_map()
+                    };
+                    let mut layout = PtpLayout::build(&cells, total_bytes, spec)?;
+                    if config.screen_ps_bit {
+                        let screened = cta_mem::screen_page_size_bit(&mut dram, &layout)?;
+                        layout = layout.with_screened_pages(&screened);
+                    }
+                    MemoryMap::x86_64(total_bytes).with_cta(layout)
                 }
-                MemoryMap::x86_64(total_bytes).with_cta(layout)
-            }
             }
         };
         let multi_level = config.cta.as_ref().map(|s| s.multi_level).unwrap_or(false);
@@ -346,6 +365,25 @@ impl Kernel {
     /// TLB counters.
     pub fn tlb_stats(&self) -> crate::tlb::TlbStats {
         self.tlb.stats()
+    }
+
+    /// Snapshots every stat source this machine owns into `c`: kernel
+    /// walk/map counters, TLB counters, DRAM counters, and the allocator's
+    /// global plus per-zone counters. Recording several kernels into the
+    /// same registry aggregates them by addition.
+    pub fn record_counters(&self, c: &mut cta_telemetry::Counters) {
+        c.record(&self.stats);
+        c.record(&self.tlb.stats());
+        c.record(self.dram.stats());
+        self.alloc.record_counters(c);
+    }
+
+    /// Convenience wrapper around [`Kernel::record_counters`] producing a
+    /// fresh labeled telemetry snapshot of this machine.
+    pub fn counters(&self, label: &str) -> cta_telemetry::Counters {
+        let mut c = cta_telemetry::Counters::new(label);
+        self.record_counters(&mut c);
+        c
     }
 
     /// A process by pid.
@@ -483,12 +521,20 @@ impl Kernel {
 
     /// Maps `va → pfn` in `pid`'s address space, growing the hierarchy as
     /// needed. Internal: callers go through `mmap_*`.
-    fn map_page(&mut self, pid: Pid, va: VirtAddr, pfn: Pfn, flags: PteFlags) -> Result<(), VmError> {
+    fn map_page(
+        &mut self,
+        pid: Pid,
+        va: VirtAddr,
+        pfn: Pfn,
+        flags: PteFlags,
+    ) -> Result<(), VmError> {
         let cr3 = self.process(pid)?.cr3();
         let mut table = cr3.addr().0;
-        for (level, child) in
-            [(PtLevel::Pml4, PtLevel::Pdpt), (PtLevel::Pdpt, PtLevel::Pd), (PtLevel::Pd, PtLevel::Pt)]
-        {
+        for (level, child) in [
+            (PtLevel::Pml4, PtLevel::Pdpt),
+            (PtLevel::Pdpt, PtLevel::Pd),
+            (PtLevel::Pd, PtLevel::Pt),
+        ] {
             let entry_addr = table + va.index(level) * 8;
             let entry = Pte(self.dram.read_u64(entry_addr)?);
             let next = if entry.present() {
@@ -775,9 +821,8 @@ impl Kernel {
             if !self.process(pid)?.mappings.contains_key(&page_va.0) {
                 return Err(VmError::NotMapped { va: page_va });
             }
-            let leaf_addr = self
-                .leaf_entry_addr(cr3, page_va)?
-                .ok_or(VmError::NotMapped { va: page_va })?;
+            let leaf_addr =
+                self.leaf_entry_addr(cr3, page_va)?.ok_or(VmError::NotMapped { va: page_va })?;
             let mut pte = Pte(self.dram.read_u64(leaf_addr)?);
             let mut flags = pte.flags();
             flags.writable = writable;
@@ -795,7 +840,9 @@ impl Kernel {
     /// [`VmError::NotMapped`] if a page in the range is not mapped.
     pub fn munmap(&mut self, pid: Pid, va: VirtAddr, len: u64) -> Result<(), VmError> {
         if !va.0.is_multiple_of(PAGE_SIZE) || len == 0 || !len.is_multiple_of(PAGE_SIZE) {
-            return Err(VmError::Unaligned { value: if !len.is_multiple_of(PAGE_SIZE) { len } else { va.0 } });
+            return Err(VmError::Unaligned {
+                value: if !len.is_multiple_of(PAGE_SIZE) { len } else { va.0 },
+            });
         }
         for i in 0..len / PAGE_SIZE {
             let page_va = va.offset(i * PAGE_SIZE);
@@ -1247,8 +1294,7 @@ mod tests {
         let pid = k.create_process(false).unwrap();
         k.mmap_anonymous(pid, VirtAddr(0x10_0000), 2 * PAGE_SIZE, true).unwrap();
         let records = k.iter_pt_entries(pid).unwrap();
-        let levels: std::collections::HashSet<PtLevel> =
-            records.iter().map(|r| r.level).collect();
+        let levels: std::collections::HashSet<PtLevel> = records.iter().map(|r| r.level).collect();
         assert_eq!(levels.len(), 4, "one entry at each level");
         let leaves = records.iter().filter(|r| r.level == PtLevel::Pt).count();
         assert_eq!(leaves, 2);
@@ -1313,10 +1359,7 @@ mod tests {
         assert_eq!(back, data);
         // The walk terminates at PD level (3 levels, not 4).
         let records = k.iter_pt_entries(pid).unwrap();
-        let pd_huge = records
-            .iter()
-            .filter(|r| r.level == PtLevel::Pd && r.pte.huge())
-            .count();
+        let pd_huge = records.iter().filter(|r| r.level == PtLevel::Pd && r.pte.huge()).count();
         assert_eq!(pd_huge, 1);
         assert!(records.iter().all(|r| r.level != PtLevel::Pt));
     }
@@ -1354,9 +1397,7 @@ mod tests {
         // mapping (PDPT + PD; cr3 predates free0) remain out.
         let grown_pt_pages = k.process(pid).unwrap().pt_pages().len() as u64 - 1;
         assert_eq!(k.allocator().free_page_count(), free0 - grown_pt_pages);
-        assert!(k
-            .read_virt(pid, va, &mut [0u8; 8], Access::user_read())
-            .is_err());
+        assert!(k.read_virt(pid, va, &mut [0u8; 8], Access::user_read()).is_err());
     }
 
     #[test]
@@ -1373,13 +1414,9 @@ mod tests {
     fn ps_bit_screening_removes_vulnerable_frames_from_the_zone() {
         use cta_dram::DisturbanceParams;
         let mut config = KernelConfig::small_test_cta();
-        config.cta = Some(
-            cta_mem::PtpSpec::paper_default()
-                .with_size(256 * 1024)
-                .with_multi_level(true),
-        );
-        config.dram.disturbance =
-            DisturbanceParams { pf: 0.05, ..DisturbanceParams::default() };
+        config.cta =
+            Some(cta_mem::PtpSpec::paper_default().with_size(256 * 1024).with_multi_level(true));
+        config.dram.disturbance = DisturbanceParams { pf: 0.05, ..DisturbanceParams::default() };
         config.screen_ps_bit = true;
         let kernel = Kernel::new(config).unwrap();
         let layout = kernel.ptp_layout().unwrap();

@@ -147,7 +147,11 @@ impl Pte {
     /// with a frame below `max_pfn` and no reserved low-junk is the pattern
     /// Project Zero's exploit greps for.
     pub fn looks_like_user_pte(self, max_pfn: u64) -> bool {
-        self.present() && self.user() && self.writable() && self.pfn().0 < max_pfn && self.pfn().0 != 0
+        self.present()
+            && self.user()
+            && self.writable()
+            && self.pfn().0 < max_pfn
+            && self.pfn().0 != 0
     }
 }
 

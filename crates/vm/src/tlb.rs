@@ -1,6 +1,8 @@
 use std::collections::{HashMap, VecDeque};
 use std::fmt;
 
+use cta_telemetry::{Group, StatSource};
+
 use crate::addr::VirtAddr;
 use crate::kernel::Pid;
 
@@ -23,8 +25,14 @@ pub struct TlbStats {
     pub hits: u64,
     /// Lookups that missed.
     pub misses: u64,
-    /// Full flushes.
+    /// Full flushes (`flush_all`: CR3 reload / invlpg-everything).
     pub flushes: u64,
+    /// Single-page invalidations (`flush_page`), counted per invocation —
+    /// the paper's Algorithm 1 hammer loop issues one per probe read, so
+    /// this is the counter attack telemetry cares about.
+    pub page_flushes: u64,
+    /// Per-process invalidations (`flush_pid`, context teardown).
+    pub pid_flushes: u64,
 }
 
 impl TlbStats {
@@ -41,7 +49,25 @@ impl TlbStats {
 
 impl fmt::Display for TlbStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "hits={} misses={} flushes={}", self.hits, self.misses, self.flushes)
+        write!(
+            f,
+            "hits={} misses={} flushes={} page_flushes={} pid_flushes={}",
+            self.hits, self.misses, self.flushes, self.page_flushes, self.pid_flushes
+        )
+    }
+}
+
+impl StatSource for TlbStats {
+    fn group(&self) -> &'static str {
+        "tlb"
+    }
+
+    fn record(&self, g: &mut Group) {
+        g.add_u64("hits", self.hits);
+        g.add_u64("misses", self.misses);
+        g.add_u64("flushes", self.flushes);
+        g.add_u64("page_flushes", self.page_flushes);
+        g.add_u64("pid_flushes", self.pid_flushes);
     }
 }
 
@@ -66,7 +92,12 @@ impl Tlb {
     /// Panics if `capacity` is zero.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "TLB capacity must be nonzero");
-        Tlb { capacity, entries: HashMap::new(), order: VecDeque::new(), stats: TlbStats::default() }
+        Tlb {
+            capacity,
+            entries: HashMap::new(),
+            order: VecDeque::new(),
+            stats: TlbStats::default(),
+        }
     }
 
     /// Looks up the translation of `va` for `pid`.
@@ -104,8 +135,10 @@ impl Tlb {
         self.stats.flushes += 1;
     }
 
-    /// Drops one page's translation.
+    /// Drops one page's translation. Counted per invocation (like the
+    /// `invlpg` instruction), whether or not the page was cached.
     pub fn flush_page(&mut self, pid: Pid, va: VirtAddr) {
+        self.stats.page_flushes += 1;
         let key = (pid, va.vpn());
         if self.entries.remove(&key).is_some() {
             self.order.retain(|k| *k != key);
@@ -114,6 +147,7 @@ impl Tlb {
 
     /// Drops all translations of one process (context teardown).
     pub fn flush_pid(&mut self, pid: Pid) {
+        self.stats.pid_flushes += 1;
         self.entries.retain(|(p, _), _| *p != pid);
         self.order.retain(|(p, _)| *p != pid);
     }
@@ -190,6 +224,17 @@ mod tests {
         t.flush_all();
         assert!(t.is_empty());
         assert_eq!(t.stats().flushes, 1);
+        assert_eq!(t.stats().page_flushes, 1);
+        assert_eq!(t.stats().pid_flushes, 1);
+    }
+
+    #[test]
+    fn page_flush_counts_invocations_even_when_uncached() {
+        let mut t = Tlb::new(4);
+        t.flush_page(Pid(1), VirtAddr(0x1000));
+        t.flush_page(Pid(1), VirtAddr(0x1000));
+        assert_eq!(t.stats().page_flushes, 2);
+        assert_eq!(t.stats().flushes, 0, "full-flush counter untouched");
     }
 
     #[test]

@@ -83,12 +83,7 @@ impl Walker {
         for level in [PtLevel::Pml4, PtLevel::Pdpt, PtLevel::Pd, PtLevel::Pt] {
             let entry_addr = table + va.index(level) * 8;
             if entry_addr + 8 > capacity {
-                return Err(TranslateError::BadFrame {
-                    va,
-                    level,
-                    pfn: table / PAGE_SIZE,
-                }
-                .into());
+                return Err(TranslateError::BadFrame { va, level, pfn: table / PAGE_SIZE }.into());
             }
             let pte = Pte(dram.read_u64(entry_addr)?);
             trail.push((level, entry_addr, pte));
@@ -224,7 +219,7 @@ mod tests {
     fn huge_page_terminates_at_pd() {
         let (mut dram, cr3) = setup();
         let va = VirtAddr(0x40_0000 + 0x1234); // PD index 2, offset 0x1234
-        // Build PML4 + PDPT, then a huge PD entry.
+                                               // Build PML4 + PDPT, then a huge PD entry.
         let mut table = cr3;
         for level in [PtLevel::Pml4, PtLevel::Pdpt] {
             let entry_addr = table + va.index(level) * 8;

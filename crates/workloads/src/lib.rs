@@ -23,5 +23,5 @@
 mod runner;
 mod specs;
 
-pub use runner::{OverheadRow, RunMeasurement, Runner};
+pub use runner::{record_overhead_rows, OverheadRow, RegionLayout, RunMeasurement, Runner};
 pub use specs::{phoronix, spec2006, Suite, WorkloadSpec};

@@ -43,18 +43,118 @@ pub struct OverheadRow {
     pub repetitions: u32,
 }
 
+/// Baselines below this many (mean) nanoseconds cannot support a
+/// meaningful relative delta; they indicate a degenerate spec or a
+/// measurement that never ran.
+const MIN_BASELINE_NS: f64 = 1e-6;
+
 impl OverheadRow {
     /// Relative overhead of CTA in percent (positive = CTA slower), the
     /// quantity Table 4 reports — measured in deterministic simulated time.
+    ///
+    /// A zero/near-zero (or non-finite) baseline yields `0.0` instead of
+    /// NaN/inf, so one degenerate spec cannot poison a Table 4 mean; the
+    /// condition is reported by [`OverheadRow::degenerate_baseline`] and
+    /// flagged in telemetry by [`record_overhead_rows`].
     pub fn delta_percent(&self) -> f64 {
-        (self.cta_sim_ns - self.baseline_sim_ns) / self.baseline_sim_ns * 100.0
+        relative_percent(self.baseline_sim_ns, self.cta_sim_ns)
     }
 
     /// Wall-clock delta in percent: the noisy host-side measurement,
     /// comparable to the paper's real-machine numbers (which fluctuate
-    /// within ±1.5%).
+    /// within ±1.5%). Guarded against degenerate baselines like
+    /// [`OverheadRow::delta_percent`].
     pub fn wall_delta_percent(&self) -> f64 {
-        (self.cta_wall_ns - self.baseline_wall_ns) / self.baseline_wall_ns * 100.0
+        relative_percent(self.baseline_wall_ns, self.cta_wall_ns)
+    }
+
+    /// True when either baseline mean is too small (or non-finite) for the
+    /// relative deltas to be meaningful.
+    pub fn degenerate_baseline(&self) -> bool {
+        !baseline_is_usable(self.baseline_sim_ns) || !baseline_is_usable(self.baseline_wall_ns)
+    }
+}
+
+fn baseline_is_usable(baseline: f64) -> bool {
+    baseline.is_finite() && baseline >= MIN_BASELINE_NS
+}
+
+fn relative_percent(baseline: f64, measured: f64) -> f64 {
+    if !baseline_is_usable(baseline) || !measured.is_finite() {
+        return 0.0;
+    }
+    (measured - baseline) / baseline * 100.0
+}
+
+/// Records a set of Table 4 rows into the `group` telemetry group:
+/// per-benchmark deltas, the aggregate mean deltas the paper reports, and
+/// a `degenerate_baseline:<name>` flag for every row whose deltas were
+/// forced to zero by the baseline guard.
+pub fn record_overhead_rows(c: &mut cta_telemetry::Counters, group: &str, rows: &[OverheadRow]) {
+    let mut delta_sum = 0.0;
+    let mut wall_sum = 0.0;
+    for row in rows {
+        c.set_f64(group, &format!("{}_delta_percent", row.name), row.delta_percent());
+        if row.degenerate_baseline() {
+            c.flag(&format!("degenerate_baseline:{}", row.name));
+        }
+        delta_sum += row.delta_percent();
+        wall_sum += row.wall_delta_percent();
+    }
+    c.set_u64(group, "rows", rows.len() as u64);
+    if !rows.is_empty() {
+        let n = rows.len() as f64;
+        c.set_f64(group, "mean_delta_percent", delta_sum / n);
+        c.set_f64(group, "mean_wall_delta_percent", wall_sum / n);
+    }
+}
+
+/// How [`Runner::run`] distributes a working set across mapped regions:
+/// every page of the spec is honored exactly, with the remainder of
+/// `working_set_pages / regions` spread one page each over the first
+/// `working_set_pages % regions` regions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RegionLayout {
+    regions: u64,
+    base: u64,
+    extra: u64,
+}
+
+impl RegionLayout {
+    /// Computes the layout for a spec-shaped `(working_set_pages, regions)`
+    /// pair. At least one page per region is always mapped, so the total
+    /// is `working_set_pages.max(regions)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `regions` is zero.
+    pub fn new(working_set_pages: u64, regions: u64) -> Self {
+        assert!(regions > 0, "need at least one region");
+        let total = working_set_pages.max(regions);
+        RegionLayout { regions, base: total / regions, extra: total % regions }
+    }
+
+    /// Total pages mapped across all regions.
+    pub fn total_pages(&self) -> u64 {
+        self.base * self.regions + self.extra
+    }
+
+    /// Pages mapped in region `r`.
+    pub fn pages_in_region(&self, r: u64) -> u64 {
+        self.base + u64::from(r < self.extra)
+    }
+
+    /// Maps a flat page index in `0..total_pages()` to its
+    /// `(region, page offset within region)` pair, counting pages
+    /// region-by-region.
+    pub fn locate(&self, page: u64) -> (u64, u64) {
+        let fat = self.extra * (self.base + 1);
+        if page < fat {
+            (page / (self.base + 1), page % (self.base + 1))
+        } else {
+            let rest = page - fat;
+            (self.extra + rest / self.base, rest % self.base)
+        }
     }
 }
 
@@ -94,20 +194,21 @@ impl Runner {
         let mut rng = ChaCha8Rng::seed_from_u64(self.seed ^ hash_name(spec.name));
 
         let pid = kernel.create_process(false)?;
-        // Lay out the working set across the regions.
-        let pages_per_region = (spec.working_set_pages / spec.regions).max(1);
+        // Lay out the working set across the regions, distributing the
+        // remainder so the spec's page count is honored exactly (plain
+        // division used to silently shrink e.g. 160 pages / 6 regions to
+        // 156 mapped pages).
+        let layout = RegionLayout::new(spec.working_set_pages, spec.regions);
         let mut regions = Vec::with_capacity(spec.regions as usize);
         for r in 0..spec.regions {
             let va = VirtAddr(VA_BASE + r * REGION_STRIDE);
-            kernel.mmap_anonymous(pid, va, pages_per_region * PAGE_SIZE, true)?;
+            kernel.mmap_anonymous(pid, va, layout.pages_in_region(r) * PAGE_SIZE, true)?;
             regions.push(va);
         }
 
         // Access phase with interleaved churn.
-        let churn_every = spec
-            .access_ops
-            .checked_div(spec.churn_cycles)
-            .map_or(u64::MAX, |per| per.max(1));
+        let churn_every =
+            spec.access_ops.checked_div(spec.churn_cycles).map_or(u64::MAX, |per| per.max(1));
         let mut hot_page = 0u64;
         let mut buf = [0u8; 64];
         for op in 0..spec.access_ops {
@@ -115,12 +216,13 @@ impl Runner {
             let page = if rng.gen::<f64>() < spec.locality {
                 hot_page
             } else {
-                let p = rng.gen_range(0..spec.regions * pages_per_region);
+                let p = rng.gen_range(0..layout.total_pages());
                 hot_page = p;
                 p
             };
-            let region = &regions[(page / pages_per_region) as usize];
-            let va = region.offset((page % pages_per_region) * PAGE_SIZE + (page % 63) * 64);
+            let (region_idx, page_off) = layout.locate(page);
+            let region = &regions[region_idx as usize];
+            let va = region.offset(page_off * PAGE_SIZE + (page % 63) * 64);
             if rng.gen::<f64>() < spec.write_fraction {
                 kernel.write_virt(pid, va, &buf, Access::user_write())?;
             } else {
@@ -129,8 +231,9 @@ impl Runner {
             // Churn: unmap and remap one region (fresh frames + PTEs).
             if op % churn_every == churn_every - 1 {
                 let idx = rng.gen_range(0..regions.len());
-                kernel.munmap(pid, regions[idx], pages_per_region * PAGE_SIZE)?;
-                kernel.mmap_anonymous(pid, regions[idx], pages_per_region * PAGE_SIZE, true)?;
+                let bytes = layout.pages_in_region(idx as u64) * PAGE_SIZE;
+                kernel.munmap(pid, regions[idx], bytes)?;
+                kernel.mmap_anonymous(pid, regions[idx], bytes, true)?;
             }
         }
 
@@ -273,8 +376,7 @@ mod tests {
         let specs = spec2006();
         let smoke = &specs[..3];
         let runner = Runner { repetitions: 2, seed: 0x1234 };
-        let serial: Vec<_> =
-            smoke.iter().map(|s| runner.compare(machine, s).unwrap()).collect();
+        let serial: Vec<_> = smoke.iter().map(|s| runner.compare(machine, s).unwrap()).collect();
         for threads in [1, 4] {
             let parallel = runner.compare_many(machine, smoke, threads).unwrap();
             assert_eq!(parallel.len(), serial.len());
@@ -332,6 +434,88 @@ mod tests {
         let free0 = k.allocator().free_page_count();
         Runner::default().run(&mut k, &spec2006()[1]).unwrap();
         assert_eq!(k.allocator().free_page_count(), free0);
+    }
+
+    #[test]
+    fn region_layout_honors_every_page() {
+        for (ws, regions) in [(160, 6), (220, 3), (90, 4), (64, 64), (1, 5), (7, 7), (100, 1)] {
+            let layout = RegionLayout::new(ws, regions);
+            let per_region: Vec<u64> = (0..regions).map(|r| layout.pages_in_region(r)).collect();
+            assert_eq!(
+                per_region.iter().sum::<u64>(),
+                ws.max(regions),
+                "ws={ws} regions={regions}"
+            );
+            assert_eq!(layout.total_pages(), ws.max(regions));
+            let max = *per_region.iter().max().unwrap();
+            let min = *per_region.iter().min().unwrap();
+            assert!(max - min <= 1, "uneven split for ws={ws} regions={regions}: {per_region:?}");
+            // locate() agrees with counting pages region by region.
+            let mut page = 0u64;
+            for (r, count) in per_region.iter().enumerate() {
+                for off in 0..*count {
+                    assert_eq!(layout.locate(page), (r as u64, off));
+                    page += 1;
+                }
+            }
+            assert_eq!(page, layout.total_pages());
+        }
+    }
+
+    #[test]
+    fn run_maps_the_exact_working_set() {
+        // perlbench: 160 pages over 6 regions — indivisible, the case the
+        // old truncating layout silently shrank to 156 pages.
+        let spec = &spec2006()[0];
+        assert!(spec.working_set_pages % spec.regions != 0, "spec no longer exercises remainder");
+        let no_churn = WorkloadSpec { churn_cycles: 0, access_ops: 50, ..*spec };
+        let mut k = machine(false);
+        let before = k.stats().user_pages_allocated;
+        Runner::default().run(&mut k, &no_churn).unwrap();
+        assert_eq!(
+            k.stats().user_pages_allocated - before,
+            spec.working_set_pages,
+            "mapped pages must equal the spec's working set exactly"
+        );
+    }
+
+    #[test]
+    fn degenerate_baseline_yields_zero_not_nan() {
+        let row = OverheadRow {
+            name: "empty".into(),
+            baseline_sim_ns: 0.0,
+            cta_sim_ns: 10.0,
+            baseline_wall_ns: f64::NAN,
+            cta_wall_ns: 5.0,
+            repetitions: 1,
+        };
+        assert!(row.degenerate_baseline());
+        assert_eq!(row.delta_percent(), 0.0);
+        assert_eq!(row.wall_delta_percent(), 0.0);
+
+        let mut c = cta_telemetry::Counters::new("t");
+        record_overhead_rows(&mut c, "overhead", &[row]);
+        assert!(c.has_flag("degenerate_baseline:empty"));
+        assert!(!c.has_non_finite());
+    }
+
+    #[test]
+    fn record_overhead_rows_reports_means() {
+        let mk = |name: &str, cta: f64| OverheadRow {
+            name: name.into(),
+            baseline_sim_ns: 100.0,
+            cta_sim_ns: cta,
+            baseline_wall_ns: 100.0,
+            cta_wall_ns: cta,
+            repetitions: 1,
+        };
+        let mut c = cta_telemetry::Counters::new("t");
+        record_overhead_rows(&mut c, "overhead", &[mk("a", 101.0), mk("b", 99.0)]);
+        let g = c.group("overhead").unwrap();
+        assert_eq!(g.get_u64("rows"), Some(2));
+        assert!((g.get_f64("mean_delta_percent").unwrap()).abs() < 1e-12);
+        assert_eq!(g.get_f64("a_delta_percent"), Some(1.0));
+        assert!(c.flags().next().is_none());
     }
 
     #[test]

@@ -47,18 +47,19 @@ pub struct WorkloadSpec {
 
 /// The 12 SPEC CPU2006 rows of Table 4.
 pub fn spec2006() -> Vec<WorkloadSpec> {
-    let w = |name, working_set_pages, regions, churn_cycles, access_ops, write_fraction, locality| {
-        WorkloadSpec {
-            name,
-            suite: Suite::Spec2006,
-            working_set_pages,
-            regions,
-            churn_cycles,
-            access_ops,
-            write_fraction,
-            locality,
-        }
-    };
+    let w =
+        |name, working_set_pages, regions, churn_cycles, access_ops, write_fraction, locality| {
+            WorkloadSpec {
+                name,
+                suite: Suite::Spec2006,
+                working_set_pages,
+                regions,
+                churn_cycles,
+                access_ops,
+                write_fraction,
+                locality,
+            }
+        };
     vec![
         w("perlbench", 160, 6, 24, 4000, 0.45, 0.80),
         w("bzip2", 220, 3, 6, 5000, 0.50, 0.90),
@@ -77,18 +78,19 @@ pub fn spec2006() -> Vec<WorkloadSpec> {
 
 /// The 15 Phoronix rows of Table 4.
 pub fn phoronix() -> Vec<WorkloadSpec> {
-    let w = |name, working_set_pages, regions, churn_cycles, access_ops, write_fraction, locality| {
-        WorkloadSpec {
-            name,
-            suite: Suite::Phoronix,
-            working_set_pages,
-            regions,
-            churn_cycles,
-            access_ops,
-            write_fraction,
-            locality,
-        }
-    };
+    let w =
+        |name, working_set_pages, regions, churn_cycles, access_ops, write_fraction, locality| {
+            WorkloadSpec {
+                name,
+                suite: Suite::Phoronix,
+                working_set_pages,
+                regions,
+                churn_cycles,
+                access_ops,
+                write_fraction,
+                locality,
+            }
+        };
     vec![
         w("unpack-linux", 200, 16, 60, 3500, 0.60, 0.50),
         w("postmark", 150, 10, 80, 3800, 0.55, 0.45),

@@ -31,10 +31,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             );
             let (pfn, _) = kernel.kernel_secret();
             let now = kernel.dram().peek(pfn.addr().0, 16)?;
-            println!(
-                "kernel secret frame now reads: {:?}",
-                String::from_utf8_lossy(&now)
-            );
+            println!("kernel secret frame now reads: {:?}", String::from_utf8_lossy(&now));
             println!("\nPrivilege escalation demonstrated — this is why CTA exists.");
             return Ok(());
         }

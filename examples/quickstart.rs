@@ -12,15 +12,15 @@ use monotonic_cta::vm::{Access, VirtAddr};
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. Boot a 16 MiB machine with CTA: page tables will live in true-cell
     //    rows above the low water mark.
-    let mut kernel = SystemBuilder::new(16 << 20)
-        .ptp_bytes(1 << 20)
-        .seed(2024)
-        .protected(true)
-        .build()?;
+    let mut kernel =
+        SystemBuilder::new(16 << 20).ptp_bytes(1 << 20).seed(2024).protected(true).build()?;
     let layout = kernel.ptp_layout().expect("CTA enabled").clone();
     println!("booted: {} MiB DRAM, low water mark at {:#x}", 16, layout.low_water_mark());
-    println!("ZONE_PTP: {} true-cell sub-zones, {} KiB capacity loss",
-        layout.subzones().len(), layout.capacity_loss_bytes() >> 10);
+    println!(
+        "ZONE_PTP: {} true-cell sub-zones, {} KiB capacity loss",
+        layout.subzones().len(),
+        layout.capacity_loss_bytes() >> 10
+    );
 
     // 2. Run a process: map memory, write, read back.
     let pid = kernel.create_process(false)?;
@@ -29,16 +29,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     kernel.write_virt(pid, va, b"hello, monotonic world", Access::user_write())?;
     let mut buf = [0u8; 22];
     kernel.read_virt(pid, va, &mut buf, Access::user_read())?;
-    println!("round trip through 4-level page tables in simulated DRAM: {}",
-        String::from_utf8_lossy(&buf));
+    println!(
+        "round trip through 4-level page tables in simulated DRAM: {}",
+        String::from_utf8_lossy(&buf)
+    );
 
     // 3. Where did the page tables land?
     for (pfn, level) in kernel.process(pid)?.pt_pages() {
         let row = kernel.dram().geometry().row_of_addr(pfn.addr().0)?;
-        println!("  {level} page at {:#x} ({}, {})",
+        println!(
+            "  {level} page at {:#x} ({}, {})",
             pfn.addr().0,
             row,
-            kernel.dram().cell_type_of_row(row)?);
+            kernel.dram().cell_type_of_row(row)?
+        );
         assert!(pfn.addr().0 >= layout.low_water_mark());
     }
 

@@ -1,15 +1,28 @@
 #!/usr/bin/env sh
-# Tier-1 gate for monotonic-cta: build, full test suite, clippy (deny
-# warnings), and a quick bench-baseline smoke run. Everything here must
-# pass before a change lands.
+# Tier-1 gate for monotonic-cta: formatting, build, full test suite,
+# clippy (deny warnings), a quick bench-baseline smoke run, and a
+# telemetry sanity sweep. Everything here must pass before a change
+# lands.
 #
 # Usage: scripts/check.sh
 #
 # The bench smoke writes under the "check" label in BENCH_baseline.json
-# so it never clobbers the recorded before/after sections.
+# so it never clobbers the recorded before/after sections; it also emits
+# telemetry/bench-baseline-check.telemetry.json, which the final gate
+# scans (alongside BENCH_baseline.json) for NaN/inf and sanitizer flags.
 set -eu
 
 cd "$(dirname "$0")/.."
+
+# Vendored crates keep their upstream formatting, so fmt runs per
+# first-party package instead of workspace-wide (rustfmt.toml `ignore`
+# needs nightly).
+echo "==> cargo fmt --check (first-party packages)"
+for pkg in monotonic-cta cta-analysis cta-attack cta-bench cta-core \
+    cta-dram cta-ext cta-mem cta-parallel cta-telemetry cta-vm \
+    cta-workloads; do
+    cargo fmt -p "$pkg" --check
+done
 
 echo "==> cargo build --release"
 cargo build --release --workspace
@@ -22,5 +35,14 @@ cargo clippy --workspace -q -- -D warnings
 
 echo "==> bench-baseline --quick smoke"
 cargo run --release -q -p cta-bench --bin bench-baseline -- --label check --quick
+
+echo "==> telemetry sanity: no NaN/inf, no sanitizer flags"
+for f in telemetry/bench-baseline-check.telemetry.json BENCH_baseline.json; do
+    [ -f "$f" ] || { echo "missing $f"; exit 1; }
+    if grep -nE 'NaN|nan|inf|non_finite' "$f"; then
+        echo "non-finite value or sanitizer flag in $f"
+        exit 1
+    fi
+done
 
 echo "==> check.sh: all gates passed"

@@ -131,10 +131,8 @@ fn ecc_check_rows_are_hammerable_too() {
     // The check bits live in DRAM like everything else; corrupting *them*
     // is also detected (weight mismatch from the other side).
     let mut m = DramModule::new(
-        DramConfig::small_test().with_disturbance(DisturbanceParams {
-            pf: 0.05,
-            ..Default::default()
-        }),
+        DramConfig::small_test()
+            .with_disturbance(DisturbanceParams { pf: 0.05, ..Default::default() }),
     );
     let mut region = EccRegion::new(&mut m, 2 * 4096, 30 * 4096, 512).unwrap();
     for i in 0..512u64 {
@@ -142,8 +140,5 @@ fn ecc_check_rows_are_hammerable_too() {
     }
     m.hammer_double_sided(RowId(30)).unwrap();
     let stats = region.scrub(&mut m).unwrap();
-    assert!(
-        stats.corrected + stats.detected_double + stats.detected_multi > 0,
-        "{stats:?}"
-    );
+    assert!(stats.corrected + stats.detected_double + stats.detected_multi > 0, "{stats:?}");
 }

@@ -20,20 +20,14 @@ fn profiled_boot_equals_oracle_boot() {
             a.ptp_layout().unwrap().low_water_mark(),
             b.ptp_layout().unwrap().low_water_mark()
         );
-        assert_eq!(
-            a.ptp_layout().unwrap().subzones(),
-            b.ptp_layout().unwrap().subzones()
-        );
+        assert_eq!(a.ptp_layout().unwrap().subzones(), b.ptp_layout().unwrap().subzones());
     }
 }
 
 #[test]
 fn every_pt_page_is_true_cell_above_mark_under_load() {
-    let mut kernel = SystemBuilder::new(16 << 20)
-        .ptp_bytes(1 << 20)
-        .protected(true)
-        .build()
-        .unwrap();
+    let mut kernel =
+        SystemBuilder::new(16 << 20).ptp_bytes(1 << 20).protected(true).build().unwrap();
     // Three processes with scattered mappings.
     for p in 0..3u64 {
         let pid = kernel.create_process(p == 0).unwrap();
@@ -66,9 +60,7 @@ fn multi_level_boot_keeps_levels_ordered_and_verifies() {
         .unwrap();
     let pid = kernel.create_process(false).unwrap();
     for i in 0..6u64 {
-        kernel
-            .mmap_anonymous(pid, VirtAddr(0x4000_0000 + i * (2 << 20)), PAGE_SIZE, true)
-            .unwrap();
+        kernel.mmap_anonymous(pid, VirtAddr(0x4000_0000 + i * (2 << 20)), PAGE_SIZE, true).unwrap();
     }
     let layout = kernel.ptp_layout().unwrap().clone();
     for (pfn, level) in kernel.process(pid).unwrap().pt_pages() {
@@ -120,8 +112,7 @@ fn capacity_loss_agrees_with_analysis_model() {
     let layout = kernel.ptp_layout().unwrap();
     let measured = layout.capacity_loss_bytes();
     let region_bytes = 64 * 4096; // period_rows × row_bytes
-    let model =
-        monotonic_cta::analysis::capacity::worst_case_loss_bytes(256 * 1024, region_bytes);
+    let model = monotonic_cta::analysis::capacity::worst_case_loss_bytes(256 * 1024, region_bytes);
     assert!(measured <= model, "measured {measured} must not exceed worst case {model}");
 }
 

@@ -16,12 +16,7 @@ fn all_27_workloads_run_with_zero_sim_overhead() {
     let runner = Runner { repetitions: 1, seed: 42 };
     for spec in spec2006().iter().chain(phoronix().iter()) {
         let row = runner.compare(machine, spec).unwrap();
-        assert!(
-            row.delta_percent().abs() < 2.0,
-            "{}: Δ = {:.3}%",
-            spec.name,
-            row.delta_percent()
-        );
+        assert!(row.delta_percent().abs() < 2.0, "{}: Δ = {:.3}%", spec.name, row.delta_percent());
     }
 }
 
