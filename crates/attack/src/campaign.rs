@@ -141,6 +141,70 @@ where
     Ok((results, counters))
 }
 
+/// Runs `trials` trials against forks of one pre-booted kernel, serially,
+/// returning results in trial order.
+///
+/// The boot-once/fork-per-trial counterpart of [`run_campaign`] for
+/// experiments whose trials share one module: because boot is
+/// deterministic, forking a freshly booted kernel is bit-identical to
+/// rebooting it, minus the boot cost. With the
+/// [`cta_dram::StoreBackend::Cow`] backend each fork is O(materialized
+/// rows) cheap. Trials run serially on the caller's thread — the parent
+/// kernel is `!Send` and cannot be shared across workers.
+///
+/// `run` receives the trial index alongside the forked kernel, for trials
+/// that vary attack parameters (not the module) per trial.
+///
+/// # Errors
+///
+/// The lowest-index error, if any trial failed.
+pub fn run_forked_campaign<T, R>(
+    parent: &Kernel,
+    trials: usize,
+    mut run: R,
+) -> Result<Vec<T>, VmError>
+where
+    R: FnMut(usize, &mut Kernel) -> Result<T, VmError>,
+{
+    let mut results = Vec::with_capacity(trials);
+    for i in 0..trials {
+        let mut kernel = parent.fork();
+        results.push(run(i, &mut kernel)?);
+    }
+    Ok(results)
+}
+
+/// Like [`run_forked_campaign`], but each trial also snapshots its forked
+/// kernel's full telemetry before the fork is dropped, merged **in trial
+/// order** into one labeled [`Counters`] registry (plus a
+/// `campaign.trials` count) — the same shape
+/// [`run_campaign_with_counters`] produces.
+///
+/// # Errors
+///
+/// The lowest-index error, if any trial failed.
+pub fn run_forked_campaign_with_counters<T, R>(
+    label: &str,
+    parent: &Kernel,
+    trials: usize,
+    mut run: R,
+) -> Result<(Vec<T>, Counters), VmError>
+where
+    R: FnMut(usize, &mut Kernel) -> Result<T, VmError>,
+{
+    let mut counters = Counters::new(label);
+    let mut results = Vec::with_capacity(trials);
+    for i in 0..trials {
+        let mut kernel = parent.fork();
+        results.push(run(i, &mut kernel)?);
+        let mut shard = Counters::new(label);
+        kernel.record_counters(&mut shard);
+        counters.merge(&shard);
+    }
+    counters.set_u64("campaign", "trials", trials as u64);
+    Ok((results, counters))
+}
+
 /// Aggregate statistics over a campaign's outcomes.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CampaignSummary {
@@ -278,6 +342,45 @@ mod tests {
         let zero_to_one = dram.get_u64("flips_zero_to_one").unwrap();
         assert_eq!(one_to_zero + zero_to_one, outcome_flips);
         assert_eq!(serial_counters.group("campaign").unwrap().get_u64("trials"), Some(6));
+    }
+
+    #[test]
+    fn forked_campaign_matches_reboot_per_trial_on_every_backend() {
+        use cta_dram::StoreBackend;
+        let attack = SprayAttack::default();
+        let trials = 4usize;
+        let seeds = vec![77u64; trials]; // reboot campaign: same module each trial
+        for backend in StoreBackend::ALL {
+            let build = |seed: u64| {
+                SystemBuilder::new(8 << 20)
+                    .ptp_bytes(512 * 1024)
+                    .seed(seed)
+                    .disturbance(DisturbanceParams { pf: 0.05, ..DisturbanceParams::default() })
+                    .backend(backend)
+                    .build()
+            };
+            let rebooted = spray_campaign(&attack, &seeds, 1, build).unwrap();
+            let parent = build(77).unwrap();
+            let forked = run_forked_campaign(&parent, trials, |_, k| attack.run(k)).unwrap();
+            assert_eq!(forked, rebooted, "backend={backend}");
+        }
+    }
+
+    #[test]
+    fn forked_campaign_counters_match_reboot_per_trial() {
+        let attack = SprayAttack::default();
+        let trials = 4usize;
+        let seeds = vec![9u64; trials];
+        let (reboot_out, reboot_counters) =
+            run_campaign_with_counters("spray", &seeds, 1, |s| build(s, false), |k| attack.run(k))
+                .unwrap();
+        let parent = build(9, false).unwrap();
+        let (fork_out, fork_counters) =
+            run_forked_campaign_with_counters("spray", &parent, trials, |_, k| attack.run(k))
+                .unwrap();
+        assert_eq!(fork_out, reboot_out);
+        assert_eq!(fork_counters, reboot_counters);
+        assert_eq!(fork_counters.to_json(), reboot_counters.to_json());
     }
 
     #[test]

@@ -41,8 +41,8 @@ pub mod templating;
 
 pub use brute::BruteForceCtaAttack;
 pub use campaign::{
-    brute_campaign, run_campaign, run_campaign_with_counters, spray_campaign, templating_campaign,
-    CampaignSummary,
+    brute_campaign, run_campaign, run_campaign_with_counters, run_forked_campaign,
+    run_forked_campaign_with_counters, spray_campaign, templating_campaign, CampaignSummary,
 };
 pub use catalog::{catalog, KnownAttack, Platform, VictimData};
 pub use hammer::HammerDriver;

@@ -23,9 +23,10 @@ use std::time::Instant;
 use cta_analysis::{
     monte_carlo_p_exploitable, monte_carlo_p_exploitable_sharded, FlipStats, Restriction,
 };
+use cta_attack::{run_campaign, run_forked_campaign, SprayAttack};
 use cta_bench::{emit_telemetry, header, kv};
 use cta_core::SystemBuilder;
-use cta_dram::{DisturbanceParams, DramConfig, DramModule};
+use cta_dram::{DisturbanceParams, DramConfig, DramModule, StoreBackend};
 use cta_mem::PAGE_SIZE;
 use cta_telemetry::Counters;
 use cta_vm::{Access, Kernel, VirtAddr};
@@ -239,6 +240,67 @@ fn bench_table4_smoke(quick: bool, metrics: &mut Vec<(String, f64)>, tel: &mut C
     record_overhead_rows(tel, "table4_smoke", &serial_rows);
 }
 
+/// Per-backend hot paths: cold PTE-walk latency and the boot-once/
+/// fork-per-trial campaign against reboot-per-trial, per
+/// [`StoreBackend`]. Fork and reboot results are asserted identical
+/// before their rates are recorded, so the speedup the baseline pins is a
+/// speedup between provably equivalent computations.
+fn bench_backends(quick: bool, metrics: &mut Vec<(String, f64)>) {
+    let walk_iters = if quick { 20_000 } else { 100_000 };
+    let trials = if quick { 8 } else { 32 };
+    let attack = SprayAttack::default();
+    for backend in StoreBackend::ALL {
+        let name = backend.name();
+
+        // Cold-walk latency, same shape as `bench_walk_latency` stock.
+        let mut k = SystemBuilder::new(16 << 20)
+            .ptp_bytes(1 << 20)
+            .seed(3)
+            .disturbance(DisturbanceParams { pf: 0.0, ..DisturbanceParams::default() })
+            .backend(backend)
+            .build()
+            .expect("machine boots");
+        let pid = k.create_process(false).unwrap();
+        let va = VirtAddr(0x4000_0000);
+        k.mmap_anonymous(pid, va, 8 * PAGE_SIZE, true).unwrap();
+        let cold = time_per_iter(walk_iters, || {
+            k.flush_tlb();
+            std::hint::black_box(k.translate(pid, va, Access::user_read()).unwrap());
+        });
+        metrics.push((format!("pte_walk_cold_{name}_ns"), cold));
+
+        // Campaign: reboot-per-trial vs boot-once/fork-per-trial on the
+        // same module (constant seed), identical by determinism. Boot is
+        // the realistic profiled-CTA boot — the profiler writes and decays
+        // every row, which is exactly the cost forking amortizes away.
+        let build = |seed: u64| {
+            SystemBuilder::new(8 << 20)
+                .ptp_bytes(512 * 1024)
+                .seed(seed)
+                .protected(true)
+                .profile_cells(true)
+                .disturbance(DisturbanceParams { pf: 0.05, ..DisturbanceParams::default() })
+                .backend(backend)
+                .build()
+        };
+        let seeds = vec![11u64; trials];
+        let start = Instant::now();
+        let rebooted = run_campaign(&seeds, 1, build, |k| attack.run(k)).expect("campaign runs");
+        let reboot_rate = trials as f64 / start.elapsed().as_secs_f64();
+
+        let parent = build(11).expect("parent boots");
+        let start = Instant::now();
+        let forked =
+            run_forked_campaign(&parent, trials, |_, k| attack.run(k)).expect("campaign runs");
+        let fork_rate = trials as f64 / start.elapsed().as_secs_f64();
+        assert_eq!(forked, rebooted, "fork-per-trial must equal reboot-per-trial ({name})");
+
+        metrics.push((format!("campaign_reboot_{name}_trials_per_sec"), reboot_rate));
+        metrics.push((format!("campaign_fork_{name}_trials_per_sec"), fork_rate));
+        metrics.push((format!("campaign_fork_speedup_{name}"), fork_rate / reboot_rate));
+    }
+}
+
 /// Serializes one label's section as a single JSON line (self-merging
 /// format: the file is parsed back line-by-line, no JSON library needed).
 fn render_section(label: &str, quick: bool, metrics: &[(String, f64)]) -> String {
@@ -305,6 +367,7 @@ fn main() {
     bench_alloc_throughput(opts.quick, &mut metrics);
     bench_monte_carlo(opts.quick, &mut metrics);
     bench_table4_smoke(opts.quick, &mut metrics, &mut tel);
+    bench_backends(opts.quick, &mut metrics);
 
     metrics.push(("total_wall_s".into(), overall.elapsed().as_secs_f64()));
     for (key, value) in &metrics {

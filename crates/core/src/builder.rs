@@ -1,6 +1,6 @@
 //! One-stop construction of simulated machines, protected or not.
 
-use cta_dram::{CellLayout, CellType, DisturbanceParams, DramConfig};
+use cta_dram::{CellLayout, CellType, DisturbanceParams, DramConfig, StoreBackend};
 use cta_mem::PtpSpec;
 use cta_vm::{Kernel, KernelConfig, VmError};
 
@@ -34,6 +34,7 @@ pub struct SystemBuilder {
     restrict_two_zeros: bool,
     profile_cells: bool,
     screen_ps_bit: bool,
+    backend: StoreBackend,
 }
 
 impl SystemBuilder {
@@ -55,6 +56,7 @@ impl SystemBuilder {
             restrict_two_zeros: false,
             profile_cells: false,
             screen_ps_bit: false,
+            backend: StoreBackend::default(),
         }
     }
 
@@ -130,6 +132,13 @@ impl SystemBuilder {
         self
     }
 
+    /// DRAM row-storage backend (performance/fork-cost knob; simulated
+    /// behavior is backend-invariant).
+    pub fn backend(mut self, backend: StoreBackend) -> Self {
+        self.backend = backend;
+        self
+    }
+
     /// The kernel configuration this builder describes.
     pub fn to_config(&self) -> KernelConfig {
         use cta_dram::{AddressMapping, DramGeometry, RetentionParams};
@@ -145,6 +154,7 @@ impl SystemBuilder {
             retention: RetentionParams::default(),
             refresh_interval_ns: 64_000_000,
             seed: self.seed,
+            backend: self.backend,
         };
         let cta = self.protected.then(|| {
             PtpSpec::paper_default()

@@ -1,5 +1,6 @@
 use crate::cells::CellLayout;
 use crate::geometry::{AddressMapping, DramGeometry};
+use crate::store::StoreBackend;
 
 /// Parameters of the RowHammer disturbance model.
 ///
@@ -93,6 +94,9 @@ pub struct DramConfig {
     pub refresh_interval_ns: u64,
     /// Module seed fixing the vulnerability and retention maps.
     pub seed: u64,
+    /// Row-storage backend. Changes performance and fork cost only; every
+    /// backend simulates bit-identical behavior.
+    pub backend: StoreBackend,
 }
 
 /// JEDEC refresh interval: 64 ms.
@@ -124,6 +128,7 @@ impl DramConfig {
             retention: RetentionParams::default(),
             refresh_interval_ns: REFRESH_INTERVAL_NS,
             seed,
+            backend: StoreBackend::default(),
         }
     }
 
@@ -138,6 +143,7 @@ impl DramConfig {
             retention: RetentionParams::default(),
             refresh_interval_ns: REFRESH_INTERVAL_NS,
             seed: 0xC0FFEE,
+            backend: StoreBackend::default(),
         }
     }
 
@@ -156,6 +162,12 @@ impl DramConfig {
     /// Builder-style override of the disturbance parameters.
     pub fn with_disturbance(mut self, disturbance: DisturbanceParams) -> Self {
         self.disturbance = disturbance;
+        self
+    }
+
+    /// Builder-style override of the row-storage backend.
+    pub fn with_backend(mut self, backend: StoreBackend) -> Self {
+        self.backend = backend;
         self
     }
 }

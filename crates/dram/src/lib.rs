@@ -56,6 +56,7 @@ mod remap;
 mod retention;
 mod rng;
 mod stats;
+mod store;
 mod vuln;
 
 pub use cells::{CellLayout, CellRegion, CellType, CellTypeMap};
@@ -70,6 +71,7 @@ pub use profiler::{
 };
 pub use remap::RemapTable;
 pub use stats::{DramStats, FlipEvent};
+pub use store::{AnyRowStore, CowStore, DenseStore, RowMut, RowStore, SparseStore, StoreBackend};
 pub use vuln::{FlipDirection, VulnerabilityModel, VulnerableBit};
 
 /// Number of bits in a DRAM byte; used pervasively when converting between

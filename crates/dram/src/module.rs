@@ -7,6 +7,7 @@ use crate::geometry::{DramGeometry, RowId};
 use crate::remap::RemapTable;
 use crate::retention::{get_bit, set_bit, RetentionModel};
 use crate::stats::{DramStats, FlipEvent};
+use crate::store::{AnyRowStore, RowStore, StoreBackend};
 use crate::vuln::{VulnerabilityModel, VulnerableBit};
 
 /// Column-access latency charged per read/write operation, nanoseconds.
@@ -19,14 +20,6 @@ const ROW_NONE: u64 = u64::MAX;
 /// Sentinel activation-counter entry: never matches a real window key
 /// (generations count up from zero).
 const NO_ACTIVATIONS: (u64, u64, u64) = (u64::MAX, u64::MAX, 0);
-
-#[derive(Debug)]
-struct RowState {
-    bytes: Box<[u8]>,
-    /// Simulated time the row's charge was last restored (activation or
-    /// refresh-epoch start).
-    last_charge_ns: u64,
-}
 
 /// One row-aligned span of a physical byte range: `take` bytes at column
 /// `col` of `row`, covering `[off, off + take)` of the caller's buffer.
@@ -99,9 +92,9 @@ impl Iterator for Spans {
 /// Ordinary accesses recharge the accessed row.
 pub struct DramModule {
     config: DramConfig,
-    /// Row storage, directly indexed by backing-row id; `None` rows have
-    /// never been written (all cells at logic `0`).
-    rows: Vec<Option<RowState>>,
+    /// Row storage ([`StoreBackend`]-selected), indexed by backing-row id;
+    /// unmaterialized rows have never been written (all cells at logic `0`).
+    store: AnyRowStore,
     vuln: VulnerabilityModel,
     retention: RetentionModel,
     remap: RemapTable,
@@ -128,8 +121,9 @@ impl std::fmt::Debug for DramModule {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("DramModule")
             .field("capacity", &self.config.geometry.capacity_bytes())
+            .field("backend", &self.store.backend())
             .field("clock_ns", &self.clock_ns)
-            .field("materialized_rows", &self.rows.iter().filter(|r| r.is_some()).count())
+            .field("materialized_rows", &self.store.materialized_count())
             .field("refresh_enabled", &self.refresh_disabled_at.is_none())
             .field("stats", &format_args!("{}", self.stats))
             .finish()
@@ -149,10 +143,11 @@ impl DramModule {
             RetentionModel::new(config.retention, config.geometry.bits_per_row(), config.seed);
         let total_rows = config.geometry.total_rows() as usize;
         let banks = config.geometry.banks() as usize;
+        let row_bytes = config.geometry.row_bytes() as usize;
         DramModule {
             vuln,
             retention,
-            rows: (0..total_rows).map(|_| None).collect(),
+            store: AnyRowStore::new(config.backend, total_rows, row_bytes),
             remap: RemapTable::new(),
             row_cache: Cell::new((ROW_NONE, ROW_NONE)),
             clock_ns: 0,
@@ -163,6 +158,46 @@ impl DramModule {
             stats: DramStats::default(),
             config,
         }
+    }
+
+    /// Forks the module: an independent copy sharing no observable state
+    /// with the original. With [`StoreBackend::Cow`] the row contents are
+    /// shared copy-on-write, so the fork costs O(materialized rows)
+    /// reference bumps and each side later pays only for rows it changes;
+    /// the other backends deep-copy. Behavior after the fork is identical
+    /// for all backends.
+    pub fn fork(&self) -> DramModule {
+        DramModule {
+            config: self.config.clone(),
+            store: self.store.clone(),
+            vuln: self.vuln.clone(),
+            retention: self.retention.clone(),
+            remap: self.remap.clone(),
+            row_cache: self.row_cache.clone(),
+            clock_ns: self.clock_ns,
+            refresh_disabled_at: self.refresh_disabled_at,
+            generation: self.generation,
+            activations: self.activations.clone(),
+            open_rows: self.open_rows.clone(),
+            stats: self.stats.clone(),
+        }
+    }
+
+    /// The row-store backend this module runs on.
+    pub fn store_backend(&self) -> StoreBackend {
+        self.store.backend()
+    }
+
+    /// Number of rows currently materialized (identical across backends
+    /// for the same operation history).
+    pub fn rows_materialized(&self) -> usize {
+        self.store.materialized_count()
+    }
+
+    /// Number of materialized rows still shared copy-on-write with live
+    /// forks; `0` for non-Cow backends.
+    pub fn rows_shared_with_forks(&self) -> usize {
+        self.store.shared_rows()
     }
 
     /// The module's configuration.
@@ -291,8 +326,8 @@ impl DramModule {
             let backing = self.resolve_row(span.row);
             self.touch_row(backing);
             let dst = &mut buf[span.off..span.off + span.take];
-            match &self.rows[backing.0 as usize] {
-                Some(state) => dst.copy_from_slice(&state.bytes[span.col..span.col + span.take]),
+            match self.store.bytes(backing.0) {
+                Some(bytes) => dst.copy_from_slice(&bytes[span.col..span.col + span.take]),
                 None => dst.fill(0),
             }
         }
@@ -322,8 +357,8 @@ impl DramModule {
         for span in Spans::new(self.config.geometry.row_bytes(), addr, data.len()) {
             let backing = self.resolve_row(span.row);
             self.touch_row(backing);
-            let state = self.materialize(backing);
-            state.bytes[span.col..span.col + span.take]
+            let row = self.store.materialize(backing.0, self.clock_ns);
+            row.bytes[span.col..span.col + span.take]
                 .copy_from_slice(&data[span.off..span.off + span.take]);
         }
         Ok(())
@@ -363,8 +398,8 @@ impl DramModule {
             self.set_clock(self.clock_ns + COL_ACCESS_NS);
             let backing = self.resolve_row(span.row);
             self.touch_row(backing);
-            let state = self.materialize(backing);
-            state.bytes[span.col..span.col + span.take].fill(byte);
+            let row = self.store.materialize(backing.0, self.clock_ns);
+            row.bytes[span.col..span.col + span.take].fill(byte);
         }
         Ok(())
     }
@@ -380,8 +415,8 @@ impl DramModule {
         for span in Spans::new(self.config.geometry.row_bytes(), addr, buf.len()) {
             let backing = self.resolve_row(span.row);
             let dst = &mut buf[span.off..span.off + span.take];
-            match &self.rows[backing.0 as usize] {
-                Some(state) => dst.copy_from_slice(&state.bytes[span.col..span.col + span.take]),
+            match self.store.bytes(backing.0) {
+                Some(bytes) => dst.copy_from_slice(&bytes[span.col..span.col + span.take]),
                 None => dst.fill(0),
             }
         }
@@ -454,15 +489,11 @@ impl DramModule {
         let effective = (duration_ns as f64 / retention_factor) as u64;
         self.clock_ns += duration_ns;
         let decay_until = self.clock_ns.saturating_sub(duration_ns - effective.min(duration_ns));
-        for idx in 0..self.rows.len() {
-            if self.rows[idx].is_some() {
-                self.apply_decay_to(RowId(idx as u64), decay_until);
-            }
+        for idx in self.store.materialized_rows() {
+            self.apply_decay_to(RowId(idx), decay_until);
         }
         // After power-up, refresh resumes: whatever survived is recharged.
-        for state in self.rows.iter_mut().flatten() {
-            state.last_charge_ns = self.clock_ns;
-        }
+        self.store.recharge_all(self.clock_ns);
         self.open_rows.fill(ROW_NONE);
         self.activations.fill(NO_ACTIVATIONS);
         self.generation += 1;
@@ -599,9 +630,7 @@ impl DramModule {
         }
         let backing = self.resolve_row(row);
         for victim in self.config.geometry.adjacent_rows(backing)? {
-            if let Some(state) = &mut self.rows[victim.0 as usize] {
-                state.last_charge_ns = self.clock_ns;
-            }
+            self.store.touch(victim.0, self.clock_ns);
         }
         self.activations[backing.0 as usize] = NO_ACTIVATIONS;
         Ok(())
@@ -654,17 +683,6 @@ impl DramModule {
         backing
     }
 
-    /// The storage of `backing`, created at all-zeros on first use.
-    #[inline]
-    fn materialize(&mut self, backing: RowId) -> &mut RowState {
-        let row_bytes = self.config.geometry.row_bytes() as usize;
-        let clock = self.clock_ns;
-        self.rows[backing.0 as usize].get_or_insert_with(|| RowState {
-            bytes: vec![0u8; row_bytes].into_boxed_slice(),
-            last_charge_ns: clock,
-        })
-    }
-
     fn set_clock(&mut self, new: u64) {
         debug_assert!(new >= self.clock_ns);
         if self.refresh_disabled_at.is_none() {
@@ -692,9 +710,7 @@ impl DramModule {
             // through the MMU's own walk reads.
             self.record_activation(backing, 1);
         }
-        if let Some(state) = &mut self.rows[backing.0 as usize] {
-            state.last_charge_ns = self.clock_ns;
-        }
+        self.store.touch(backing.0, self.clock_ns);
     }
 
     /// Adds `count` activations to `backing`'s within-window counter and
@@ -713,28 +729,27 @@ impl DramModule {
 
     /// Applies retention decay to a materialized row up to time `now`.
     fn apply_decay_to(&mut self, backing: RowId, now: u64) {
-        let Some(state) = self.rows[backing.0 as usize].as_mut() else { return };
+        let Some(last_charge) = self.store.last_charge_ns(backing.0) else { return };
         let since = match self.refresh_disabled_at {
-            Some(t0) => state.last_charge_ns.max(t0),
+            Some(t0) => last_charge.max(t0),
             // Power-off path calls with refresh nominally enabled; decay
             // accrues from the last charge directly.
-            None => state.last_charge_ns,
+            None => last_charge,
         };
         let elapsed = now.saturating_sub(since);
         if elapsed == 0 {
             return;
         }
         let cell_type = self.config.layout.cell_type(backing);
-        let changed = self.retention.apply_decay(backing, cell_type, &mut state.bytes, elapsed);
+        let row = self.store.materialize(backing.0, now);
+        let changed = self.retention.apply_decay(backing, cell_type, row.bytes, elapsed);
+        *row.last_charge_ns = now;
         self.stats.decay_flips += changed;
-        state.last_charge_ns = now;
     }
 
     fn decay_all_materialized(&mut self) {
-        for idx in 0..self.rows.len() {
-            if self.rows[idx].is_some() {
-                self.apply_decay_to(RowId(idx as u64), self.clock_ns);
-            }
+        for idx in self.store.materialized_rows() {
+            self.apply_decay_to(RowId(idx), self.clock_ns);
         }
     }
 
@@ -757,17 +772,13 @@ impl DramModule {
         if self.refresh_disabled_at.is_some() {
             self.apply_decay_to(victim, self.clock_ns);
         }
-        let row_bytes = self.config.geometry.row_bytes() as usize;
         let clock = self.clock_ns;
-        let state = self.rows[victim.0 as usize].get_or_insert_with(|| RowState {
-            bytes: vec![0u8; row_bytes].into_boxed_slice(),
-            last_charge_ns: clock,
-        });
+        let row = self.store.materialize(victim.0, clock);
         let mut events = Vec::new();
         for vb in bits.iter() {
-            let current = get_bit(&state.bytes, vb.bit);
+            let current = get_bit(row.bytes, vb.bit);
             if current == vb.direction.source_value() {
-                set_bit(&mut state.bytes, vb.bit, !current);
+                set_bit(row.bytes, vb.bit, !current);
                 events.push(FlipEvent {
                     row: victim,
                     bit: vb.bit,

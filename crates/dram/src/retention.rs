@@ -27,6 +27,7 @@ pub struct LongCell {
 /// `[long_min_ns, long_max_ns]`. Both populations are functions of the
 /// module seed, so profiling results are stable — which the coldboot guard
 /// (section 8) depends on.
+#[derive(Clone)]
 pub(crate) struct RetentionModel {
     seed: u64,
     params: RetentionParams,

@@ -71,6 +71,7 @@ pub struct VulnerableBit {
 /// ([`DisturbanceParams`]): each cell is vulnerable with probability `pf`,
 /// and a vulnerable cell flips in its polarity's leakage direction except
 /// with probability `reverse_rate` (section 5: `P0→1 = 0.2%` in true-cells).
+#[derive(Clone)]
 pub struct VulnerabilityModel {
     seed: u64,
     params: DisturbanceParams,

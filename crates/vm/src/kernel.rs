@@ -200,6 +200,7 @@ impl KernelConfig {
             retention: cta_dram::RetentionParams::default(),
             refresh_interval_ns: 64_000_000,
             seed: 0xBEEF,
+            backend: cta_dram::StoreBackend::default(),
         };
         KernelConfig {
             dram,
@@ -223,6 +224,12 @@ impl KernelConfig {
     /// Builder-style CTA override.
     pub fn with_cta(mut self, spec: PtpSpec) -> Self {
         self.cta = Some(spec);
+        self
+    }
+
+    /// Builder-style DRAM row-store backend override.
+    pub fn with_backend(mut self, backend: cta_dram::StoreBackend) -> Self {
+        self.dram.backend = backend;
         self
     }
 }
@@ -342,6 +349,34 @@ impl Kernel {
         &mut self.dram
     }
 
+    /// Forks the machine: an independent snapshot with identical DRAM
+    /// contents, page tables, processes, TLB, allocator, and statistics.
+    /// Nothing done to either side is ever visible to the other.
+    ///
+    /// Forking a freshly booted kernel is indistinguishable from booting a
+    /// second one with the same [`KernelConfig`] — the substrate of
+    /// boot-once/fork-per-trial campaigns. With the
+    /// [`cta_dram::StoreBackend::Cow`] backend the DRAM snapshot is
+    /// copy-on-write, so a fork costs O(materialized rows) reference bumps
+    /// and each trial pays only for the rows it actually changes; other
+    /// backends deep-copy the module.
+    pub fn fork(&self) -> Kernel {
+        Kernel {
+            dram: self.dram.fork(),
+            alloc: self.alloc.clone(),
+            walker: self.walker,
+            tlb: self.tlb.clone(),
+            processes: self.processes.clone(),
+            files: self.files.clone(),
+            owners: self.owners.clone(),
+            next_pid: self.next_pid,
+            next_file: self.next_file,
+            stats: self.stats,
+            multi_level: self.multi_level,
+            secret: self.secret,
+        }
+    }
+
     /// The zoned allocator.
     pub fn allocator(&self) -> &ZonedAllocator {
         &self.alloc
@@ -375,6 +410,9 @@ impl Kernel {
         c.record(&self.stats);
         c.record(&self.tlb.stats());
         c.record(self.dram.stats());
+        // Materialized-row gauge: equal across store backends for the same
+        // operation history, so backend choice never perturbs telemetry.
+        c.add_u64("dram", "rows_materialized", self.dram.rows_materialized() as u64);
         self.alloc.record_counters(c);
     }
 

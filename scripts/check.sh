@@ -1,8 +1,8 @@
 #!/usr/bin/env sh
 # Tier-1 gate for monotonic-cta: formatting, build, full test suite,
-# clippy (deny warnings), a quick bench-baseline smoke run, and a
-# telemetry sanity sweep. Everything here must pass before a change
-# lands.
+# clippy (deny warnings), rustdoc (deny warnings), a quick bench-baseline
+# smoke run, an examples smoke run, and a telemetry sanity sweep.
+# Everything here must pass before a change lands.
 #
 # Usage: scripts/check.sh
 #
@@ -14,13 +14,16 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
-# Vendored crates keep their upstream formatting, so fmt runs per
-# first-party package instead of workspace-wide (rustfmt.toml `ignore`
-# needs nightly).
-echo "==> cargo fmt --check (first-party packages)"
-for pkg in monotonic-cta cta-analysis cta-attack cta-bench cta-core \
+# Vendored crates keep their upstream formatting (and doc warnings), so
+# fmt and doc run per first-party package instead of workspace-wide
+# (rustfmt.toml `ignore` needs nightly; `cargo doc --workspace` would
+# document the vendored members too).
+FIRST_PARTY="monotonic-cta cta-analysis cta-attack cta-bench cta-core \
     cta-dram cta-ext cta-mem cta-parallel cta-telemetry cta-vm \
-    cta-workloads; do
+    cta-workloads"
+
+echo "==> cargo fmt --check (first-party packages)"
+for pkg in $FIRST_PARTY; do
     cargo fmt -p "$pkg" --check
 done
 
@@ -33,13 +36,30 @@ cargo test --workspace -q
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace -q -- -D warnings
 
+echo "==> cargo doc --no-deps (first-party packages, deny warnings)"
+for pkg in $FIRST_PARTY; do
+    RUSTDOCFLAGS="-D warnings" cargo doc -q --no-deps -p "$pkg"
+done
+
 echo "==> bench-baseline --quick smoke"
 cargo run --release -q -p cta-bench --bin bench-baseline -- --label check --quick
 
+echo "==> examples smoke (release)"
+for ex in quickstart cell_profiling coldboot_and_popcount defended_system \
+    privilege_escalation; do
+    echo "--- example: $ex"
+    cargo run --release -q --example "$ex" > /dev/null
+done
+
 echo "==> telemetry sanity: no NaN/inf, no sanitizer flags"
+# Word-boundary patterns: a substring match like `flip_info` or a
+# `finance` label must not trip the gate; only real non-finite JSON
+# values (NaN/inf/Infinity as standalone tokens) and `non_finite:`
+# sanitizer flags do. `_` is a word character, so `\binf\b` cannot match
+# inside `flip_info`.
 for f in telemetry/bench-baseline-check.telemetry.json BENCH_baseline.json; do
     [ -f "$f" ] || { echo "missing $f"; exit 1; }
-    if grep -nE 'NaN|nan|inf|non_finite' "$f"; then
+    if grep -nE '\bNaN\b|\bnan\b|\binf\b|\bInfinity\b|non_finite:' "$f"; then
         echo "non-finite value or sanitizer flag in $f"
         exit 1
     fi

@@ -1,0 +1,74 @@
+//! Cross-crate acceptance: every row-store backend produces bit-identical
+//! attack outcomes, campaign summaries, and telemetry JSON for the same
+//! seeds, serial (`threads = 1`) and sharded (`threads = N`) alike.
+
+use monotonic_cta::attack::{
+    run_campaign_with_counters, CampaignSummary, SprayAttack, TemplatingAttack,
+};
+use monotonic_cta::core::SystemBuilder;
+use monotonic_cta::dram::{DisturbanceParams, StoreBackend};
+use monotonic_cta::vm::{Kernel, VmError};
+
+fn build(seed: u64, protected: bool, backend: StoreBackend) -> Result<Kernel, VmError> {
+    SystemBuilder::new(8 << 20)
+        .ptp_bytes(512 * 1024)
+        .seed(seed)
+        .protected(protected)
+        .disturbance(DisturbanceParams { pf: 0.05, ..DisturbanceParams::default() })
+        .backend(backend)
+        .build()
+}
+
+#[test]
+fn spray_campaigns_agree_across_backends_and_shards() {
+    let attack = SprayAttack::default();
+    let seeds: Vec<u64> = (0..6).collect();
+    let mut reference: Option<(String, String, CampaignSummary)> = None;
+    for backend in StoreBackend::ALL {
+        for threads in [1usize, 4] {
+            let (outcomes, counters) = run_campaign_with_counters(
+                "parity",
+                &seeds,
+                threads,
+                |s| build(s, false, backend),
+                |k| attack.run(k),
+            )
+            .unwrap();
+            let outcome_repr = format!("{outcomes:?}");
+            let summary = CampaignSummary::from_outcomes(&outcomes);
+            let json = counters.to_json();
+            match &reference {
+                None => reference = Some((outcome_repr, json, summary)),
+                Some((ref_outcomes, ref_json, ref_summary)) => {
+                    assert_eq!(
+                        &outcome_repr, ref_outcomes,
+                        "outcomes differ: backend={backend} threads={threads}"
+                    );
+                    assert_eq!(
+                        &json, ref_json,
+                        "telemetry differs: backend={backend} threads={threads}"
+                    );
+                    assert_eq!(
+                        &summary, ref_summary,
+                        "summary differs: backend={backend} threads={threads}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn templating_attack_agrees_across_backends_on_protected_machines() {
+    let attack = TemplatingAttack::default();
+    let mut reference: Option<String> = None;
+    for backend in StoreBackend::ALL {
+        let mut kernel = build(3, true, backend).unwrap();
+        let outcome = attack.run(&mut kernel).unwrap();
+        let repr = format!("{outcome:?}|{}", kernel.counters("t").to_json());
+        match &reference {
+            None => reference = Some(repr),
+            Some(r) => assert_eq!(&repr, r, "backend={backend}"),
+        }
+    }
+}
