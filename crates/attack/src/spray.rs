@@ -36,15 +36,29 @@ pub struct SprayAttack {
     pub file_pages: u64,
     /// Maximum aggressor rows to hammer.
     pub max_hammer_rows: u64,
+    /// Flush the TLB and paging-structure caches before every probe
+    /// (each virtual access and each hammer pass), the way Algorithm 1
+    /// interleaves accesses with `invlpg`. Forces every translation to
+    /// walk live DRAM, making the attack's DRAM traffic independent of
+    /// the machine's translation-cache configuration.
+    pub flush_per_probe: bool,
 }
 
 impl Default for SprayAttack {
     fn default() -> Self {
-        SprayAttack { regions: 64, file_pages: 2, max_hammer_rows: 64 }
+        SprayAttack { regions: 64, file_pages: 2, max_hammer_rows: 64, flush_per_probe: false }
     }
 }
 
 impl SprayAttack {
+    /// Invalidates all translation caches before a probe when
+    /// `flush_per_probe` is set, so the next access walks from CR3.
+    fn probe_sync(&self, kernel: &mut Kernel) {
+        if self.flush_per_probe {
+            kernel.flush_tlb();
+        }
+    }
+
     /// Runs the attack as a fresh unprivileged process on `kernel`.
     ///
     /// # Errors
@@ -99,6 +113,7 @@ impl SprayAttack {
         // escalation); tolerate it.
         for j in 0..self.file_pages {
             let pattern = vec![0xA0u8 | (j as u8 + 1); 32];
+            self.probe_sync(kernel);
             let _ = kernel.write_virt(
                 pid,
                 region_vas[0].offset(j * PAGE_SIZE),
@@ -111,6 +126,7 @@ impl SprayAttack {
         let driver = HammerDriver::new();
         for va in region_vas.iter().take(self.max_hammer_rows as usize) {
             let anon = va.offset(self.file_pages * PAGE_SIZE);
+            self.probe_sync(kernel);
             if driver.hammer_row_of(kernel, pid, anon).is_ok() {
                 out.rows_hammered += 1;
             }
@@ -128,6 +144,7 @@ impl SprayAttack {
             for j in 0..=self.file_pages {
                 let page_va = va.offset(j * PAGE_SIZE);
                 let mut buf = vec![0u8; PAGE_SIZE as usize];
+                self.probe_sync(kernel);
                 if kernel.read_virt(pid, page_va, &mut buf, Access::user_read()).is_err() {
                     continue;
                 }
@@ -180,6 +197,7 @@ impl SprayAttack {
         // page table through our corrupted mapping* — this is the point
         // where the attack breaks VA→PA secrecy.
         let mut raw = [0u8; 8];
+        self.probe_sync(kernel);
         kernel.read_virt(pid, va_pte.offset(src_entry * 8), &mut raw, Access::user_read())?;
         let src_pte = Pte(u64::from_le_bytes(raw));
         if !src_pte.looks_like_user_pte(max_pfn) {
@@ -189,6 +207,7 @@ impl SprayAttack {
 
         // Craft: table[probe_entry] := file page `src_entry`'s frame.
         let crafted = Pte::new(f_src, PteFlags::user_data());
+        self.probe_sync(kernel);
         kernel.write_virt(
             pid,
             va_pte.offset(probe_entry * 8),
@@ -203,6 +222,7 @@ impl SprayAttack {
         // the shared file page.
         let mut stamped = false;
         for va in region_vas {
+            self.probe_sync(kernel);
             if kernel
                 .write_virt(pid, va.offset(src_entry * PAGE_SIZE), &MARKER, Access::user_write())
                 .is_ok()
@@ -221,6 +241,7 @@ impl SprayAttack {
                 continue;
             }
             let mut buf = [0u8; 16];
+            self.probe_sync(kernel);
             if kernel.read_virt(pid, page_va, &mut buf, Access::user_read()).is_ok()
                 && buf == MARKER
             {
@@ -238,6 +259,7 @@ impl SprayAttack {
         let (secret_pfn, secret) = kernel.kernel_secret();
         for f in 0..max_pfn {
             let probe_pte = Pte::new(cta_mem::Pfn(f), PteFlags::user_data());
+            self.probe_sync(kernel);
             kernel.write_virt(
                 pid,
                 va_pte.offset(probe_entry * 8),
@@ -253,6 +275,7 @@ impl SprayAttack {
                 out.secret_read = true;
                 out.note(format!("kernel secret read from frame {f} (truth: {})", secret_pfn.0));
                 // Demonstrate the write primitive too.
+                self.probe_sync(kernel);
                 if kernel
                     .write_virt(pid, probe_va, b"PWNED-BY-ROWHMR!", Access::user_write())
                     .is_ok()

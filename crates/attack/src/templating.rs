@@ -47,15 +47,29 @@ pub struct TemplatingAttack {
     pub arena_pages: u64,
     /// Maximum templates to try before giving up.
     pub max_attempts: usize,
+    /// Flush the TLB and paging-structure caches before every probe
+    /// (each virtual access and each hammer pass), the way Algorithm 1
+    /// interleaves accesses with `invlpg`. Forces every translation to
+    /// walk live DRAM, making the attack's DRAM traffic independent of
+    /// the machine's translation-cache configuration.
+    pub flush_per_probe: bool,
 }
 
 impl Default for TemplatingAttack {
     fn default() -> Self {
-        TemplatingAttack { arena_pages: 192, max_attempts: 12 }
+        TemplatingAttack { arena_pages: 192, max_attempts: 12, flush_per_probe: false }
     }
 }
 
 impl TemplatingAttack {
+    /// Invalidates all translation caches before a probe when
+    /// `flush_per_probe` is set, so the next access walks from CR3.
+    fn probe_sync(&self, kernel: &mut Kernel) {
+        if self.flush_per_probe {
+            kernel.flush_tlb();
+        }
+    }
+
     /// Runs the attack as a fresh unprivileged process.
     ///
     /// # Errors
@@ -128,12 +142,14 @@ impl TemplatingAttack {
             // read back set bits. Earlier hammering may have corrupted our
             // own mappings (cleared W/P bits) — skip such pages, as a real
             // templating tool does.
+            self.probe_sync(kernel);
             if kernel.write_virt(pid, victim, &zeros, Access::user_write()).is_err() {
                 continue;
             }
             // Fresh refresh window so earlier hammering does not bleed in.
             let interval = kernel.dram().config().refresh_interval_ns;
             kernel.dram_mut().advance(interval);
+            self.probe_sync(kernel);
             if driver.hammer_row_of(kernel, pid, arena.offset((v - 1) * PAGE_SIZE)).is_err()
                 || driver.hammer_row_of(kernel, pid, arena.offset((v + 1) * PAGE_SIZE)).is_err()
             {
@@ -141,6 +157,7 @@ impl TemplatingAttack {
             }
             out.rows_hammered += 2;
             let mut buf = vec![0u8; PAGE_SIZE as usize];
+            self.probe_sync(kernel);
             if kernel.read_virt(pid, victim, &mut buf, Access::user_read()).is_err() {
                 continue;
             }
@@ -247,6 +264,7 @@ impl TemplatingAttack {
         let driver = HammerDriver::new();
         let interval = kernel.dram().config().refresh_interval_ns;
         kernel.dram_mut().advance(interval);
+        self.probe_sync(kernel);
         if driver.hammer_row_of(kernel, pid, lower_aggressor).is_err()
             || driver.hammer_row_of(kernel, pid, arena.offset((v + 1) * PAGE_SIZE)).is_err()
         {
@@ -258,6 +276,7 @@ impl TemplatingAttack {
         // Detect: region page e should now read as a page table (self-map).
         let window = region.offset(e * PAGE_SIZE);
         let mut buf = vec![0u8; PAGE_SIZE as usize];
+        self.probe_sync(kernel);
         if kernel.read_virt(pid, window, &mut buf, Access::user_read()).is_err() {
             return Ok(false);
         }
@@ -286,6 +305,7 @@ impl TemplatingAttack {
         let (_, secret) = kernel.kernel_secret();
         for f in 0..max_pfn {
             let crafted = Pte::new(Pfn(f), PteFlags::user_data());
+            self.probe_sync(kernel);
             if kernel
                 .write_virt(
                     pid,
@@ -305,6 +325,7 @@ impl TemplatingAttack {
             if probe == secret {
                 out.secret_read = true;
                 out.note(format!("kernel secret read via templated self-map (frame {f})"));
+                self.probe_sync(kernel);
                 if kernel
                     .write_virt(pid, probe_va, b"PWNED-BY-TMPLT!!", Access::user_write())
                     .is_ok()

@@ -1,8 +1,9 @@
 //! `bench-baseline` — the machine-readable performance record.
 //!
-//! Runs the repo's four headline hot paths — PTE-walk latency, DRAM
-//! `read_u64` throughput, Monte Carlo samples/sec (serial and sharded),
-//! and a Table 4 harness smoke — plus allocator throughput, and merges
+//! Runs the repo's headline hot paths — PTE-walk latency (cold, TLB-hit,
+//! and PSC-warm), DRAM `read_u64` throughput, Monte Carlo samples/sec
+//! (serial and sharded), batched translation sweeps, and a Table 4
+//! harness smoke — plus allocator throughput, and merges
 //! the results into `BENCH_baseline.json` at the repo root under a
 //! `--label` key. Re-running with a different label preserves the other
 //! labels' sections, so before/after trajectories accumulate in one file
@@ -301,6 +302,67 @@ fn bench_backends(quick: bool, metrics: &mut Vec<(String, f64)>) {
     }
 }
 
+/// Warm-walk and batched-translation hot paths for the paging-structure
+/// caches. A 128-page sweep inside one 2 MiB region overflows the 64-entry
+/// TLB — every set cycles through 8 tags, so every translate misses — while
+/// every walk shares one PDE, so a warm PSC resumes at the PT level: one
+/// DRAM read per walk instead of four. `pte_walk_warm_psc_ns` vs
+/// `pte_walk_warm_nopsc_ns` isolates that saving; the batch metrics compare
+/// [`Kernel::translate_batch`] against a per-call loop over the same sweep.
+fn bench_psc(quick: bool, metrics: &mut Vec<(String, f64)>, tel: &mut Counters) {
+    let sweeps = if quick { 1_000 } else { 10_000 };
+    let pages: u64 = 128;
+    let machine = |entries: usize| {
+        SystemBuilder::new(16 << 20)
+            .ptp_bytes(1 << 20)
+            .seed(3)
+            .disturbance(DisturbanceParams { pf: 0.0, ..DisturbanceParams::default() })
+            .psc_entries(entries)
+            .build()
+            .expect("machine boots")
+    };
+    for (name, entries) in [("psc", 16usize), ("nopsc", 0)] {
+        let mut k = machine(entries);
+        let pid = k.create_process(false).unwrap();
+        let va = VirtAddr(0x4000_0000);
+        k.mmap_anonymous(pid, va, pages * PAGE_SIZE, true).unwrap();
+        let per_sweep = time_per_iter(sweeps, || {
+            for p in 0..pages {
+                std::hint::black_box(
+                    k.translate(pid, va.offset(p * PAGE_SIZE), Access::user_read()).unwrap(),
+                );
+            }
+        });
+        metrics.push((format!("pte_walk_warm_{name}_ns"), per_sweep / pages as f64));
+        if entries > 0 {
+            // Steady-state cache effectiveness of the sweep, as sanitized
+            // gauges (see EXPERIMENTS.md: `tlb`/`psc` `hit_rate`).
+            k.record_rate_gauges(tel);
+        }
+    }
+
+    // Batched translation over the same sweep, on one machine in steady
+    // state: the batch path hoists process lookup and CR3 out of the loop.
+    let mut k = machine(16);
+    let pid = k.create_process(false).unwrap();
+    let va = VirtAddr(0x4000_0000);
+    k.mmap_anonymous(pid, va, pages * PAGE_SIZE, true).unwrap();
+    let vas: Vec<VirtAddr> = (0..pages).map(|p| va.offset(p * PAGE_SIZE)).collect();
+    let mut phys = Vec::new();
+    let per_batch = time_per_iter(sweeps, || {
+        k.translate_batch(pid, &vas, Access::user_read(), &mut phys).unwrap();
+        std::hint::black_box(&phys);
+    }) / pages as f64;
+    let per_loop = time_per_iter(sweeps, || {
+        for &v in &vas {
+            std::hint::black_box(k.translate(pid, v, Access::user_read()).unwrap());
+        }
+    }) / pages as f64;
+    metrics.push(("translate_batch_ops_per_sec".into(), 1e9 / per_batch));
+    metrics.push(("translate_loop_ops_per_sec".into(), 1e9 / per_loop));
+    metrics.push(("translate_batch_speedup".into(), per_loop / per_batch));
+}
+
 /// Serializes one label's section as a single JSON line (self-merging
 /// format: the file is parsed back line-by-line, no JSON library needed).
 fn render_section(label: &str, quick: bool, metrics: &[(String, f64)]) -> String {
@@ -368,6 +430,7 @@ fn main() {
     bench_monte_carlo(opts.quick, &mut metrics);
     bench_table4_smoke(opts.quick, &mut metrics, &mut tel);
     bench_backends(opts.quick, &mut metrics);
+    bench_psc(opts.quick, &mut metrics, &mut tel);
 
     metrics.push(("total_wall_s".into(), overall.elapsed().as_secs_f64()));
     for (key, value) in &metrics {

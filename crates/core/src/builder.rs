@@ -35,6 +35,7 @@ pub struct SystemBuilder {
     profile_cells: bool,
     screen_ps_bit: bool,
     backend: StoreBackend,
+    psc_entries: usize,
 }
 
 impl SystemBuilder {
@@ -57,6 +58,7 @@ impl SystemBuilder {
             profile_cells: false,
             screen_ps_bit: false,
             backend: StoreBackend::default(),
+            psc_entries: 16,
         }
     }
 
@@ -139,6 +141,13 @@ impl SystemBuilder {
         self
     }
 
+    /// Per-level paging-structure-cache capacity in entries; 0 disables the
+    /// PSC so every TLB miss walks from CR3 (the pre-PSC translation path).
+    pub fn psc_entries(mut self, entries: usize) -> Self {
+        self.psc_entries = entries;
+        self
+    }
+
     /// The kernel configuration this builder describes.
     pub fn to_config(&self) -> KernelConfig {
         use cta_dram::{AddressMapping, DramGeometry, RetentionParams};
@@ -167,6 +176,7 @@ impl SystemBuilder {
             cta,
             profile_cells: self.profile_cells,
             tlb_entries: 64,
+            psc_entries: self.psc_entries,
             cell_map_override: None,
             screen_ps_bit: self.screen_ps_bit,
             memory_map_override: None,

@@ -7,9 +7,10 @@ use cta_mem::{GfpFlags, MemoryMap, Pfn, PtLevel, PtpLayout, PtpSpec, ZonedAlloca
 use crate::addr::VirtAddr;
 use crate::error::VmError;
 use crate::file::{FileId, FileObject};
+use crate::psc::{Psc, PscEntry};
 use crate::pte::{Pte, PteFlags};
 use crate::tlb::{Tlb, TlbEntry};
-use crate::walker::{Access, Walker};
+use crate::walker::{Access, WalkStart, Walker};
 
 /// Process identifier.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -173,6 +174,10 @@ pub struct KernelConfig {
     pub profile_cells: bool,
     /// TLB capacity in entries.
     pub tlb_entries: usize,
+    /// Per-level paging-structure-cache capacity in entries (the PML4E,
+    /// PDPTE, and PDE caches each hold this many); 0 disables the PSC so a
+    /// TLB miss always walks from CR3.
+    pub psc_entries: usize,
     /// Override the cell-type map used for `ZONE_PTP` construction — for
     /// misconfiguration experiments such as the paper's anti-cell-only
     /// baseline (section 5). `None` uses the profiler or ground truth.
@@ -207,6 +212,7 @@ impl KernelConfig {
             cta: None,
             profile_cells: false,
             tlb_entries: 64,
+            psc_entries: 16,
             cell_map_override: None,
             screen_ps_bit: false,
             memory_map_override: None,
@@ -247,6 +253,7 @@ pub struct Kernel {
     alloc: ZonedAllocator,
     walker: Walker,
     tlb: Tlb,
+    psc: Psc,
     processes: BTreeMap<u64, Process>,
     files: BTreeMap<u64, FileObject>,
     owners: HashMap<u64, FrameOwner>,
@@ -312,6 +319,7 @@ impl Kernel {
             alloc: ZonedAllocator::new(map),
             walker: Walker::new(),
             tlb: Tlb::new(config.tlb_entries),
+            psc: Psc::new(config.psc_entries),
             processes: BTreeMap::new(),
             files: BTreeMap::new(),
             owners: HashMap::new(),
@@ -366,6 +374,7 @@ impl Kernel {
             alloc: self.alloc.clone(),
             walker: self.walker,
             tlb: self.tlb.clone(),
+            psc: self.psc.clone(),
             processes: self.processes.clone(),
             files: self.files.clone(),
             owners: self.owners.clone(),
@@ -402,6 +411,11 @@ impl Kernel {
         self.tlb.stats()
     }
 
+    /// Paging-structure-cache counters.
+    pub fn psc_stats(&self) -> crate::psc::PscStats {
+        self.psc.stats()
+    }
+
     /// Snapshots every stat source this machine owns into `c`: kernel
     /// walk/map counters, TLB counters, DRAM counters, and the allocator's
     /// global plus per-zone counters. Recording several kernels into the
@@ -409,6 +423,7 @@ impl Kernel {
     pub fn record_counters(&self, c: &mut cta_telemetry::Counters) {
         c.record(&self.stats);
         c.record(&self.tlb.stats());
+        c.record(&self.psc.stats());
         c.record(self.dram.stats());
         // Materialized-row gauge: equal across store backends for the same
         // operation history, so backend choice never perturbs telemetry.
@@ -422,6 +437,16 @@ impl Kernel {
         let mut c = cta_telemetry::Counters::new(label);
         self.record_counters(&mut c);
         c
+    }
+
+    /// Emits the TLB and PSC hit rates as sanitized f64 gauges. Rates are
+    /// derived metrics — they would corrupt the additive shard merge if the
+    /// [`cta_telemetry::StatSource`] snapshots recorded them — so they are
+    /// set (not added) at emission time, with non-finite values sanitized
+    /// by [`cta_telemetry::Counters::set_f64`].
+    pub fn record_rate_gauges(&self, c: &mut cta_telemetry::Counters) {
+        c.set_f64("tlb", "hit_rate", self.tlb.stats().hit_rate());
+        c.set_f64("psc", "hit_rate", self.psc.stats().hit_rate());
     }
 
     /// A process by pid.
@@ -523,6 +548,7 @@ impl Kernel {
             self.alloc.free_pages(*pfn, 0)?;
         }
         self.tlb.flush_pid(pid);
+        self.psc.flush_pid(pid);
         Ok(())
     }
 
@@ -586,7 +612,7 @@ impl Kernel {
         }
         let leaf_addr = table + va.index(PtLevel::Pt) * 8;
         self.dram.write_u64(leaf_addr, Pte::new(pfn, flags).0)?;
-        self.tlb.flush_page(pid, va);
+        self.invalidate_translation(pid, va);
         self.stats.maps += 1;
         Ok(())
     }
@@ -693,7 +719,7 @@ impl Kernel {
         }
         let pd_entry = table + va.index(PtLevel::Pd) * 8;
         self.dram.write_u64(pd_entry, Pte::new(block, flags).0)?;
-        self.tlb.flush_page(pid, va);
+        self.invalidate_translation(pid, va);
         self.stats.maps += 1;
         Ok(())
     }
@@ -733,7 +759,13 @@ impl Kernel {
             if present {
                 self.dram.write_u64(table + chunk_va.index(PtLevel::Pd) * 8, Pte::EMPTY.0)?;
             }
-            self.tlb.flush_page(pid, chunk_va);
+            // The huge mapping may have been accessed at any 4 KiB offset,
+            // each caching its own vpn — invalidate every one of them, not
+            // just the chunk base (one invlpg per covered page).
+            for f in 0..HUGE_PAGE_SIZE / PAGE_SIZE {
+                self.tlb.flush_page(pid, chunk_va.offset(f * PAGE_SIZE));
+            }
+            self.psc.invalidate_page(pid, chunk_va);
             self.stats.unmaps += 1;
             for f in 0..HUGE_PAGE_SIZE / PAGE_SIZE {
                 self.owners.remove(&(block.0 + f));
@@ -866,7 +898,7 @@ impl Kernel {
             flags.writable = writable;
             pte = Pte::new(pte.pfn(), flags);
             self.dram.write_u64(leaf_addr, pte.0)?;
-            self.tlb.flush_page(pid, page_va);
+            self.invalidate_translation(pid, page_va);
         }
         Ok(())
     }
@@ -896,7 +928,7 @@ impl Kernel {
             if let Some(leaf_addr) = self.leaf_entry_addr(cr3, page_va)? {
                 self.dram.write_u64(leaf_addr, Pte::EMPTY.0)?;
             }
-            self.tlb.flush_page(pid, page_va);
+            self.invalidate_translation(pid, page_va);
             self.stats.unmaps += 1;
             match kind {
                 MappingKind::Anonymous { pfn } => {
@@ -960,7 +992,8 @@ impl Kernel {
     // Translation and access
     // ------------------------------------------------------------------
 
-    /// Translates `va` for `pid`, consulting the TLB first.
+    /// Translates `va` for `pid`: TLB first, then the paging-structure
+    /// caches, then the walk (resumed at the deepest cached level).
     ///
     /// # Errors
     ///
@@ -972,20 +1005,125 @@ impl Kernel {
                 return Ok(hit.page_base + va.page_offset());
             }
         }
-        let cr3 = self.process(pid)?.cr3();
-        let result = self.walker.walk(&mut self.dram, cr3.addr().0, va, access)?;
+        let cr3 = self.process(pid)?.cr3().addr().0;
+        self.translate_slow(cr3, pid, va, access)
+    }
+
+    /// The TLB-miss path: probe the PSC for a resume point, walk, fill the
+    /// PSC with the non-leaf entries just read, and fill the TLB with the
+    /// leaf.
+    fn translate_slow(
+        &mut self,
+        cr3: u64,
+        pid: Pid,
+        va: VirtAddr,
+        access: Access,
+    ) -> Result<u64, VmError> {
+        let start = match self.psc.lookup(pid, va) {
+            Some((level, e)) => {
+                WalkStart { level, table: e.table, user: e.user, writable: e.writable }
+            }
+            None => WalkStart::root(cr3),
+        };
+        let walk = self.walker.walk_phys(&mut self.dram, start, va, access)?;
         self.stats.walks += 1;
-        let leaf = result.trail.last().expect("walks have at least one entry").2;
+        // Cache each non-leaf entry with the cumulative permission AND
+        // folded down from the resume point, as hardware does.
+        let (mut user, mut writable) = (start.user, start.writable);
+        for (level, pte) in walk.intermediates.into_iter().flatten() {
+            user &= pte.user();
+            writable &= pte.writable();
+            self.psc.insert(
+                pid,
+                va,
+                level,
+                PscEntry { table: pte.pfn().0 * PAGE_SIZE, user, writable },
+            );
+        }
         self.tlb.insert(
             pid,
             va,
             TlbEntry {
-                page_base: result.phys - va.page_offset(),
-                writable: leaf.writable(),
-                user: leaf.user(),
+                page_base: walk.phys - va.page_offset(),
+                writable: walk.leaf.writable(),
+                user: walk.leaf.user(),
             },
         );
-        Ok(result.phys)
+        Ok(walk.phys)
+    }
+
+    /// Translates a batch of addresses for one process, resolving the
+    /// process (and its CR3) once instead of per call. `phys_out` is
+    /// cleared and receives one physical address per input, in order —
+    /// bit-for-bit what N [`translate`](Self::translate) calls would
+    /// produce, including the simulated-time advance and all counters.
+    ///
+    /// # Errors
+    ///
+    /// The first fault aborts the batch; addresses before it have already
+    /// been translated (their clock and cache effects stand, exactly as
+    /// with individual calls).
+    pub fn translate_batch(
+        &mut self,
+        pid: Pid,
+        vas: &[VirtAddr],
+        access: Access,
+        phys_out: &mut Vec<u64>,
+    ) -> Result<(), VmError> {
+        phys_out.clear();
+        phys_out.reserve(vas.len());
+        let cr3 = self.process(pid)?.cr3().addr().0;
+        for &va in vas {
+            let phys = match self.tlb.lookup(pid, va) {
+                Some(hit) if (!access.write || hit.writable) && (!access.user || hit.user) => {
+                    hit.page_base + va.page_offset()
+                }
+                _ => self.translate_slow(cr3, pid, va, access)?,
+            };
+            phys_out.push(phys);
+        }
+        Ok(())
+    }
+
+    /// Executes a batch of fixed-buffer user accesses against one process:
+    /// for each `(va, is_write)` op, `buf` is written to or read from `va`
+    /// exactly as the matching [`write_virt`](Self::write_virt) /
+    /// [`read_virt`](Self::read_virt) sequence would (page-crossing
+    /// included, reads landing in `buf` for later ops to write back out),
+    /// with the per-call process dispatch amortized over the whole batch.
+    ///
+    /// # Errors
+    ///
+    /// The first fault aborts the batch; earlier ops' effects stand.
+    pub fn access_batch(
+        &mut self,
+        pid: Pid,
+        ops: &[(VirtAddr, bool)],
+        buf: &mut [u8],
+    ) -> Result<(), VmError> {
+        let cr3 = self.process(pid)?.cr3().addr().0;
+        for &(va, write) in ops {
+            let access = if write { Access::user_write() } else { Access::user_read() };
+            let mut off = 0usize;
+            while off < buf.len() {
+                let cur = va.offset(off as u64);
+                let phys = match self.tlb.lookup(pid, cur) {
+                    Some(hit) if (!access.write || hit.writable) && (!access.user || hit.user) => {
+                        hit.page_base + cur.page_offset()
+                    }
+                    _ => self.translate_slow(cr3, pid, cur, access)?,
+                };
+                let in_page = (PAGE_SIZE - cur.page_offset()) as usize;
+                let take = in_page.min(buf.len() - off);
+                if write {
+                    self.dram.write(phys, &buf[off..off + take])?;
+                } else {
+                    self.dram.read_into(phys, &mut buf[off..off + take])?;
+                }
+                off += take;
+            }
+        }
+        Ok(())
     }
 
     /// Reads virtual memory (page-crossing allowed).
@@ -1036,9 +1174,29 @@ impl Kernel {
         Ok(())
     }
 
-    /// Flushes the entire TLB (what an attacker does between hammer reads).
+    /// Flushes the entire TLB *and* the paging-structure caches — CR3
+    /// reload semantics, and what an attacker does between hammer reads:
+    /// after this every translation re-walks live DRAM from the root.
     pub fn flush_tlb(&mut self) {
         self.tlb.flush_all();
+        self.psc.flush_all();
+    }
+
+    /// `invlpg` for one page: drops `va`'s TLB entry and every
+    /// paging-structure-cache entry covering it, so the next translation of
+    /// any address under those prefixes re-reads the (possibly corrupted)
+    /// tables from DRAM.
+    pub fn flush_page(&mut self, pid: Pid, va: VirtAddr) {
+        self.invalidate_translation(pid, va);
+    }
+
+    /// Every PTE store through the kernel's page-table write path lands
+    /// here: the x86 rule is that changing a paging-structure entry
+    /// requires invalidating both the TLB entry and the paging-structure
+    /// caches for the affected range.
+    fn invalidate_translation(&mut self, pid: Pid, va: VirtAddr) {
+        self.tlb.flush_page(pid, va);
+        self.psc.invalidate_page(pid, va);
     }
 
     /// The DRAM row backing `va` for `pid` — what repeated, cache-defeating
@@ -1499,5 +1657,179 @@ mod tests {
         assert!(failed, "ZONE_PTP must eventually exhaust without fallback");
         // Ordinary memory is still available.
         assert!(k.allocator().free_page_count() > 0);
+    }
+
+    #[test]
+    fn psc_resumes_walks_at_the_deepest_cached_level() {
+        let mut k = kernel();
+        let pid = k.create_process(false).unwrap();
+        let va = VirtAddr(0x10_0000);
+        k.mmap_anonymous(pid, va, 4 * PAGE_SIZE, true).unwrap();
+        // First translation walks all 4 levels and fills the PDE cache.
+        k.translate(pid, va, Access::user_read()).unwrap();
+        assert_eq!(k.psc_stats().misses, 1);
+        // A sibling page in the same 2 MiB region misses the TLB but hits
+        // the PDE cache: the walk reads only its leaf PTE.
+        let reads0 = k.dram().stats().reads;
+        k.translate(pid, va.offset(PAGE_SIZE), Access::user_read()).unwrap();
+        assert_eq!(k.dram().stats().reads - reads0, 1, "PSC resume reads only the leaf");
+        assert_eq!(k.psc_stats().hits, 1);
+        // flush_tlb is a CR3 reload: the PSC empties too.
+        k.flush_tlb();
+        let reads1 = k.dram().stats().reads;
+        k.translate(pid, va, Access::user_read()).unwrap();
+        assert_eq!(k.dram().stats().reads - reads1, 4, "cold walk reads all 4 levels");
+    }
+
+    #[test]
+    fn psc_disabled_kernel_walks_from_root_on_every_miss() {
+        let mut config = KernelConfig::small_test();
+        config.psc_entries = 0;
+        let mut k = Kernel::new(config).unwrap();
+        let pid = k.create_process(false).unwrap();
+        let va = VirtAddr(0x10_0000);
+        k.mmap_anonymous(pid, va, 2 * PAGE_SIZE, true).unwrap();
+        k.translate(pid, va, Access::user_read()).unwrap();
+        let reads0 = k.dram().stats().reads;
+        k.translate(pid, va.offset(PAGE_SIZE), Access::user_read()).unwrap();
+        assert_eq!(k.dram().stats().reads - reads0, 4, "no PSC: full walk");
+        assert_eq!(k.psc_stats(), crate::psc::PscStats::default());
+    }
+
+    #[test]
+    fn flushed_caches_never_serve_a_corrupted_pde() {
+        // The satellite coherence scenario: corrupt a PDE in DRAM while
+        // both the TLB and the PDE cache hold entries derived from it. The
+        // warm TLB keeps serving the old frame (hardware-faithful
+        // staleness); after `flush_page` the translation follows the
+        // corrupted pointer, and the stale-but-flushed caches never hand
+        // the old frame back.
+        let mut k = kernel();
+        let pid = k.create_process(false).unwrap();
+        let va_a = VirtAddr(0x4000_0000); // PD index 0
+        let va_b = VirtAddr(0x4020_0000); // PD index 1, same PD table
+        k.mmap_anonymous(pid, va_a, PAGE_SIZE, true).unwrap();
+        k.mmap_anonymous(pid, va_b, PAGE_SIZE, true).unwrap();
+        let phys_a = k.translate(pid, va_a, Access::user_read()).unwrap();
+        let phys_b = k.translate(pid, va_b, Access::user_read()).unwrap();
+        assert_ne!(phys_a, phys_b);
+        let records = k.iter_pt_entries(pid).unwrap();
+        let pde_of = |va: VirtAddr| {
+            records
+                .iter()
+                .find(|r| {
+                    r.level == PtLevel::Pd
+                        && (r.entry_addr - r.table.addr().0) / 8 == va.index(PtLevel::Pd)
+                })
+                .copied()
+                .expect("PDE present")
+        };
+        let pde_a = pde_of(va_a);
+        let pt_b = pde_of(va_b).pte.pfn();
+        // Re-warm A's TLB entry and PDE-cache entry, then flip A's PDE to
+        // point at B's page table.
+        k.translate(pid, va_a, Access::user_read()).unwrap();
+        k.dram_mut().write_u64(pde_a.entry_addr, pde_a.pte.with_pfn(pt_b).0).unwrap();
+        assert_eq!(
+            k.translate(pid, va_a, Access::user_read()).unwrap(),
+            phys_a,
+            "warm TLB still serves the pre-corruption frame"
+        );
+        k.flush_page(pid, va_a);
+        assert_eq!(
+            k.translate(pid, va_a, Access::user_read()).unwrap(),
+            phys_b,
+            "after invlpg the walk follows the corrupted PDE into B's table"
+        );
+        for _ in 0..4 {
+            assert_eq!(
+                k.translate(pid, va_a, Access::user_read()).unwrap(),
+                phys_b,
+                "the old frame is never served again"
+            );
+        }
+    }
+
+    #[test]
+    fn munmap_huge_flushes_interior_tlb_entries() {
+        // Regression test: the unmap used to flush only the chunk-base vpn,
+        // leaving the other 511 pages of the 2 MiB chunk stale in the TLB.
+        let mut k = kernel();
+        let pid = k.create_process(false).unwrap();
+        let va = VirtAddr(0x4000_0000);
+        k.mmap_huge(pid, va, HUGE_PAGE_SIZE, true).unwrap();
+        let interior = va.offset(5 * PAGE_SIZE);
+        k.translate(pid, interior, Access::user_read()).unwrap();
+        k.munmap_huge(pid, va, HUGE_PAGE_SIZE).unwrap();
+        assert!(
+            matches!(k.translate(pid, interior, Access::user_read()), Err(VmError::Translate(_))),
+            "interior vpn must not survive the huge unmap"
+        );
+    }
+
+    #[test]
+    fn translate_batch_matches_per_call_translate_bit_for_bit() {
+        let mut serial = kernel();
+        let mut batched = kernel();
+        let vas: Vec<VirtAddr> = (0..24)
+            .map(|i| VirtAddr(0x10_0000 + (i % 6) * PAGE_SIZE))
+            .chain((0..8).map(|i| VirtAddr(0x4000_0000 + i * PAGE_SIZE)))
+            .collect();
+        let mut phys_serial = Vec::new();
+        let pid_s = serial.create_process(false).unwrap();
+        serial.mmap_anonymous(pid_s, VirtAddr(0x10_0000), 6 * PAGE_SIZE, true).unwrap();
+        serial.mmap_anonymous(pid_s, VirtAddr(0x4000_0000), 8 * PAGE_SIZE, true).unwrap();
+        for &va in &vas {
+            phys_serial.push(serial.translate(pid_s, va, Access::user_read()).unwrap());
+        }
+        let pid_b = batched.create_process(false).unwrap();
+        batched.mmap_anonymous(pid_b, VirtAddr(0x10_0000), 6 * PAGE_SIZE, true).unwrap();
+        batched.mmap_anonymous(pid_b, VirtAddr(0x4000_0000), 8 * PAGE_SIZE, true).unwrap();
+        let mut phys_batched = Vec::new();
+        batched.translate_batch(pid_b, &vas, Access::user_read(), &mut phys_batched).unwrap();
+        assert_eq!(phys_batched, phys_serial);
+        assert_eq!(batched.now_ns(), serial.now_ns(), "identical simulated time");
+        assert_eq!(batched.stats(), serial.stats());
+        assert_eq!(batched.tlb_stats(), serial.tlb_stats());
+        assert_eq!(batched.psc_stats(), serial.psc_stats());
+    }
+
+    #[test]
+    fn access_batch_matches_individual_accesses() {
+        let mut serial = kernel();
+        let mut batched = kernel();
+        // Mixed reads and writes, including page-crossing ones (offset near
+        // a page end with a 64-byte buffer), sharing one buffer so reads
+        // feed later writes.
+        let ops: Vec<(VirtAddr, bool)> = vec![
+            (VirtAddr(0x10_0000), true),
+            (VirtAddr(0x10_0FC0), false),
+            (VirtAddr(0x10_0FE0), true), // crosses into the next page
+            (VirtAddr(0x10_2000), false),
+            (VirtAddr(0x10_1000), true),
+            (VirtAddr(0x10_0000), false),
+        ];
+        let run_serial = |k: &mut Kernel| {
+            let pid = k.create_process(false).unwrap();
+            k.mmap_anonymous(pid, VirtAddr(0x10_0000), 4 * PAGE_SIZE, true).unwrap();
+            let mut buf = [0x2Au8; 64];
+            for &(va, write) in &ops {
+                if write {
+                    k.write_virt(pid, va, &buf, Access::user_write()).unwrap();
+                } else {
+                    k.read_virt(pid, va, &mut buf, Access::user_read()).unwrap();
+                }
+            }
+            buf
+        };
+        let buf_serial = run_serial(&mut serial);
+        let pid = batched.create_process(false).unwrap();
+        batched.mmap_anonymous(pid, VirtAddr(0x10_0000), 4 * PAGE_SIZE, true).unwrap();
+        let mut buf_batched = [0x2Au8; 64];
+        batched.access_batch(pid, &ops, &mut buf_batched).unwrap();
+        assert_eq!(buf_batched, buf_serial);
+        assert_eq!(batched.now_ns(), serial.now_ns());
+        assert_eq!(batched.tlb_stats(), serial.tlb_stats());
+        assert_eq!(batched.stats(), serial.stats());
     }
 }

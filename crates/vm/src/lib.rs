@@ -14,8 +14,11 @@
 //!   user, page-size bit 7, NX, 40-bit frame field);
 //! - [`VirtAddr`] and per-level index extraction for the 4-level hierarchy;
 //! - [`Walker`]: a software page-table walk with permission checks;
-//! - [`Tlb`]: a small TLB with explicit flushes (RowHammer attacks flush it
-//!   to force walks);
+//! - [`Tlb`]: a fixed-size set-associative TLB with explicit flushes
+//!   (RowHammer attacks flush it to force walks);
+//! - [`Psc`]: the per-level paging-structure caches (PML4E/PDPTE/PDE) that
+//!   let a TLB miss resume its walk below CR3, with x86-faithful
+//!   invalidation so corruption experiments always re-walk live DRAM;
 //! - [`Kernel`]: a miniature OS — processes, `mmap` of shared file objects
 //!   (the page-table *spray* primitive of Figure 3), demand allocation,
 //!   and `pte_alloc`, the function the paper's 18-line patch redirects to
@@ -46,7 +49,9 @@ mod addr;
 mod error;
 mod file;
 mod kernel;
+mod psc;
 mod pte;
+mod setassoc;
 mod tlb;
 mod walker;
 
@@ -56,6 +61,7 @@ pub use file::{FileId, FileObject};
 pub use kernel::{
     FrameOwner, Kernel, KernelConfig, KernelStats, Pid, Process, PteRecord, HUGE_PAGE_SIZE,
 };
+pub use psc::{Psc, PscEntry, PscStats};
 pub use pte::{Pte, PteFlags, PTE_ADDR_MASK};
 pub use tlb::{Tlb, TlbStats};
-pub use walker::{Access, WalkResult, Walker};
+pub use walker::{Access, PhysWalk, WalkResult, WalkStart, Walker};

@@ -1,10 +1,10 @@
-use std::collections::{HashMap, VecDeque};
 use std::fmt;
 
 use cta_telemetry::{Group, StatSource};
 
 use crate::addr::VirtAddr;
 use crate::kernel::Pid;
+use crate::setassoc::SetAssoc;
 
 /// A cached translation: physical page base plus the permission summary the
 /// walk established.
@@ -71,39 +71,36 @@ impl StatSource for TlbStats {
     }
 }
 
-/// A small FIFO-evicting TLB keyed by `(pid, virtual page number)`.
+/// A fixed-size set-associative TLB keyed by `(pid, virtual page number)`,
+/// vpn-indexed with tree pseudo-LRU replacement within each set.
+///
+/// Every operation is O(ways): `flush_page` in particular probes exactly one
+/// set, so the paper's Algorithm 1 loop (one `invlpg` per probe read) never
+/// pays an O(cache size) scan the way the earlier FIFO `HashMap` did.
 ///
 /// RowHammer attacks must flush the TLB between hammer reads so every access
 /// re-walks the (possibly corrupted) page tables — exactly the `va`-access +
 /// TLB-flush loop of the paper's Algorithm 1 step (2).
 #[derive(Debug, Clone)]
 pub struct Tlb {
-    capacity: usize,
-    entries: HashMap<(Pid, u64), TlbEntry>,
-    order: VecDeque<(Pid, u64)>,
+    cache: SetAssoc<TlbEntry>,
     stats: TlbStats,
 }
 
 impl Tlb {
-    /// Creates a TLB with `capacity` entries.
+    /// Creates a TLB with at least `capacity` entries (rounded up to a
+    /// power-of-two `sets × ways` geometry, at most 4 ways per set).
     ///
     /// # Panics
     ///
     /// Panics if `capacity` is zero.
     pub fn new(capacity: usize) -> Self {
-        assert!(capacity > 0, "TLB capacity must be nonzero");
-        Tlb {
-            capacity,
-            entries: HashMap::new(),
-            order: VecDeque::new(),
-            stats: TlbStats::default(),
-        }
+        Tlb { cache: SetAssoc::new(capacity), stats: TlbStats::default() }
     }
 
     /// Looks up the translation of `va` for `pid`.
     pub fn lookup(&mut self, pid: Pid, va: VirtAddr) -> Option<TlbEntry> {
-        let hit = self.entries.get(&(pid, va.vpn())).copied();
-        match hit {
+        match self.cache.lookup(pid, va.vpn()) {
             Some(e) => {
                 self.stats.hits += 1;
                 Some(e)
@@ -115,23 +112,15 @@ impl Tlb {
         }
     }
 
-    /// Inserts a translation, evicting the oldest entry when full.
+    /// Inserts a translation, evicting the set's pseudo-LRU entry when the
+    /// set is full.
     pub fn insert(&mut self, pid: Pid, va: VirtAddr, entry: TlbEntry) {
-        let key = (pid, va.vpn());
-        if self.entries.len() >= self.capacity && !self.entries.contains_key(&key) {
-            if let Some(old) = self.order.pop_front() {
-                self.entries.remove(&old);
-            }
-        }
-        if self.entries.insert(key, entry).is_none() {
-            self.order.push_back(key);
-        }
+        self.cache.insert(pid, va.vpn(), entry);
     }
 
     /// Drops every cached translation (`invlpg`-everything / CR3 reload).
     pub fn flush_all(&mut self) {
-        self.entries.clear();
-        self.order.clear();
+        self.cache.clear();
         self.stats.flushes += 1;
     }
 
@@ -139,17 +128,13 @@ impl Tlb {
     /// `invlpg` instruction), whether or not the page was cached.
     pub fn flush_page(&mut self, pid: Pid, va: VirtAddr) {
         self.stats.page_flushes += 1;
-        let key = (pid, va.vpn());
-        if self.entries.remove(&key).is_some() {
-            self.order.retain(|k| *k != key);
-        }
+        self.cache.remove(pid, va.vpn());
     }
 
     /// Drops all translations of one process (context teardown).
     pub fn flush_pid(&mut self, pid: Pid) {
         self.stats.pid_flushes += 1;
-        self.entries.retain(|(p, _), _| *p != pid);
-        self.order.retain(|(p, _)| *p != pid);
+        self.cache.remove_pid(pid);
     }
 
     /// Counter snapshot.
@@ -159,12 +144,12 @@ impl Tlb {
 
     /// Number of live entries.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.cache.len()
     }
 
     /// Whether the TLB is empty.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.cache.len() == 0
     }
 }
 
@@ -211,6 +196,30 @@ mod tests {
     }
 
     #[test]
+    fn lookup_refreshes_recency() {
+        let mut t = Tlb::new(2); // one 2-way set
+        t.insert(Pid(1), VirtAddr(0x1000), e(1));
+        t.insert(Pid(1), VirtAddr(0x2000), e(2));
+        t.lookup(Pid(1), VirtAddr(0x1000)); // 0x1000 becomes MRU
+        t.insert(Pid(1), VirtAddr(0x3000), e(3)); // evicts 0x2000, not 0x1000
+        assert!(t.lookup(Pid(1), VirtAddr(0x1000)).is_some());
+        assert!(t.lookup(Pid(1), VirtAddr(0x2000)).is_none());
+    }
+
+    #[test]
+    fn eviction_is_per_set_not_global() {
+        let mut t = Tlb::new(64); // 16 sets × 4 ways
+                                  // Five pages that all land in set 0 (vpn ≡ 0 mod 16) fight over
+                                  // that set's 4 ways; a page in set 1 is untouched.
+        t.insert(Pid(1), VirtAddr(0x1000), e(99));
+        for i in 0..5u64 {
+            t.insert(Pid(1), VirtAddr(i * 16 * 0x1000), e(i));
+        }
+        assert_eq!(t.len(), 5, "4 survivors in set 0 plus the set-1 entry");
+        assert!(t.lookup(Pid(1), VirtAddr(0x1000)).is_some());
+    }
+
+    #[test]
     fn flushes() {
         let mut t = Tlb::new(8);
         t.insert(Pid(1), VirtAddr(0x1000), e(1));
@@ -235,6 +244,27 @@ mod tests {
         t.flush_page(Pid(1), VirtAddr(0x1000));
         assert_eq!(t.stats().page_flushes, 2);
         assert_eq!(t.stats().flushes, 0, "full-flush counter untouched");
+    }
+
+    #[test]
+    fn flush_page_leaves_no_stale_entries() {
+        // Regression test for the O(n) `order.retain` era: per-page flushes
+        // must actually drop the entry (no stale survivors), at O(ways) cost.
+        let mut t = Tlb::new(64);
+        let vas: Vec<VirtAddr> = (0..256).map(|i| VirtAddr(i * 0x1000)).collect();
+        for va in &vas {
+            t.insert(Pid(1), *va, e(va.0));
+        }
+        for va in &vas {
+            t.flush_page(Pid(1), *va);
+        }
+        assert_eq!(t.len(), 0, "no stale entries survive per-page flushes");
+        assert!(t.is_empty());
+        let misses_before = t.stats().misses;
+        for va in &vas {
+            assert!(t.lookup(Pid(1), *va).is_none());
+        }
+        assert_eq!(t.stats().misses, misses_before + 256);
     }
 
     #[test]

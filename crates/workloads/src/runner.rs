@@ -2,7 +2,7 @@ use std::fmt;
 use std::time::Instant;
 
 use cta_mem::PAGE_SIZE;
-use cta_vm::{Access, Kernel, VirtAddr, VmError};
+use cta_vm::{Kernel, VirtAddr, VmError};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 
@@ -10,6 +10,7 @@ use crate::specs::WorkloadSpec;
 
 const VA_BASE: u64 = 0x1_0000_0000;
 const REGION_STRIDE: u64 = 4 << 20; // 4 MiB keeps regions in distinct PTs
+const ACCESS_BATCH: usize = 64; // accesses per [`Kernel::access_batch`] issue
 
 /// Measurements from one workload execution.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -206,11 +207,19 @@ impl Runner {
             regions.push(va);
         }
 
-        // Access phase with interleaved churn.
+        // Access phase with interleaved churn. Accesses are issued through
+        // [`Kernel::access_batch`] in batches of up to `ACCESS_BATCH` so
+        // region sweeps amortize per-access dispatch (process lookup, CR3
+        // fetch) over many operations. Batches share one rolling 64-byte
+        // buffer — reads fill it, writes store its current contents — and
+        // break at churn boundaries, so both the rng draw order and the
+        // DRAM operation order are identical to a per-access loop and the
+        // simulated-time fields stay bit-for-bit reproducible.
         let churn_every =
             spec.access_ops.checked_div(spec.churn_cycles).map_or(u64::MAX, |per| per.max(1));
         let mut hot_page = 0u64;
         let mut buf = [0u8; 64];
+        let mut batch: Vec<(VirtAddr, bool)> = Vec::with_capacity(ACCESS_BATCH);
         for op in 0..spec.access_ops {
             // Pick a page: stay hot with probability `locality`.
             let page = if rng.gen::<f64>() < spec.locality {
@@ -223,13 +232,16 @@ impl Runner {
             let (region_idx, page_off) = layout.locate(page);
             let region = &regions[region_idx as usize];
             let va = region.offset(page_off * PAGE_SIZE + (page % 63) * 64);
-            if rng.gen::<f64>() < spec.write_fraction {
-                kernel.write_virt(pid, va, &buf, Access::user_write())?;
-            } else {
-                kernel.read_virt(pid, va, &mut buf, Access::user_read())?;
+            batch.push((va, rng.gen::<f64>() < spec.write_fraction));
+            let churn_now = op % churn_every == churn_every - 1;
+            if batch.len() == ACCESS_BATCH || churn_now || op + 1 == spec.access_ops {
+                kernel.access_batch(pid, &batch, &mut buf)?;
+                batch.clear();
             }
-            // Churn: unmap and remap one region (fresh frames + PTEs).
-            if op % churn_every == churn_every - 1 {
+            // Churn: unmap and remap one region (fresh frames + PTEs). The
+            // batch is always drained first, so churn never reorders DRAM
+            // traffic relative to the accesses that precede it.
+            if churn_now {
                 let idx = rng.gen_range(0..regions.len());
                 let bytes = layout.pages_in_region(idx as u64) * PAGE_SIZE;
                 kernel.munmap(pid, regions[idx], bytes)?;

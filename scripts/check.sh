@@ -42,7 +42,42 @@ for pkg in $FIRST_PARTY; do
 done
 
 echo "==> bench-baseline --quick smoke"
+# Snapshot the previous quick-smoke section (if any) before the fresh run
+# overwrites it, so the new numbers can be diffed against it below.
+PREV_CHECK=""
+if [ -f BENCH_baseline.json ]; then
+    PREV_CHECK=$(grep '"check"' BENCH_baseline.json || true)
+fi
 cargo run --release -q -p cta-bench --bin bench-baseline -- --label check --quick
+
+echo "==> bench regression watch (quick smoke vs previous check label)"
+# Warns loudly — never fails — when a translation-latency metric regressed
+# by more than 30% relative to the previous run of this script. Quick-mode
+# numbers are noisy: treat a warning as a prompt to re-run the full
+# (non-quick) bench-baseline before trusting the change.
+NEW_CHECK=$(grep '"check"' BENCH_baseline.json || true)
+if [ -n "$PREV_CHECK" ] && [ -n "$NEW_CHECK" ]; then
+    for metric in pte_walk_cold_stock_ns pte_walk_cold_cta_ns \
+        translate_tlb_hit_stock_ns translate_tlb_hit_cta_ns; do
+        old=$(printf '%s\n' "$PREV_CHECK" \
+            | sed -n "s/.*\"$metric\": \([0-9.]*\).*/\1/p")
+        new=$(printf '%s\n' "$NEW_CHECK" \
+            | sed -n "s/.*\"$metric\": \([0-9.]*\).*/\1/p")
+        if [ -n "$old" ] && [ -n "$new" ]; then
+            awk -v m="$metric" -v o="$old" -v n="$new" 'BEGIN {
+                if (o > 0 && n > o * 1.3) {
+                    printf "##########################################\n"
+                    printf "WARNING: %s regressed by >30%%\n", m
+                    printf "WARNING:   previous %.3f ns -> now %.3f ns\n", o, n
+                    printf "WARNING: re-run the full bench-baseline\n"
+                    printf "##########################################\n"
+                }
+            }'
+        fi
+    done
+else
+    echo "(no previous check label to diff against)"
+fi
 
 echo "==> examples smoke (release)"
 for ex in quickstart cell_profiling coldboot_and_popcount defended_system \
