@@ -1,0 +1,164 @@
+//! Rendering and merging of `BENCH_baseline.json` sections.
+//!
+//! `bench-baseline` appends one single-line section per `--label` into a
+//! JSON object at the repo root. The merge used to be line-based — any line
+//! starting with `"` was taken for a label — so a pretty-printed section
+//! (or any hand edit) corrupted the file with `{,` artifacts and dropped
+//! closing braces. The merge now parses the existing file with the strict
+//! parser from [`cta_telemetry::json`] and re-renders every preserved
+//! section, so the output is valid if and only if the whole file is.
+//!
+//! The one-line-per-label shape is load-bearing: `scripts/check.sh` diffs
+//! the previous `"check"` section against the fresh one with `grep`, so
+//! each label must stay on a single line.
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+use cta_telemetry::json::{self, JsonError};
+
+/// Serializes one label's section body (everything after `"label": `).
+#[must_use]
+pub fn render_section(quick: bool, metrics: &[(String, f64)]) -> String {
+    let mut body = format!("{{\"quick\": {quick}, \"metrics\": {{");
+    for (i, (key, value)) in metrics.iter().enumerate() {
+        if i > 0 {
+            body.push_str(", ");
+        }
+        let _ = write!(body, "\"{key}\": {value:.3}");
+    }
+    body.push_str("}}");
+    body
+}
+
+/// Merges `section` (a rendered section body) under `label` into the
+/// baseline document `existing`, preserving every other label's section in
+/// order. Re-running a label replaces its section in place; a new label
+/// appends at the end.
+///
+/// # Errors
+///
+/// [`JsonError`] if `existing` is not a strict-JSON object, or if the
+/// merged result fails to re-parse (e.g. a label or metric name that
+/// breaks the JSON string syntax) — the file on disk is never half-valid.
+pub fn merge(existing: Option<&str>, label: &str, section: &str) -> Result<String, JsonError> {
+    let mut lines: Vec<(String, String)> = Vec::new();
+    let mut replaced = false;
+    if let Some(text) = existing.filter(|t| !t.trim().is_empty()) {
+        let doc = json::parse(text)?;
+        let members = doc.as_object().ok_or(JsonError {
+            line: 1,
+            column: 1,
+            message: "baseline document must be a JSON object".into(),
+        })?;
+        for (key, value) in members {
+            if key == label {
+                lines.push((key.clone(), section.to_string()));
+                replaced = true;
+            } else {
+                lines.push((key.clone(), value.to_compact_string()));
+            }
+        }
+    }
+    if !replaced {
+        lines.push((label.to_string(), section.to_string()));
+    }
+
+    let mut out = String::from("{\n");
+    for (i, (key, body)) in lines.iter().enumerate() {
+        let _ = write!(out, "  \"{key}\": {body}");
+        if i + 1 < lines.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("}\n");
+
+    // The file must never be written half-valid: prove the merged result
+    // parses before handing it back.
+    json::parse(&out)?;
+    Ok(out)
+}
+
+/// Merges `section` under `label` into the baseline file at `path`.
+///
+/// # Panics
+///
+/// Panics (with the parse position) if the existing file is corrupt —
+/// silently discarding recorded history would be worse — or on I/O errors.
+pub fn merge_into_file(path: &Path, label: &str, section: &str) {
+    let existing = std::fs::read_to_string(path).ok();
+    let merged = merge(existing.as_deref(), label, section).unwrap_or_else(|e| {
+        panic!("{} is not strict JSON ({e}); fix or remove it before re-running", path.display())
+    });
+    std::fs::write(path, merged).expect("write baseline file");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cta_telemetry::json::JsonValue;
+
+    fn metrics() -> Vec<(String, f64)> {
+        vec![
+            ("pte_walk_cold_stock_ns".into(), 141.9174),
+            ("dram_read_u64_ops_per_sec".into(), 18_374_516.413),
+            ("mc_serial_hits".into(), 936.0),
+            ("table4_smoke_mean_sim_delta_pct".into(), 0.0),
+        ]
+    }
+
+    #[test]
+    fn emitter_output_round_trips_through_the_strict_parser() {
+        let section = render_section(true, &metrics());
+        let doc = merge(None, "check", &section).unwrap();
+        let parsed = json::parse(&doc).expect("emitted baseline must be strict JSON");
+        let check = parsed.get("check").unwrap();
+        assert_eq!(check.get("quick"), Some(&JsonValue::Bool(true)));
+        let m = check.get("metrics").unwrap();
+        assert_eq!(m.get("pte_walk_cold_stock_ns").unwrap().as_f64(), Some(141.917));
+        assert_eq!(m.get("mc_serial_hits").unwrap().as_f64(), Some(936.0));
+        assert_eq!(m.as_object().unwrap().len(), 4);
+    }
+
+    #[test]
+    fn merge_preserves_other_labels_and_replaces_in_place() {
+        let a = merge(None, "before", &render_section(false, &metrics())).unwrap();
+        let b = merge(Some(&a), "after", &render_section(false, &metrics())).unwrap();
+        let c = merge(Some(&b), "check", &render_section(true, &metrics())).unwrap();
+        // Re-running a label must replace its section, not duplicate it.
+        let d = merge(Some(&c), "after", &render_section(true, &metrics())).unwrap();
+        let parsed = json::parse(&d).unwrap();
+        let keys: Vec<&str> = parsed.as_object().unwrap().iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(keys, ["before", "after", "check"], "order preserved, no duplicates");
+        assert_eq!(parsed.get("after").unwrap().get("quick"), Some(&JsonValue::Bool(true)));
+    }
+
+    #[test]
+    fn each_label_stays_on_one_line() {
+        // scripts/check.sh extracts the `"check"` section with grep; the
+        // format contract is one line per label.
+        let a = merge(None, "before", &render_section(false, &metrics())).unwrap();
+        let b = merge(Some(&a), "check", &render_section(true, &metrics())).unwrap();
+        let check_lines: Vec<&str> =
+            b.lines().filter(|l| l.trim_start().starts_with("\"check\"")).collect();
+        assert_eq!(check_lines.len(), 1);
+        assert!(check_lines[0].contains("\"pte_walk_cold_stock_ns\": 141.917"));
+    }
+
+    #[test]
+    fn corrupt_existing_file_is_rejected_not_discarded() {
+        // The exact corruption the line-based merge used to produce.
+        let corrupt = "{\n  \"before\": {,\n    \"quick\": false,\n}\n";
+        let err = merge(Some(corrupt), "check", &render_section(true, &metrics()));
+        assert!(err.is_err(), "corrupt history must fail loudly, not vanish");
+    }
+
+    #[test]
+    fn empty_or_missing_file_starts_fresh() {
+        for existing in [None, Some(""), Some("  \n")] {
+            let doc = merge(existing, "run", &render_section(false, &metrics())).unwrap();
+            assert!(json::parse(&doc).is_ok());
+        }
+    }
+}

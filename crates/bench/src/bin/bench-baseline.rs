@@ -18,7 +18,6 @@
 //! `--quick` shrinks every workload so the whole run finishes well under
 //! 60 s — the smoke-test mode wired into `scripts/check.sh`.
 
-use std::fmt::Write as _;
 use std::time::Instant;
 
 use cta_analysis::{
@@ -302,6 +301,94 @@ fn bench_backends(quick: bool, metrics: &mut Vec<(String, f64)>) {
     }
 }
 
+/// The disturbance/decay inner loops, wordwise engine vs the scalar
+/// reference, on a dense vulnerability map (`pf = 0.4`, ~13k vulnerable
+/// bits per 4 KiB row — the shape where the per-bit scalar scan dominates
+/// a hammering campaign). Three throughputs per engine:
+///
+/// * `disturb_ops_per_sec` — steady-state disturbs of saturated rows (the
+///   spray-campaign hot loop: almost no bit fires, but the scalar engine
+///   still visits every vulnerable bit while the wordwise engine visits
+///   only the compiled mask words);
+/// * `hammer_flips_per_sec` — flips delivered when victims are recharged
+///   before every burst (the templating hot loop);
+/// * `decay_sweep_mb_per_sec` — full-window retention decay across every
+///   materialized row after a refresh outage.
+///
+/// The `_scalar` twins and `flip_engine_*_speedup` ratios make the
+/// engine's advantage a recorded, regeneratable number. Both engines are
+/// driven through identical deterministic workloads, so the flip counts
+/// they produce are equal (the differential suites prove bit-identity);
+/// only the wall clock differs.
+fn bench_flip_engine(quick: bool, metrics: &mut Vec<(String, f64)>) {
+    use cta_dram::{AddressMapping, CellLayout, CellType, DramGeometry, FlipEngine, RowId};
+    let rows: u64 = 256;
+    let config = |engine: FlipEngine| {
+        DramConfig {
+            geometry: DramGeometry::new(4096, rows, 1, AddressMapping::RowLinear),
+            layout: CellLayout::Alternating { period_rows: 8, first: CellType::True },
+            disturbance: DisturbanceParams { pf: 0.4, ..DisturbanceParams::default() },
+            ..DramConfig::small_test()
+        }
+        .with_flip_engine(engine)
+    };
+    let disturb_iters = if quick { 1_500 } else { 15_000 };
+    let decay_sweeps = if quick { 3 } else { 10 };
+    let mut rates: Vec<(f64, f64, f64)> = Vec::new();
+
+    for (suffix, engine) in [("", FlipEngine::Wordwise), ("_scalar", FlipEngine::Scalar)] {
+        let mut m = DramModule::new(config(engine));
+        let capacity = m.capacity_bytes();
+        m.fill(0, capacity as usize, 0x5A).unwrap();
+        let victim = |i: u64| RowId(1 + i % (rows - 2));
+
+        // Warm-up pass saturates every row and compiles every bit map (and,
+        // for the wordwise engine, every plane) before the clock starts.
+        for i in 0..rows {
+            m.hammer_to_threshold(victim(i)).unwrap();
+        }
+
+        let before = m.stats().disturbances;
+        let start = Instant::now();
+        for i in 0..disturb_iters {
+            m.hammer_to_threshold(victim(i)).unwrap();
+        }
+        let disturb_rate = (m.stats().disturbances - before) as f64 / start.elapsed().as_secs_f64();
+        metrics.push((format!("disturb_ops_per_sec{suffix}"), disturb_rate));
+
+        // Recharge the victim band before each burst so flips keep firing.
+        let row_bytes = m.geometry().row_bytes();
+        let flips_before = m.stats().total_flips();
+        let start = Instant::now();
+        for i in 0..disturb_iters / 8 {
+            let v = victim(i * 3);
+            m.fill((v.0 - 1) * row_bytes, 3 * row_bytes as usize, 0x5A).unwrap();
+            m.hammer_to_threshold(v).unwrap();
+        }
+        let flips_rate =
+            (m.stats().total_flips() - flips_before) as f64 / start.elapsed().as_secs_f64();
+        metrics.push((format!("hammer_flips_per_sec{suffix}"), flips_rate));
+
+        // Full-window outages: every materialized row decays end to end.
+        let outage = m.config().retention.max_ns + 1;
+        let start = Instant::now();
+        for _ in 0..decay_sweeps {
+            m.disable_refresh();
+            m.advance(outage);
+            m.enable_refresh();
+        }
+        let decay_rate =
+            decay_sweeps as f64 * capacity as f64 / start.elapsed().as_secs_f64() / 1e6;
+        metrics.push((format!("decay_sweep_mb_per_sec{suffix}"), decay_rate));
+        rates.push((disturb_rate, flips_rate, decay_rate));
+    }
+
+    let (wordwise, scalar) = (rates[0], rates[1]);
+    metrics.push(("flip_engine_disturb_speedup".into(), wordwise.0 / scalar.0));
+    metrics.push(("flip_engine_hammer_speedup".into(), wordwise.1 / scalar.1));
+    metrics.push(("flip_engine_decay_speedup".into(), wordwise.2 / scalar.2));
+}
+
 /// Warm-walk and batched-translation hot paths for the paging-structure
 /// caches. A 128-page sweep inside one 2 MiB region overflows the 64-entry
 /// TLB — every set cycles through 8 tags, so every translate misses — while
@@ -363,54 +450,6 @@ fn bench_psc(quick: bool, metrics: &mut Vec<(String, f64)>, tel: &mut Counters) 
     metrics.push(("translate_batch_speedup".into(), per_loop / per_batch));
 }
 
-/// Serializes one label's section as a single JSON line (self-merging
-/// format: the file is parsed back line-by-line, no JSON library needed).
-fn render_section(label: &str, quick: bool, metrics: &[(String, f64)]) -> String {
-    let mut line = format!("  \"{label}\": {{\"quick\": {quick}, \"metrics\": {{");
-    for (i, (key, value)) in metrics.iter().enumerate() {
-        if i > 0 {
-            line.push_str(", ");
-        }
-        let _ = write!(line, "\"{key}\": {value:.3}");
-    }
-    line.push_str("}}");
-    line
-}
-
-/// Merges this run's section into the JSON file, preserving every other
-/// label's single-line section.
-fn merge_into_file(path: &std::path::Path, label: &str, section: String) {
-    let mut sections: Vec<(String, String)> = Vec::new();
-    if let Ok(existing) = std::fs::read_to_string(path) {
-        for line in existing.lines() {
-            let trimmed = line.trim_start();
-            if let Some(rest) = trimmed.strip_prefix('"') {
-                if let Some(end) = rest.find('"') {
-                    let existing_label = &rest[..end];
-                    if existing_label != label {
-                        sections.push((
-                            existing_label.to_string(),
-                            line.trim_end().trim_end_matches(',').to_string(),
-                        ));
-                    }
-                }
-            }
-        }
-    }
-    sections.push((label.to_string(), section));
-
-    let mut out = String::from("{\n");
-    for (i, (_, line)) in sections.iter().enumerate() {
-        out.push_str(line);
-        if i + 1 < sections.len() {
-            out.push(',');
-        }
-        out.push('\n');
-    }
-    out.push_str("}\n");
-    std::fs::write(path, out).expect("write BENCH_baseline.json");
-}
-
 fn main() {
     let opts = parse_args();
     header(&format!(
@@ -431,6 +470,7 @@ fn main() {
     bench_table4_smoke(opts.quick, &mut metrics, &mut tel);
     bench_backends(opts.quick, &mut metrics);
     bench_psc(opts.quick, &mut metrics, &mut tel);
+    bench_flip_engine(opts.quick, &mut metrics);
 
     metrics.push(("total_wall_s".into(), overall.elapsed().as_secs_f64()));
     for (key, value) in &metrics {
@@ -438,8 +478,8 @@ fn main() {
         kv(key, format!("{value:.3}"));
     }
 
-    let section = render_section(&opts.label, opts.quick, &metrics);
-    merge_into_file(&opts.out, &opts.label, section);
+    let section = cta_bench::baseline::render_section(opts.quick, &metrics);
+    cta_bench::baseline::merge_into_file(&opts.out, &opts.label, &section);
     kv("written", opts.out.display());
     emit_telemetry(&tel);
 }

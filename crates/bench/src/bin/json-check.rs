@@ -1,0 +1,73 @@
+//! `json-check` — strict-JSON gate over the workspace's emitted artifacts.
+//!
+//! Parses every file named on the command line — or, with no arguments,
+//! `BENCH_baseline.json` plus every `*.json` under the telemetry directory
+//! — with the strict parser from `cta_telemetry::json`, and fails with the
+//! offending position if any of them is not standards-valid JSON. Wired
+//! into `scripts/check.sh` so a regressed emitter (the `{,` corruption
+//! that `BENCH_baseline.json` once accumulated) fails CI instead of
+//! silently rotting the machine-readable record.
+//!
+//! Usage:
+//!
+//! ```text
+//! json-check [FILE ...]
+//! ```
+
+use std::path::PathBuf;
+
+use cta_telemetry::json;
+
+/// The default audit set: the baseline record plus every telemetry
+/// snapshot. A missing baseline file is fine (fresh checkout); a missing
+/// explicitly-named file is an error.
+fn default_files() -> Vec<PathBuf> {
+    let mut files = Vec::new();
+    let baseline =
+        PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..").join("BENCH_baseline.json");
+    if baseline.exists() {
+        files.push(baseline);
+    }
+    if let Ok(entries) = std::fs::read_dir(cta_bench::telemetry_dir()) {
+        let mut snapshots: Vec<PathBuf> = entries
+            .filter_map(Result::ok)
+            .map(|e| e.path())
+            .filter(|p| p.extension().is_some_and(|ext| ext == "json"))
+            .collect();
+        snapshots.sort();
+        files.extend(snapshots);
+    }
+    files
+}
+
+fn main() {
+    let args: Vec<PathBuf> = std::env::args().skip(1).map(PathBuf::from).collect();
+    let explicit = !args.is_empty();
+    let files = if explicit { args } else { default_files() };
+    if files.is_empty() {
+        println!("json-check: no files to validate");
+        return;
+    }
+
+    let mut failures = 0u32;
+    for path in &files {
+        match std::fs::read_to_string(path) {
+            Err(e) => {
+                eprintln!("json-check: FAIL {}: {e}", path.display());
+                failures += 1;
+            }
+            Ok(text) => match json::parse(&text) {
+                Ok(_) => println!("json-check: ok   {}", path.display()),
+                Err(e) => {
+                    eprintln!("json-check: FAIL {}: {e}", path.display());
+                    failures += 1;
+                }
+            },
+        }
+    }
+    if failures > 0 {
+        eprintln!("json-check: {failures} of {} files are not strict JSON", files.len());
+        std::process::exit(1);
+    }
+    println!("json-check: {} files valid", files.len());
+}

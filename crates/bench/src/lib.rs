@@ -30,6 +30,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod baseline;
+
 use std::path::PathBuf;
 
 use cta_core::SystemBuilder;

@@ -1,6 +1,6 @@
 //! One-stop construction of simulated machines, protected or not.
 
-use cta_dram::{CellLayout, CellType, DisturbanceParams, DramConfig, StoreBackend};
+use cta_dram::{CellLayout, CellType, DisturbanceParams, DramConfig, FlipEngine, StoreBackend};
 use cta_mem::PtpSpec;
 use cta_vm::{Kernel, KernelConfig, VmError};
 
@@ -36,6 +36,7 @@ pub struct SystemBuilder {
     screen_ps_bit: bool,
     backend: StoreBackend,
     psc_entries: usize,
+    flip_engine: FlipEngine,
 }
 
 impl SystemBuilder {
@@ -59,6 +60,7 @@ impl SystemBuilder {
             screen_ps_bit: false,
             backend: StoreBackend::default(),
             psc_entries: 16,
+            flip_engine: FlipEngine::default(),
         }
     }
 
@@ -148,6 +150,13 @@ impl SystemBuilder {
         self
     }
 
+    /// Disturbance/decay inner-loop implementation (performance knob;
+    /// simulated behavior is engine-invariant).
+    pub fn flip_engine(mut self, engine: FlipEngine) -> Self {
+        self.flip_engine = engine;
+        self
+    }
+
     /// The kernel configuration this builder describes.
     pub fn to_config(&self) -> KernelConfig {
         use cta_dram::{AddressMapping, DramGeometry, RetentionParams};
@@ -164,6 +173,7 @@ impl SystemBuilder {
             refresh_interval_ns: 64_000_000,
             seed: self.seed,
             backend: self.backend,
+            flip_engine: self.flip_engine,
         };
         let cta = self.protected.then(|| {
             PtpSpec::paper_default()

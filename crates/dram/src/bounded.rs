@@ -1,0 +1,142 @@
+//! Capacity-bounded memoization for the per-row model caches.
+
+use std::collections::{HashMap, VecDeque};
+use std::hash::Hash;
+
+/// A bounded memoization cache with FIFO eviction.
+///
+/// The per-row caches in [`crate::VulnerabilityModel`] and the retention
+/// model used to be unbounded `HashMap`s, so a templating sweep over a large
+/// module grew memory linearly with every row ever touched — the same
+/// failure mode the flip log had before it became a `RingLog`. This cache
+/// holds at most `capacity` entries and evicts in insertion order.
+///
+/// Eviction is FIFO rather than LRU on purpose: lookups never reorder
+/// entries, so which rows get recomputed is a deterministic function of the
+/// insertion history alone, independent of read patterns. Entries are cheap
+/// to rebuild (one seeded RNG stream per row), so the simpler policy wins.
+#[derive(Debug, Clone)]
+pub(crate) struct BoundedCache<K: Hash + Eq + Clone, V> {
+    capacity: usize,
+    map: HashMap<K, V>,
+    order: VecDeque<K>,
+    evictions: u64,
+}
+
+impl<K: Hash + Eq + Clone, V> BoundedCache<K, V> {
+    /// Creates a cache holding at most `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero; a cache that can hold nothing would
+    /// silently disable memoization.
+    pub(crate) fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "cache capacity must be positive");
+        BoundedCache {
+            capacity,
+            map: HashMap::with_capacity(capacity.min(1024)),
+            order: VecDeque::with_capacity(capacity.min(1024)),
+            evictions: 0,
+        }
+    }
+
+    /// Looks up `key` without affecting the eviction order.
+    pub(crate) fn get(&self, key: &K) -> Option<&V> {
+        self.map.get(key)
+    }
+
+    /// Inserts `key → value`, evicting the oldest entry at capacity.
+    /// Re-inserting an existing key replaces the value in place.
+    pub(crate) fn insert(&mut self, key: K, value: V) {
+        if self.map.insert(key.clone(), value).is_some() {
+            return;
+        }
+        if self.order.len() == self.capacity {
+            let oldest = self.order.pop_front().expect("capacity > 0");
+            self.map.remove(&oldest);
+            self.evictions += 1;
+        }
+        self.order.push_back(key);
+    }
+
+    /// Number of entries currently retained.
+    pub(crate) fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Total entries evicted since creation.
+    pub(crate) fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Changes the capacity, evicting oldest entries if shrinking.
+    pub(crate) fn set_capacity(&mut self, capacity: usize) {
+        assert!(capacity > 0, "cache capacity must be positive");
+        self.capacity = capacity;
+        while self.order.len() > capacity {
+            let oldest = self.order.pop_front().expect("len > capacity >= 1");
+            self.map.remove(&oldest);
+            self.evictions += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bounded_at_capacity_with_fifo_eviction() {
+        let mut c = BoundedCache::new(3);
+        for k in 0u64..10 {
+            c.insert(k, k * 2);
+        }
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.evictions(), 7);
+        // Oldest evicted first: 7, 8, 9 survive.
+        assert_eq!(c.get(&6), None);
+        assert_eq!(c.get(&7), Some(&14));
+        assert_eq!(c.get(&9), Some(&18));
+    }
+
+    #[test]
+    fn lookups_do_not_reorder() {
+        let mut c = BoundedCache::new(2);
+        c.insert(1u64, "a");
+        c.insert(2, "b");
+        assert_eq!(c.get(&1), Some(&"a")); // would save 1 under LRU
+        c.insert(3, "c");
+        assert_eq!(c.get(&1), None, "FIFO evicts by insertion order only");
+        assert_eq!(c.get(&2), Some(&"b"));
+    }
+
+    #[test]
+    fn reinsert_replaces_without_eviction() {
+        let mut c = BoundedCache::new(2);
+        c.insert(1u64, "a");
+        c.insert(2, "b");
+        c.insert(1, "a2");
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.evictions(), 0);
+        assert_eq!(c.get(&1), Some(&"a2"));
+    }
+
+    #[test]
+    fn shrinking_evicts_oldest() {
+        let mut c = BoundedCache::new(4);
+        for k in 0u64..4 {
+            c.insert(k, k);
+        }
+        c.set_capacity(2);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.evictions(), 2);
+        assert_eq!(c.get(&0), None);
+        assert_eq!(c.get(&3), Some(&3));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_capacity_rejected() {
+        let _ = BoundedCache::<u64, ()>::new(0);
+    }
+}

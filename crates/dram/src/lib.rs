@@ -45,6 +45,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod bitplane;
+mod bounded;
 mod cells;
 mod config;
 mod ecc;
@@ -60,7 +62,7 @@ mod store;
 mod vuln;
 
 pub use cells::{CellLayout, CellRegion, CellType, CellTypeMap};
-pub use config::{DisturbanceParams, DramConfig, RetentionParams};
+pub use config::{DisturbanceParams, DramConfig, FlipEngine, RetentionParams};
 pub use ecc::{EccRegion, EccResult, EccScrubStats, Secded};
 pub use error::DramError;
 pub use geometry::{AddressMapping, BankCoord, DramGeometry, RowId};

@@ -1,7 +1,8 @@
 use std::cell::Cell;
 
+use crate::bitplane::{load_word, store_word};
 use crate::cells::{CellLayout, CellType, CellTypeMap};
-use crate::config::DramConfig;
+use crate::config::{DramConfig, FlipEngine};
 use crate::error::DramError;
 use crate::geometry::{DramGeometry, RowId};
 use crate::remap::RemapTable;
@@ -228,6 +229,32 @@ impl DramModule {
     /// Accumulated statistics.
     pub fn stats(&self) -> &DramStats {
         &self.stats
+    }
+
+    /// The disturbance/decay engine this module runs on.
+    pub fn flip_engine(&self) -> FlipEngine {
+        self.config.flip_engine
+    }
+
+    /// Rebounds the per-row model caches (vulnerability maps, compiled
+    /// bitplanes, long-retention cells, expired-cell masks) to `rows`
+    /// entries each. Purely a memory/performance knob: evicted rows are
+    /// regenerated on demand from the module seed, so simulated behavior
+    /// is unaffected.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows` is zero.
+    pub fn set_model_cache_capacity(&mut self, rows: usize) {
+        self.vuln.set_cache_capacity(rows);
+        self.retention.set_cache_capacity(rows);
+        self.sync_model_stats();
+    }
+
+    /// Rows currently retained in the largest per-row model cache — what
+    /// the O(capacity) memory-bound test watches during a templating sweep.
+    pub fn model_cache_rows(&self) -> usize {
+        self.vuln.cached_rows().max(self.retention.cached_rows())
     }
 
     /// Clears the per-flip event log, keeping counters.
@@ -647,7 +674,9 @@ impl DramModule {
             return Err(DramError::RowOutOfBounds { row, rows: self.config.geometry.total_rows() });
         }
         let backing = self.resolve_row(row);
-        Ok(self.vuln.vulnerable_bits(backing).to_vec())
+        let bits = self.vuln.vulnerable_bits(backing).to_vec();
+        self.sync_model_stats();
+        Ok(bits)
     }
 
     // ------------------------------------------------------------------
@@ -741,10 +770,12 @@ impl DramModule {
             return;
         }
         let cell_type = self.config.layout.cell_type(backing);
+        let engine = self.config.flip_engine;
         let row = self.store.materialize(backing.0, now);
-        let changed = self.retention.apply_decay(backing, cell_type, row.bytes, elapsed);
+        let changed = self.retention.apply_decay(backing, cell_type, row.bytes, elapsed, engine);
         *row.last_charge_ns = now;
         self.stats.decay_flips += changed;
+        self.sync_model_stats();
     }
 
     fn decay_all_materialized(&mut self) {
@@ -762,10 +793,15 @@ impl DramModule {
     }
 
     /// Applies the disturbance flip model to one victim row.
+    ///
+    /// Both engines are observably identical — same row bytes, same flip
+    /// events in the same (ascending-bit) order, same statistics — which
+    /// `tests/flip_engine_differential.rs` proves over whole campaigns.
     fn disturb(&mut self, victim: RowId) {
         let bits = self.vuln.vulnerable_bits(victim);
         if bits.is_empty() {
             self.stats.disturbances += 1;
+            self.sync_model_stats();
             return;
         }
         // Disturbance acts on the decayed state if refresh is off.
@@ -773,24 +809,74 @@ impl DramModule {
             self.apply_decay_to(victim, self.clock_ns);
         }
         let clock = self.clock_ns;
-        let row = self.store.materialize(victim.0, clock);
-        let mut events = Vec::new();
-        for vb in bits.iter() {
-            let current = get_bit(row.bytes, vb.bit);
-            if current == vb.direction.source_value() {
-                set_bit(row.bytes, vb.bit, !current);
-                events.push(FlipEvent {
-                    row: victim,
-                    bit: vb.bit,
-                    direction: vb.direction,
-                    time_ns: clock,
-                });
+        match self.config.flip_engine {
+            FlipEngine::Scalar => {
+                let row = self.store.materialize(victim.0, clock);
+                let mut events = Vec::new();
+                for vb in bits.iter() {
+                    let current = get_bit(row.bytes, vb.bit);
+                    if current == vb.direction.source_value() {
+                        set_bit(row.bytes, vb.bit, !current);
+                        events.push(FlipEvent {
+                            row: victim,
+                            bit: vb.bit,
+                            direction: vb.direction,
+                            time_ns: clock,
+                        });
+                    }
+                }
+                for e in events {
+                    self.stats.record_flip(e);
+                }
+            }
+            FlipEngine::Wordwise => {
+                let planes = self.vuln.planes(victim, &bits);
+                let row = self.store.materialize(victim.0, clock);
+                for pw in planes.iter() {
+                    let w = pw.word as usize;
+                    let word = load_word(row.bytes, w);
+                    // A `1→0`-vulnerable cell fires where the word holds a 1;
+                    // a `0→1` cell where it holds a 0. One AND/OR pass flips
+                    // every firing cell of the word at once.
+                    let fire_otz = word & pw.otz;
+                    let fire_zto = !word & pw.zto;
+                    let fired = fire_otz | fire_zto;
+                    if fired == 0 {
+                        continue;
+                    }
+                    store_word(row.bytes, w, (word & !fire_otz) | fire_zto);
+                    self.stats.flips_one_to_zero += u64::from(fire_otz.count_ones());
+                    self.stats.flips_zero_to_one += u64::from(fire_zto.count_ones());
+                    // Per-bit events in ascending bit order, exactly as the
+                    // scalar loop logs them (vulnerable bits are sorted).
+                    let base = 64 * w as u64;
+                    let mut rest = fired;
+                    while rest != 0 {
+                        let b = rest.trailing_zeros() as u64;
+                        let direction = if fire_otz >> b & 1 == 1 {
+                            crate::FlipDirection::OneToZero
+                        } else {
+                            crate::FlipDirection::ZeroToOne
+                        };
+                        self.stats.flip_log.push(FlipEvent {
+                            row: victim,
+                            bit: base + b,
+                            direction,
+                            time_ns: clock,
+                        });
+                        rest &= rest - 1;
+                    }
+                }
             }
         }
-        for e in events {
-            self.stats.record_flip(e);
-        }
         self.stats.disturbances += 1;
+        self.sync_model_stats();
+    }
+
+    /// Mirrors the model-cache eviction counters into the stats snapshot.
+    fn sync_model_stats(&mut self) {
+        self.stats.vuln_cache_evictions = self.vuln.evictions();
+        self.stats.retention_cache_evictions = self.retention.evictions();
     }
 }
 

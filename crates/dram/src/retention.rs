@@ -1,13 +1,15 @@
-use std::collections::HashMap;
 use std::fmt;
 use std::rc::Rc;
 
 use rand::Rng;
 
+use crate::bitplane::{load_word, ones_mask, store_word, words_for_bits};
+use crate::bounded::BoundedCache;
 use crate::cells::CellType;
-use crate::config::RetentionParams;
+use crate::config::{FlipEngine, RetentionParams};
 use crate::geometry::RowId;
 use crate::rng::{hash3, poisson, stream_rng, to_unit};
+use crate::vuln::MODEL_CACHE_ROWS;
 
 /// A cell with unusually long retention, discoverable by profiling.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -32,7 +34,14 @@ pub(crate) struct RetentionModel {
     seed: u64,
     params: RetentionParams,
     bits_per_row: u64,
-    long_cache: HashMap<u64, Rc<[LongCell]>>,
+    long_cache: BoundedCache<u64, Rc<[LongCell]>>,
+    /// Expired-cell masks for the wordwise partial-decay path, keyed by
+    /// `(row, elapsed_ns, row bits)`: bit `b` is set iff that cell's
+    /// retention has expired after `elapsed_ns` without refresh. Building a
+    /// mask costs one retention hash per cell — exactly the scalar loop —
+    /// so memoizing it is what makes repeated decay sweeps (profiling
+    /// passes, forked campaigns) wordwise-cheap.
+    expired: BoundedCache<(u64, u64, u64), Rc<[u64]>>,
 }
 
 impl fmt::Debug for RetentionModel {
@@ -47,7 +56,29 @@ impl fmt::Debug for RetentionModel {
 
 impl RetentionModel {
     pub(crate) fn new(params: RetentionParams, bits_per_row: u64, seed: u64) -> Self {
-        RetentionModel { seed, params, bits_per_row, long_cache: HashMap::new() }
+        RetentionModel {
+            seed,
+            params,
+            bits_per_row,
+            long_cache: BoundedCache::new(MODEL_CACHE_ROWS),
+            expired: BoundedCache::new(MODEL_CACHE_ROWS),
+        }
+    }
+
+    /// Total cache evictions (long cells + expired masks) since creation.
+    pub(crate) fn evictions(&self) -> u64 {
+        self.long_cache.evictions() + self.expired.evictions()
+    }
+
+    /// Rows currently memoized in the larger of the two caches.
+    pub(crate) fn cached_rows(&self) -> usize {
+        self.long_cache.len().max(self.expired.len())
+    }
+
+    /// Rebounds both caches to `rows` entries.
+    pub(crate) fn set_cache_capacity(&mut self, rows: usize) {
+        self.long_cache.set_capacity(rows);
+        self.expired.set_capacity(rows);
     }
 
     #[allow(dead_code)] // exercised by tests; kept for parity with VulnerabilityModel
@@ -92,16 +123,32 @@ impl RetentionModel {
     ///
     /// Cells whose retention has expired read as the discharged value of the
     /// row's polarity. Returns the number of bits whose logic value changed.
+    /// Both engines produce byte-identical results; the scalar path is the
+    /// reference the wordwise path is differentially tested against.
     pub(crate) fn apply_decay(
         &mut self,
         row: RowId,
         cell_type: CellType,
         bytes: &mut [u8],
         elapsed_ns: u64,
+        engine: FlipEngine,
     ) -> u64 {
         if elapsed_ns < self.params.min_ns {
             return 0;
         }
+        match engine {
+            FlipEngine::Scalar => self.apply_decay_scalar(row, cell_type, bytes, elapsed_ns),
+            FlipEngine::Wordwise => self.apply_decay_wordwise(row, cell_type, bytes, elapsed_ns),
+        }
+    }
+
+    fn apply_decay_scalar(
+        &mut self,
+        row: RowId,
+        cell_type: CellType,
+        bytes: &mut [u8],
+        elapsed_ns: u64,
+    ) -> u64 {
         let discharged = cell_type.discharged_value();
         let mut changed = 0u64;
         if elapsed_ns >= self.params.max_ns {
@@ -136,6 +183,82 @@ impl RetentionModel {
             changed
         }
     }
+
+    fn apply_decay_wordwise(
+        &mut self,
+        row: RowId,
+        cell_type: CellType,
+        bytes: &mut [u8],
+        elapsed_ns: u64,
+    ) -> u64 {
+        let target = if cell_type.discharged_value() { !0u64 } else { 0u64 };
+        let nbits = bytes.len() * crate::BITS_PER_BYTE;
+        if elapsed_ns >= self.params.max_ns {
+            // Full decay: every ordinary cell expires; only long cells whose
+            // retention outlasts the wait keep their current value. Built on
+            // the fly — it needs no per-cell hashing, only the long list.
+            let mut mask = ones_mask(nbits);
+            for c in self.long_cells(row).iter() {
+                if c.retention_ns > elapsed_ns && (c.bit as usize) < nbits {
+                    mask[(c.bit / 64) as usize] &= !(1u64 << (c.bit % 64));
+                }
+            }
+            discharge_masked(bytes, &mask, target)
+        } else {
+            let mask = self.expired_mask(row, elapsed_ns, nbits);
+            discharge_masked(bytes, &mask, target)
+        }
+    }
+
+    /// The expired-cell mask of `row` after `elapsed_ns` in a partial decay
+    /// window (`min_ns ≤ elapsed < max_ns`), memoized per elapsed bucket.
+    fn expired_mask(&mut self, row: RowId, elapsed_ns: u64, nbits: usize) -> Rc<[u64]> {
+        let key = (row.0, elapsed_ns, nbits as u64);
+        if let Some(mask) = self.expired.get(&key) {
+            return Rc::clone(mask);
+        }
+        let mut mask = vec![0u64; words_for_bits(nbits)];
+        for bit in 0..nbits as u64 {
+            if self.ordinary_retention_ns(row, bit) < elapsed_ns {
+                mask[(bit / 64) as usize] |= 1u64 << (bit % 64);
+            }
+        }
+        // Long cells shadow the ordinary draw at their positions.
+        for c in self.long_cells(row).iter() {
+            if (c.bit as usize) >= nbits {
+                continue;
+            }
+            let (w, b) = ((c.bit / 64) as usize, c.bit % 64);
+            if c.retention_ns < elapsed_ns {
+                mask[w] |= 1u64 << b;
+            } else {
+                mask[w] &= !(1u64 << b);
+            }
+        }
+        let mask: Rc<[u64]> = mask.into();
+        self.expired.insert(key, Rc::clone(&mask));
+        mask
+    }
+}
+
+/// Drives every masked bit of `bytes` to its bit in `target` (all-ones or
+/// all-zero), returning how many bits actually changed (popcount of the
+/// per-word difference).
+fn discharge_masked(bytes: &mut [u8], mask: &[u64], target: u64) -> u64 {
+    let mut changed = 0u64;
+    for (w, &m) in mask.iter().enumerate() {
+        if m == 0 {
+            continue;
+        }
+        let word = load_word(bytes, w);
+        let diff = (word ^ target) & m;
+        if diff == 0 {
+            continue;
+        }
+        store_word(bytes, w, word ^ diff);
+        changed += diff.count_ones() as u64;
+    }
+    changed
 }
 
 pub(crate) fn get_bit(bytes: &[u8], bit: u64) -> bool {
@@ -191,7 +314,8 @@ mod tests {
     fn no_decay_before_min_retention() {
         let mut m = model();
         let mut bytes = vec![0xFFu8; 4096];
-        let changed = m.apply_decay(RowId(0), CellType::True, &mut bytes, 1_000_000);
+        let changed =
+            m.apply_decay(RowId(0), CellType::True, &mut bytes, 1_000_000, FlipEngine::Wordwise);
         assert_eq!(changed, 0);
         assert!(bytes.iter().all(|b| *b == 0xFF));
     }
@@ -201,7 +325,8 @@ mod tests {
         let mut m = model();
         let mut bytes = vec![0xFFu8; 4096];
         let elapsed = m.params().max_ns + 1;
-        let changed = m.apply_decay(RowId(0), CellType::True, &mut bytes, elapsed);
+        let changed =
+            m.apply_decay(RowId(0), CellType::True, &mut bytes, elapsed, FlipEngine::Wordwise);
         // All bits decay except surviving long cells.
         let surviving: u64 = bytes.iter().map(|b| b.count_ones() as u64).sum();
         let long = m.long_cells(RowId(0)).len() as u64;
@@ -214,7 +339,7 @@ mod tests {
         let mut m = model();
         let mut bytes = vec![0x00u8; 4096];
         let elapsed = m.params().max_ns + 1;
-        m.apply_decay(RowId(1), CellType::Anti, &mut bytes, elapsed);
+        m.apply_decay(RowId(1), CellType::Anti, &mut bytes, elapsed, FlipEngine::Wordwise);
         let zeros: u64 = bytes.iter().map(|b| b.count_zeros() as u64).sum();
         let long = m.long_cells(RowId(1)).len() as u64;
         assert!(zeros <= long, "zeros={zeros} long={long}");
@@ -226,8 +351,20 @@ mod tests {
         let p = m.params();
         let mut early = vec![0xFFu8; 4096];
         let mut late = vec![0xFFu8; 4096];
-        m.apply_decay(RowId(2), CellType::True, &mut early, p.min_ns + (p.max_ns - p.min_ns) / 4);
-        m.apply_decay(RowId(2), CellType::True, &mut late, p.min_ns + (p.max_ns - p.min_ns) / 2);
+        m.apply_decay(
+            RowId(2),
+            CellType::True,
+            &mut early,
+            p.min_ns + (p.max_ns - p.min_ns) / 4,
+            FlipEngine::Wordwise,
+        );
+        m.apply_decay(
+            RowId(2),
+            CellType::True,
+            &mut late,
+            p.min_ns + (p.max_ns - p.min_ns) / 2,
+            FlipEngine::Wordwise,
+        );
         let ones_early: u32 = early.iter().map(|b| b.count_ones()).sum();
         let ones_late: u32 = late.iter().map(|b| b.count_ones()).sum();
         assert!(ones_late <= ones_early);
@@ -238,8 +375,102 @@ mod tests {
     fn very_long_wait_kills_even_long_cells() {
         let mut m = model();
         let mut bytes = vec![0xFFu8; 4096];
-        m.apply_decay(RowId(0), CellType::True, &mut bytes, m.params().long_max_ns + 1);
+        m.apply_decay(
+            RowId(0),
+            CellType::True,
+            &mut bytes,
+            m.params().long_max_ns + 1,
+            FlipEngine::Wordwise,
+        );
         assert!(bytes.iter().all(|b| *b == 0));
+    }
+
+    #[test]
+    fn wordwise_decay_matches_scalar_exactly() {
+        let p = RetentionParams::default();
+        let elapsed_values = [
+            p.min_ns,
+            p.min_ns + (p.max_ns - p.min_ns) / 3,
+            p.max_ns - 1,
+            p.max_ns,
+            p.max_ns + 1,
+            p.long_min_ns + 5,
+            p.long_max_ns + 1,
+        ];
+        for cell_type in [CellType::True, CellType::Anti] {
+            for (fill, elapsed) in
+                elapsed_values.iter().enumerate().map(|(i, e)| ([0xFF, 0x5A, 0x00][i % 3], *e))
+            {
+                let mut scalar = model();
+                let mut wordwise = model();
+                let mut sb = vec![fill; 4096];
+                let mut wb = sb.clone();
+                let cs =
+                    scalar.apply_decay(RowId(3), cell_type, &mut sb, elapsed, FlipEngine::Scalar);
+                let cw = wordwise.apply_decay(
+                    RowId(3),
+                    cell_type,
+                    &mut wb,
+                    elapsed,
+                    FlipEngine::Wordwise,
+                );
+                assert_eq!(cs, cw, "changed counts diverged at elapsed={elapsed} {cell_type:?}");
+                assert_eq!(sb, wb, "row bytes diverged at elapsed={elapsed} {cell_type:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn wordwise_decay_matches_scalar_on_tail_words() {
+        // Rows whose bit counts are not multiples of 64: the engine's last
+        // word is a zero-padded tail word (plus a 96-bit full+tail mix).
+        let p = RetentionParams::default();
+        for len in [1usize, 2, 4, 12] {
+            for elapsed in [p.min_ns + (p.max_ns - p.min_ns) / 2, p.max_ns + 1] {
+                let mut scalar = RetentionModel::new(p, (len * 8) as u64, 0xFEED);
+                let mut wordwise = RetentionModel::new(p, (len * 8) as u64, 0xFEED);
+                let mut sb = vec![0xFFu8; len];
+                let mut wb = sb.clone();
+                let cs = scalar.apply_decay(
+                    RowId(0),
+                    CellType::True,
+                    &mut sb,
+                    elapsed,
+                    FlipEngine::Scalar,
+                );
+                let cw = wordwise.apply_decay(
+                    RowId(0),
+                    CellType::True,
+                    &mut wb,
+                    elapsed,
+                    FlipEngine::Wordwise,
+                );
+                assert_eq!(cs, cw, "len={len} elapsed={elapsed}");
+                assert_eq!(sb, wb, "len={len} elapsed={elapsed}");
+            }
+        }
+    }
+
+    #[test]
+    fn expired_mask_is_memoized_and_bounded() {
+        let mut m = model();
+        m.set_cache_capacity(2);
+        let p = m.params();
+        let elapsed = p.min_ns + (p.max_ns - p.min_ns) / 2;
+        let mut reference = vec![0xFFu8; 4096];
+        m.apply_decay(RowId(0), CellType::True, &mut reference, elapsed, FlipEngine::Wordwise);
+        // A second sweep of the same (row, elapsed) hits the mask cache and
+        // must decay a fresh row identically.
+        let mut again = vec![0xFFu8; 4096];
+        m.apply_decay(RowId(0), CellType::True, &mut again, elapsed, FlipEngine::Wordwise);
+        assert_eq!(reference, again);
+        // Sweeping more rows than the capacity evicts deterministically.
+        for r in 1..6 {
+            let mut b = vec![0xFFu8; 4096];
+            m.apply_decay(RowId(r), CellType::True, &mut b, elapsed, FlipEngine::Wordwise);
+        }
+        assert!(m.cached_rows() <= 2);
+        assert!(m.evictions() > 0);
     }
 
     #[test]

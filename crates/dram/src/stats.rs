@@ -37,6 +37,13 @@ pub struct DramStats {
     pub flips_zero_to_one: u64,
     /// Bits whose logic value changed through retention decay.
     pub decay_flips: u64,
+    /// Evictions from the bounded vulnerability-model caches (bit maps and
+    /// compiled bitplanes). Non-zero means a sweep touched more rows than
+    /// the cache capacity and some maps were regenerated from seed.
+    pub vuln_cache_evictions: u64,
+    /// Evictions from the bounded retention-model caches (long-cell lists
+    /// and expired-cell masks).
+    pub retention_cache_evictions: u64,
     /// Bounded log of the most recent disturbance flips, in order of
     /// occurrence. Older events beyond the capacity are evicted but counted
     /// (`flip_log.dropped()`), so `total_flips()` always equals
@@ -80,6 +87,8 @@ impl StatSource for DramStats {
         g.add_u64("flips_one_to_zero", self.flips_one_to_zero);
         g.add_u64("flips_zero_to_one", self.flips_zero_to_one);
         g.add_u64("decay_flips", self.decay_flips);
+        g.add_u64("vuln_cache_evictions", self.vuln_cache_evictions);
+        g.add_u64("retention_cache_evictions", self.retention_cache_evictions);
         g.add_u64("flip_log_retained", self.flip_log.len() as u64);
         g.add_u64("flip_log_dropped", self.flip_log.dropped());
     }

@@ -1,13 +1,18 @@
-use std::collections::HashMap;
 use std::fmt;
 use std::rc::Rc;
 
 use rand::Rng;
 
+use crate::bounded::BoundedCache;
 use crate::cells::{CellLayout, CellType};
 use crate::config::DisturbanceParams;
 use crate::geometry::{DramGeometry, RowId};
 use crate::rng::{poisson, stream_rng};
+
+/// Default capacity (in rows) of the per-row model caches. Generous enough
+/// that every workload in the repo runs eviction-free, small enough that a
+/// templating sweep over an arbitrarily large module stays O(capacity).
+pub(crate) const MODEL_CACHE_ROWS: usize = 4096;
 
 /// Direction of a disturbance-induced bit flip, in logic-value terms.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -59,6 +64,24 @@ pub struct VulnerableBit {
     pub direction: FlipDirection,
 }
 
+/// One active word of a row's compiled bitplanes: the `1→0` and `0→1`
+/// vulnerability masks for row bits `[64·word, 64·word + 64)`.
+///
+/// Vulnerable cells are sparse (`pf` of ~1e-4 puts ~3 bits in a 4 KiB row),
+/// so the planes are stored as the ascending list of words where either
+/// mask is non-zero rather than as dense arrays — the disturb loop then
+/// skips every untouched word of the row for free.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct PlaneWord {
+    /// Word index within the row (bit `b` of the masks is row bit
+    /// `64·word + b`).
+    pub(crate) word: u32,
+    /// Cells that can flip `1→0`.
+    pub(crate) otz: u64,
+    /// Cells that can flip `0→1`.
+    pub(crate) zto: u64,
+}
+
 /// The fixed vulnerability map of a module.
 ///
 /// Which cells are flippable — and in which direction — is a *manufacturing
@@ -77,7 +100,8 @@ pub struct VulnerabilityModel {
     params: DisturbanceParams,
     layout: CellLayout,
     bits_per_row: u64,
-    cache: HashMap<u64, Rc<[VulnerableBit]>>,
+    cache: BoundedCache<u64, Rc<[VulnerableBit]>>,
+    planes: BoundedCache<u64, Rc<[PlaneWord]>>,
 }
 
 impl fmt::Debug for VulnerabilityModel {
@@ -104,7 +128,8 @@ impl VulnerabilityModel {
             params,
             layout,
             bits_per_row: geometry.bits_per_row(),
-            cache: HashMap::new(),
+            cache: BoundedCache::new(MODEL_CACHE_ROWS),
+            planes: BoundedCache::new(MODEL_CACHE_ROWS),
         }
     }
 
@@ -128,6 +153,46 @@ impl VulnerabilityModel {
     /// Whether `row` has at least one vulnerable bit.
     pub fn row_is_vulnerable(&mut self, row: RowId) -> bool {
         !self.vulnerable_bits(row).is_empty()
+    }
+
+    /// The compiled bitplanes of `row`, built from `bits` (which must be
+    /// the row's [`Self::vulnerable_bits`]) on first use and memoized.
+    pub(crate) fn planes(&mut self, row: RowId, bits: &[VulnerableBit]) -> Rc<[PlaneWord]> {
+        if let Some(planes) = self.planes.get(&row.0) {
+            return Rc::clone(planes);
+        }
+        let mut words: Vec<PlaneWord> = Vec::new();
+        for vb in bits {
+            let word = (vb.bit / 64) as u32;
+            if words.last().map(|pw| pw.word) != Some(word) {
+                words.push(PlaneWord { word, otz: 0, zto: 0 });
+            }
+            let mask = 1u64 << (vb.bit % 64);
+            let pw = words.last_mut().expect("pushed above");
+            match vb.direction {
+                FlipDirection::OneToZero => pw.otz |= mask,
+                FlipDirection::ZeroToOne => pw.zto |= mask,
+            }
+        }
+        let planes: Rc<[PlaneWord]> = words.into();
+        self.planes.insert(row.0, Rc::clone(&planes));
+        planes
+    }
+
+    /// Rows currently memoized (bit maps; the planes cache tracks it).
+    pub(crate) fn cached_rows(&self) -> usize {
+        self.cache.len().max(self.planes.len())
+    }
+
+    /// Total cache evictions (bit maps + compiled planes) since creation.
+    pub(crate) fn evictions(&self) -> u64 {
+        self.cache.evictions() + self.planes.evictions()
+    }
+
+    /// Rebounds both per-row caches to `rows` entries.
+    pub(crate) fn set_cache_capacity(&mut self, rows: usize) {
+        self.cache.set_capacity(rows);
+        self.planes.set_capacity(rows);
     }
 
     fn generate_row(&self, row: RowId) -> Rc<[VulnerableBit]> {
@@ -230,6 +295,46 @@ mod tests {
         for w in bits.windows(2) {
             assert!(w[0].bit < w[1].bit);
         }
+    }
+
+    #[test]
+    fn planes_compile_exactly_the_vulnerable_bits() {
+        let mut m = model(1e-3, CellLayout::AllTrue);
+        for r in 0..64 {
+            let bits = m.vulnerable_bits(RowId(r));
+            let planes = m.planes(RowId(r), &bits);
+            // Ascending, non-empty active words.
+            for w in planes.windows(2) {
+                assert!(w[0].word < w[1].word);
+            }
+            assert!(planes.iter().all(|pw| pw.otz | pw.zto != 0));
+            // Decompiling the planes recovers the bit list exactly.
+            let mut recovered = Vec::new();
+            for pw in planes.iter() {
+                for b in 0..64u64 {
+                    let bit = 64 * pw.word as u64 + b;
+                    if pw.otz >> b & 1 == 1 {
+                        recovered.push(VulnerableBit { bit, direction: FlipDirection::OneToZero });
+                    }
+                    if pw.zto >> b & 1 == 1 {
+                        recovered.push(VulnerableBit { bit, direction: FlipDirection::ZeroToOne });
+                    }
+                }
+            }
+            assert_eq!(recovered, bits.to_vec(), "row {r}");
+        }
+    }
+
+    #[test]
+    fn planes_are_memoized_and_bounded() {
+        let mut m = model(1e-3, CellLayout::AllTrue);
+        m.set_cache_capacity(4);
+        for r in 0..16 {
+            let bits = m.vulnerable_bits(RowId(r));
+            let _ = m.planes(RowId(r), &bits);
+        }
+        assert_eq!(m.cached_rows(), 4);
+        assert_eq!(m.evictions(), 2 * 12, "both caches evict in lockstep here");
     }
 
     #[test]

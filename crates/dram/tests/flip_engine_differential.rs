@@ -1,0 +1,213 @@
+//! Differential test: the scalar and wordwise flip engines are observably
+//! identical. One seeded operation sequence — writes, fills, hammering,
+//! refresh outages with decay-then-disturb interplay, power cycles, peeks —
+//! drives a module per engine (and per row-store backend), and every
+//! observable must match byte for byte: full DRAM contents, the flip log in
+//! order, statistics, telemetry JSON, and the simulated clock.
+
+use cta_dram::{
+    AddressMapping, CellLayout, CellType, DisturbanceParams, DramConfig, DramGeometry, DramModule,
+    FlipEngine, RowId, StoreBackend,
+};
+use cta_telemetry::Counters;
+
+/// Tiny deterministic generator (SplitMix64) so the op sequence is seeded
+/// without pulling RNG crates into the test.
+struct Mix(u64);
+
+impl Mix {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// Drives one seeded op sequence against `m`, returning mid-sequence reads
+/// (an observable of their own). Roughly a quarter of the steps run with
+/// refresh disabled, so hammering regularly exercises the decay-then-disturb
+/// path on partially decayed rows.
+fn drive(m: &mut DramModule, seed: u64) -> Vec<Vec<u8>> {
+    let cap = m.capacity_bytes();
+    let rows = m.geometry().total_rows();
+    let threshold = m.config().disturbance.hammer_threshold;
+    let retention = m.config().retention;
+    let mut rng = Mix(seed);
+    let mut peeks = Vec::new();
+    for step in 0..250 {
+        match rng.next() % 12 {
+            0..=2 => {
+                let addr = rng.next() % cap;
+                let len = (rng.next() % 96).min(cap - addr) as usize;
+                let byte = (rng.next() & 0xFF) as u8;
+                let data: Vec<u8> = (0..len).map(|i| byte.wrapping_add(i as u8)).collect();
+                m.write(addr, &data).unwrap();
+            }
+            3..=4 => {
+                let addr = rng.next() % cap;
+                let len = (rng.next() % 300).min(cap - addr) as usize;
+                m.fill(addr, len, (rng.next() & 0xFF) as u8).unwrap();
+            }
+            5 => {
+                let row = RowId(rng.next() % rows);
+                m.hammer(row, threshold).unwrap();
+            }
+            6 => {
+                let row = RowId(1 + rng.next() % (rows.saturating_sub(2).max(1)));
+                m.hammer_double_sided(row).unwrap();
+            }
+            7 => {
+                // Partial-window decay: sit refresh-less for a stretch inside
+                // [min_ns, max_ns), then hammer into the decayed state.
+                m.disable_refresh();
+                m.advance(retention.min_ns + (rng.next() % (retention.max_ns - retention.min_ns)));
+                let row = RowId(1 + rng.next() % (rows.saturating_sub(2).max(1)));
+                m.hammer_double_sided(row).unwrap();
+            }
+            8 => {
+                m.enable_refresh();
+            }
+            9 => {
+                let addr = rng.next() % cap;
+                let len = (rng.next() % 64).min(cap - addr) as usize;
+                peeks.push(m.peek(addr, len).unwrap());
+                let read = m.read(addr, len).unwrap();
+                peeks.push(read);
+            }
+            10 => {
+                let row = RowId(rng.next() % rows);
+                peeks.push(vec![m.vulnerable_bits(row).unwrap().len() as u8]);
+            }
+            _ => {
+                if step % 50 == 17 {
+                    m.power_off(retention.max_ns + rng.next() % retention.long_max_ns);
+                } else {
+                    m.advance(rng.next() % 1_000_000);
+                }
+            }
+        }
+    }
+    m.enable_refresh();
+    peeks
+}
+
+/// Everything an experimenter can observe about a module after a drive.
+fn observe(
+    m: &mut DramModule,
+    peeks: Vec<Vec<u8>>,
+) -> (Vec<Vec<u8>>, Vec<u8>, String, String, u64) {
+    let contents = m.peek(0, m.capacity_bytes() as usize).unwrap();
+    let flips: String = m
+        .take_flip_log()
+        .iter()
+        .map(|e| format!("{:?}/{}/{}/{};", e.row, e.bit, e.direction, e.time_ns))
+        .collect();
+    let mut counters = Counters::new("diff");
+    counters.record(m.stats());
+    counters.add_u64("dram", "rows_materialized", m.rows_materialized() as u64);
+    (peeks, contents, flips, counters.to_json(), m.now_ns())
+}
+
+fn assert_engines_identical(config: DramConfig, seed: u64, ctx: &str) {
+    let mut scalar = DramModule::new(config.clone().with_flip_engine(FlipEngine::Scalar));
+    let mut wordwise = DramModule::new(config.with_flip_engine(FlipEngine::Wordwise));
+    let s_peeks = drive(&mut scalar, seed);
+    let w_peeks = drive(&mut wordwise, seed);
+    let s = observe(&mut scalar, s_peeks);
+    let w = observe(&mut wordwise, w_peeks);
+    assert_eq!(s.0, w.0, "{ctx}: mid-sequence reads diverged");
+    assert_eq!(s.1, w.1, "{ctx}: final row contents diverged");
+    assert_eq!(s.2, w.2, "{ctx}: flip logs diverged");
+    assert_eq!(s.3, w.3, "{ctx}: telemetry JSON diverged");
+    assert_eq!(s.4, w.4, "{ctx}: simulated clocks diverged");
+}
+
+/// The differential module: `small_test` semantics on 512-byte rows, so the
+/// deliberately slow scalar reference (one retention hash per bit per
+/// partial-decay window) keeps the suite fast.
+fn diff_config() -> DramConfig {
+    DramConfig {
+        geometry: DramGeometry::new(512, 64, 1, AddressMapping::RowLinear),
+        layout: CellLayout::Alternating { period_rows: 8, first: CellType::True },
+        disturbance: DisturbanceParams { pf: 0.05, ..DisturbanceParams::default() },
+        ..DramConfig::small_test()
+    }
+}
+
+#[test]
+fn engines_bit_identical_across_all_backends() {
+    for backend in StoreBackend::ALL {
+        for seed in [1u64, 42] {
+            let config = diff_config().with_seed(seed).with_backend(backend);
+            assert_engines_identical(config, seed, &format!("backend={backend} seed={seed}"));
+        }
+    }
+}
+
+#[test]
+fn engines_bit_identical_on_tail_word_rows() {
+    // 4-byte rows: 32 bits per row, so every engine word is a zero-padded
+    // tail word. High pf so the tiny rows still flip.
+    for (row_bytes, seed) in [(4u64, 7u64), (2, 8), (1, 9)] {
+        let config = DramConfig {
+            geometry: DramGeometry::new(row_bytes, 64, 1, AddressMapping::RowLinear),
+            layout: CellLayout::Alternating { period_rows: 8, first: CellType::True },
+            disturbance: DisturbanceParams { pf: 0.2, ..DisturbanceParams::default() },
+            ..DramConfig::small_test()
+        };
+        assert_engines_identical(config, seed, &format!("row_bytes={row_bytes}"));
+    }
+}
+
+#[test]
+fn wordwise_tail_flips_stay_inside_the_row() {
+    // Hammering 32-bit rows must never set a bit index ≥ 32 (a padding bit
+    // of the tail word) or corrupt a neighboring row's bytes.
+    let config = DramConfig {
+        geometry: DramGeometry::new(4, 64, 1, AddressMapping::RowLinear),
+        layout: CellLayout::AllTrue,
+        disturbance: DisturbanceParams { pf: 0.3, ..DisturbanceParams::default() },
+        ..DramConfig::small_test()
+    };
+    let mut m = DramModule::new(config);
+    m.fill(0, m.capacity_bytes() as usize, 0xFF).unwrap();
+    for row in 1..63 {
+        m.hammer_to_threshold(RowId(row)).unwrap();
+        m.advance(m.config().refresh_interval_ns);
+    }
+    let log = m.take_flip_log();
+    assert!(!log.is_empty(), "pf=0.3 over 62 hammered rows must flip something");
+    assert!(log.iter().all(|e| e.bit < 32), "flip escaped the 32-bit row");
+}
+
+#[test]
+fn forked_wordwise_module_inherits_warm_planes_and_stays_identical() {
+    // Campaign harnesses fork a booted module per trial; the fork clones the
+    // model caches, so compiled planes carry over. The fork must still be
+    // bit-identical to a cold scalar module driven the same way.
+    let config = diff_config().with_backend(StoreBackend::Cow);
+    let mut warm = DramModule::new(config.clone().with_flip_engine(FlipEngine::Wordwise));
+    // Warm the plane cache by hammering every row once.
+    for row in 0..64 {
+        warm.hammer_to_threshold(RowId(row)).unwrap();
+        warm.advance(warm.config().refresh_interval_ns);
+    }
+    let mut fork = warm.fork();
+    let mut scalar = DramModule::new(config.with_flip_engine(FlipEngine::Scalar));
+    // Replay the warm-up on the scalar module so histories agree…
+    for row in 0..64 {
+        scalar.hammer_to_threshold(RowId(row)).unwrap();
+        scalar.advance(scalar.config().refresh_interval_ns);
+    }
+    // …then drive both through a fresh differential sequence.
+    let f_peeks = drive(&mut fork, 5);
+    let s_peeks = drive(&mut scalar, 5);
+    assert_eq!(f_peeks, s_peeks);
+    assert_eq!(
+        fork.peek(0, fork.capacity_bytes() as usize).unwrap(),
+        scalar.peek(0, scalar.capacity_bytes() as usize).unwrap()
+    );
+    assert_eq!(fork.now_ns(), scalar.now_ns());
+}

@@ -24,4 +24,4 @@ pub mod popcount;
 pub use anvil::{AnvilAlarm, AnvilConfig, AnvilDetector};
 pub use coldboot::{BootDecision, ColdbootGuard};
 pub use permvec::{Permission, PermissionStore, PermissionVector};
-pub use popcount::{PopcountCode, Verdict};
+pub use popcount::{hamming_weight, PopcountCode, Verdict};

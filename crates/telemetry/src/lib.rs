@@ -14,6 +14,9 @@
 //!   counter, replacing unbounded `Vec` event logs. The invariant
 //!   `len() + dropped() == total_recorded()` means aggregate totals stay
 //!   exact no matter how small the retained window is.
+//! * [`json`] — a strict JSON parser (duplicate keys and non-finite
+//!   numbers rejected) so CI can prove every emitted artifact is real
+//!   JSON, not just JSON-shaped text.
 //!
 //! The crate is dependency-free (JSON is emitted by hand with `BTreeMap`
 //! ordering) so every other crate in the workspace can depend on it without
@@ -23,7 +26,9 @@
 #![warn(missing_docs)]
 
 mod counters;
+pub mod json;
 mod ring;
 
 pub use counters::{Counters, Group, StatSource, Value};
+pub use json::{JsonError, JsonValue};
 pub use ring::{RingLog, DEFAULT_LOG_CAPACITY};

@@ -206,6 +206,7 @@ impl KernelConfig {
             refresh_interval_ns: 64_000_000,
             seed: 0xBEEF,
             backend: cta_dram::StoreBackend::default(),
+            flip_engine: cta_dram::FlipEngine::default(),
         };
         KernelConfig {
             dram,

@@ -555,7 +555,10 @@ mod tests {
         // perlbench: 160 pages over 6 regions — indivisible, the case the
         // old truncating layout silently shrank to 156 pages.
         let spec = &spec2006()[0];
-        assert!(spec.working_set_pages % spec.regions != 0, "spec no longer exercises remainder");
+        assert!(
+            !spec.working_set_pages.is_multiple_of(spec.regions),
+            "spec no longer exercises remainder"
+        );
         let no_churn = WorkloadSpec { churn_cycles: 0, access_ops: 50, ..*spec };
         let mut k = machine(false);
         let before = k.stats().user_pages_allocated;

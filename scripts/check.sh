@@ -86,6 +86,13 @@ for ex in quickstart cell_profiling coldboot_and_popcount defended_system \
     cargo run --release -q --example "$ex" > /dev/null
 done
 
+echo "==> strict JSON validation (BENCH_baseline.json + telemetry/*.json)"
+# Every machine-readable artifact the workspace emits must parse as
+# standards-valid JSON (duplicate keys and non-finite numbers rejected).
+# With no arguments json-check audits BENCH_baseline.json and every
+# *.json under telemetry/.
+cargo run --release -q -p cta-bench --bin json-check
+
 echo "==> telemetry sanity: no NaN/inf, no sanitizer flags"
 # Word-boundary patterns: a substring match like `flip_info` or a
 # `finance` label must not trip the gate; only real non-finite JSON
