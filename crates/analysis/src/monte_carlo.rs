@@ -14,8 +14,11 @@
 //! This set-based model is derived independently of the paper's binomial
 //! sum; agreement between the two (see tests) validates both.
 
-use rand::Rng;
+use rand::RngCore;
 use rand_chacha::ChaCha8Rng;
+
+#[cfg(test)]
+use rand::Rng;
 
 #[cfg(test)]
 use crate::exploit::p_exploitable;
@@ -40,11 +43,75 @@ impl MonteCarloResult {
     }
 }
 
+/// Exact integer threshold for a unit-interval comparison: the number of
+/// 53-bit mantissa values `m` whose image `m · 2⁻⁵³` (exactly how the
+/// generator maps `next_u64() >> 11` to `f64`) compares `< p`. Found by
+/// binary search with the genuine `f64` predicate, so by monotonicity
+/// `(next_u64() >> 11) < unit_cutoff(p)` decides precisely the same
+/// outcomes as `rng.gen::<f64>() < p` — the per-draw float conversion
+/// and FP compare collapse to one integer compare without changing a
+/// single verdict.
+fn unit_cutoff(p: f64) -> u64 {
+    const ONE: u64 = 1 << 53;
+    let scale = 1.0 / ONE as f64;
+    let (mut lo, mut hi) = (0u64, ONE);
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        if (mid as f64) * scale < p {
+            lo = mid + 1;
+        } else {
+            hi = mid;
+        }
+    }
+    lo
+}
+
 /// One shard's worth of sampling: counts exploitable locations among
 /// `samples` draws from the stream seeded by `seed`. This is the single
 /// sampling loop shared by the serial and sharded entry points — both
 /// produce their hits through exactly this code.
+///
+/// The two per-bit probabilities are hoisted into integer cutoffs (see
+/// [`unit_cutoff`]); the draw sequence — one `next_u64` per bit plus one
+/// per vulnerable bit — is identical to the float reference, so every
+/// recorded `hits` value is preserved bit for bit (pinned by the
+/// `integer_thresholds_match_float_reference` test).
 fn count_hits(n: u32, stats: &FlipStats, restriction: Restriction, samples: u64, seed: u64) -> u64 {
+    use rand::SeedableRng;
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let pf_cutoff = unit_cutoff(stats.pf);
+    let up_cutoff = unit_cutoff(stats.p0_to_1);
+    let min_flips = restriction.min_flips();
+    let mut hits = 0u64;
+    for _ in 0..samples {
+        let mut up_flippers = 0u32;
+        let mut down_flippers = 0u32;
+        for _ in 0..n {
+            if rng.next_u64() >> 11 < pf_cutoff {
+                if rng.next_u64() >> 11 < up_cutoff {
+                    up_flippers += 1;
+                } else {
+                    down_flippers += 1;
+                }
+            }
+        }
+        if down_flippers == 0 && up_flippers >= min_flips {
+            hits += 1;
+        }
+    }
+    hits
+}
+
+/// The original float-comparison sampling loop, kept as the differential
+/// reference for [`count_hits`].
+#[cfg(test)]
+fn count_hits_float_reference(
+    n: u32,
+    stats: &FlipStats,
+    restriction: Restriction,
+    samples: u64,
+    seed: u64,
+) -> u64 {
     use rand::SeedableRng;
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     let mut hits = 0u64;
@@ -153,6 +220,45 @@ mod tests {
         let none = monte_carlo_p_exploitable(8, &stats, Restriction::None, 200_000, 1);
         let two = monte_carlo_p_exploitable(8, &stats, Restriction::AtLeastTwoZeros, 200_000, 1);
         assert!(two.p_hat < none.p_hat);
+    }
+
+    #[test]
+    fn integer_thresholds_match_float_reference() {
+        // The batched integer loop must reproduce the float loop's hits
+        // exactly — same draws, same verdicts — across seeds, restriction
+        // modes, and probabilities including edge values 0.0 and 1.0.
+        let cases = [
+            FlipStats { pf: 0.05, p0_to_1: 0.2, p1_to_0: 0.8 },
+            FlipStats::paper_default().inverted(),
+            FlipStats { pf: 0.0, p0_to_1: 0.5, p1_to_0: 0.5 },
+            FlipStats { pf: 1.0, p0_to_1: 1.0, p1_to_0: 0.0 },
+        ];
+        for stats in &cases {
+            for seed in [0u64, 9, 0xC0FFEE] {
+                for restriction in [Restriction::None, Restriction::AtLeastTwoZeros] {
+                    assert_eq!(
+                        count_hits(8, stats, restriction, 20_000, seed),
+                        count_hits_float_reference(8, stats, restriction, 20_000, seed),
+                        "stats={stats:?} seed={seed}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unit_cutoff_is_bit_exact_around_the_boundary() {
+        // For every mantissa value near the cutoff, the integer compare and
+        // the genuine float compare must agree.
+        let scale = 1.0 / (1u64 << 53) as f64;
+        for p in [0.0, 1e-4, 0.002, 0.05, 0.5, 0.999, 1.0] {
+            let c = unit_cutoff(p);
+            for m in c.saturating_sub(2)..=(c + 2).min(1 << 53) {
+                assert_eq!(m < c, (m as f64) * scale < p, "p={p} m={m}");
+            }
+        }
+        assert_eq!(unit_cutoff(0.0), 0);
+        assert_eq!(unit_cutoff(1.0), 1 << 53);
     }
 
     #[test]

@@ -389,6 +389,106 @@ fn bench_flip_engine(quick: bool, metrics: &mut Vec<(String, f64)>) {
     metrics.push(("flip_engine_decay_speedup".into(), wordwise.2 / scalar.2));
 }
 
+/// The wordwise generation data plane (PR 6): chunked span fill, dense
+/// counter-mode vulnerability-map compilation, dense-map boot, and
+/// indexed partial-window decay — wordwise engine vs the scalar per-bit
+/// reference, on `MapGen::Counter` maps at templating-stress density
+/// (`pf = 0.4`, ~13k vulnerable bits per 4 KiB row):
+///
+/// * `dram_fill_mb_per_sec` — whole-capacity fills through the chunked
+///   span path (engine-independent; `memset` per row span);
+/// * `vuln_map_rows_per_sec` — first-build map compilation throughput
+///   (the block generator's one-mix-per-cell batched Bernoulli against
+///   the scalar three-mix `hash3` float compare);
+/// * `boot_dense_ms` — a cold boot of the dense module: construct, fill
+///   every row, compile every map, then take one partial-window refresh
+///   outage (first-build decay masks through the sorted retention index);
+/// * `partial_decay_mb_per_sec` — steady-state partial-window outages at
+///   distinct elapsed buckets: every sweep rebuilds its masks, so the
+///   scalar engine re-hashes every cell while the wordwise engine binary-
+///   searches the per-row index it built once.
+///
+/// As in [`bench_flip_engine`], the `_scalar` twins and `datapath_*_speedup`
+/// ratios make the advantage a recorded, regeneratable number, and the
+/// differential suites prove the twins compute bit-identical results.
+fn bench_datapath(quick: bool, metrics: &mut Vec<(String, f64)>) {
+    use cta_dram::{AddressMapping, CellLayout, CellType, DramGeometry, FlipEngine, MapGen, RowId};
+    // 128 rows × 256 KiB of index stays inside the 64 MiB index budget, so
+    // the steady-state decay sweeps measure index reuse, not thrash.
+    let rows: u64 = if quick { 64 } else { 128 };
+    let config = |engine: FlipEngine| {
+        DramConfig {
+            geometry: DramGeometry::new(4096, rows, 1, AddressMapping::RowLinear),
+            layout: CellLayout::Alternating { period_rows: 8, first: CellType::True },
+            disturbance: DisturbanceParams { pf: 0.4, ..DisturbanceParams::default() },
+            ..DramConfig::small_test()
+        }
+        .with_map_gen(MapGen::Counter)
+        .with_flip_engine(engine)
+    };
+
+    // Chunked whole-capacity fills (span path, engine-independent).
+    let mut m = DramModule::new(DramConfig::small_test());
+    let cap = m.capacity_bytes() as usize;
+    let fills = if quick { 400 } else { 4_000 };
+    let start = Instant::now();
+    for i in 0..fills {
+        m.fill(0, cap, (i & 0xFF) as u8).unwrap();
+    }
+    let fill_rate = fills as f64 * cap as f64 / start.elapsed().as_secs_f64() / 1e6;
+    metrics.push(("dram_fill_mb_per_sec".into(), fill_rate));
+
+    let mut rates: Vec<(f64, f64, f64)> = Vec::new();
+    for (suffix, engine) in [("", FlipEngine::Wordwise), ("_scalar", FlipEngine::Scalar)] {
+        // First-build map compilation: fresh module per pass, so every
+        // `vulnerable_bits` call derives its row from scratch.
+        let passes = if quick { 2 } else { 8 };
+        let start = Instant::now();
+        for _ in 0..passes {
+            let mut m = DramModule::new(config(engine));
+            for row in 0..rows {
+                std::hint::black_box(m.vulnerable_bits(RowId(row)).unwrap());
+            }
+        }
+        let map_rate = (passes * rows) as f64 / start.elapsed().as_secs_f64();
+        metrics.push((format!("vuln_map_rows_per_sec{suffix}"), map_rate));
+
+        // Dense boot: construct, fill, compile every map, one partial-
+        // window outage.
+        let start = Instant::now();
+        let mut m = DramModule::new(config(engine));
+        let capacity = m.capacity_bytes();
+        m.fill(0, capacity as usize, 0xFF).unwrap();
+        for row in 0..rows {
+            std::hint::black_box(m.vulnerable_bits(RowId(row)).unwrap());
+        }
+        let p = m.config().retention;
+        m.disable_refresh();
+        m.advance(p.min_ns + (p.max_ns - p.min_ns) / 2);
+        m.enable_refresh();
+        let boot_ms = start.elapsed().as_secs_f64() * 1e3;
+        metrics.push((format!("boot_dense_ms{suffix}"), boot_ms));
+
+        // Steady-state partial-window outages, each at a fresh elapsed
+        // bucket so the expired-mask memo never hits.
+        let sweeps = if quick { 4 } else { 16 };
+        let start = Instant::now();
+        for i in 0..sweeps {
+            m.disable_refresh();
+            m.advance(p.min_ns + (p.max_ns - p.min_ns) / 4 + i);
+            m.enable_refresh();
+        }
+        let decay_rate = sweeps as f64 * capacity as f64 / start.elapsed().as_secs_f64() / 1e6;
+        metrics.push((format!("partial_decay_mb_per_sec{suffix}"), decay_rate));
+        rates.push((map_rate, boot_ms, decay_rate));
+    }
+
+    let (wordwise, scalar) = (rates[0], rates[1]);
+    metrics.push(("datapath_vuln_map_speedup".into(), wordwise.0 / scalar.0));
+    metrics.push(("datapath_boot_dense_speedup".into(), scalar.1 / wordwise.1));
+    metrics.push(("datapath_partial_decay_speedup".into(), wordwise.2 / scalar.2));
+}
+
 /// Warm-walk and batched-translation hot paths for the paging-structure
 /// caches. A 128-page sweep inside one 2 MiB region overflows the 64-entry
 /// TLB — every set cycles through 8 tags, so every translate misses — while
@@ -471,6 +571,7 @@ fn main() {
     bench_backends(opts.quick, &mut metrics);
     bench_psc(opts.quick, &mut metrics, &mut tel);
     bench_flip_engine(opts.quick, &mut metrics);
+    bench_datapath(opts.quick, &mut metrics);
 
     metrics.push(("total_wall_s".into(), overall.elapsed().as_secs_f64()));
     for (key, value) in &metrics {

@@ -1,6 +1,8 @@
 //! One-stop construction of simulated machines, protected or not.
 
-use cta_dram::{CellLayout, CellType, DisturbanceParams, DramConfig, FlipEngine, StoreBackend};
+use cta_dram::{
+    CellLayout, CellType, DisturbanceParams, DramConfig, FlipEngine, MapGen, StoreBackend,
+};
 use cta_mem::PtpSpec;
 use cta_vm::{Kernel, KernelConfig, VmError};
 
@@ -37,6 +39,7 @@ pub struct SystemBuilder {
     backend: StoreBackend,
     psc_entries: usize,
     flip_engine: FlipEngine,
+    map_gen: MapGen,
 }
 
 impl SystemBuilder {
@@ -61,6 +64,7 @@ impl SystemBuilder {
             backend: StoreBackend::default(),
             psc_entries: 16,
             flip_engine: FlipEngine::default(),
+            map_gen: MapGen::default(),
         }
     }
 
@@ -157,6 +161,13 @@ impl SystemBuilder {
         self
     }
 
+    /// Vulnerability-map derivation version (selects which deterministic
+    /// maps the seed fixes; see [`MapGen`]).
+    pub fn map_gen(mut self, map_gen: MapGen) -> Self {
+        self.map_gen = map_gen;
+        self
+    }
+
     /// The kernel configuration this builder describes.
     pub fn to_config(&self) -> KernelConfig {
         use cta_dram::{AddressMapping, DramGeometry, RetentionParams};
@@ -174,6 +185,7 @@ impl SystemBuilder {
             seed: self.seed,
             backend: self.backend,
             flip_engine: self.flip_engine,
+            map_gen: self.map_gen,
         };
         let cta = self.protected.then(|| {
             PtpSpec::paper_default()

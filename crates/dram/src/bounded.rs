@@ -15,12 +15,23 @@ use std::hash::Hash;
 /// entries, so which rows get recomputed is a deterministic function of the
 /// insertion history alone, independent of read patterns. Entries are cheap
 /// to rebuild (one seeded RNG stream per row), so the simpler policy wins.
+///
+/// Entries carry a caller-declared payload weight in bytes
+/// ([`Self::insert_weighted`]); the running total feeds the `*_cache_bytes`
+/// telemetry gauges, and an optional **byte budget**
+/// ([`Self::set_byte_budget`]) evicts oldest-first until the total fits.
+/// With no budget set the byte accounting is purely observational and the
+/// entry-count bound behaves exactly as before.
 #[derive(Debug, Clone)]
 pub(crate) struct BoundedCache<K: Hash + Eq + Clone, V> {
     capacity: usize,
-    map: HashMap<K, V>,
+    map: HashMap<K, (V, usize)>,
     order: VecDeque<K>,
     evictions: u64,
+    /// Sum of the payload weights of retained entries.
+    bytes: usize,
+    /// Optional payload-byte budget; `None` bounds by entry count alone.
+    byte_budget: Option<usize>,
 }
 
 impl<K: Hash + Eq + Clone, V> BoundedCache<K, V> {
@@ -37,26 +48,52 @@ impl<K: Hash + Eq + Clone, V> BoundedCache<K, V> {
             map: HashMap::with_capacity(capacity.min(1024)),
             order: VecDeque::with_capacity(capacity.min(1024)),
             evictions: 0,
+            bytes: 0,
+            byte_budget: None,
         }
     }
 
     /// Looks up `key` without affecting the eviction order.
     pub(crate) fn get(&self, key: &K) -> Option<&V> {
-        self.map.get(key)
+        self.map.get(key).map(|(v, _)| v)
     }
 
-    /// Inserts `key → value`, evicting the oldest entry at capacity.
+    /// Inserts `key → value` with zero payload weight (see
+    /// [`Self::insert_weighted`]), evicting the oldest entry at capacity.
     /// Re-inserting an existing key replaces the value in place.
+    #[cfg(test)]
     pub(crate) fn insert(&mut self, key: K, value: V) {
-        if self.map.insert(key.clone(), value).is_some() {
-            return;
+        self.insert_weighted(key, value, 0);
+    }
+
+    /// Inserts `key → value` whose payload weighs `weight` bytes, evicting
+    /// the oldest entry at the entry-count capacity and then oldest-first
+    /// while over the byte budget (if one is set). Re-inserting an existing
+    /// key replaces the value (and weight) in place without touching its
+    /// FIFO position.
+    pub(crate) fn insert_weighted(&mut self, key: K, value: V, weight: usize) {
+        if let Some((_, old)) = self.map.insert(key.clone(), (value, weight)) {
+            self.bytes = self.bytes - old + weight;
+        } else {
+            if self.order.len() == self.capacity {
+                self.evict_oldest();
+            }
+            self.order.push_back(key);
+            self.bytes += weight;
         }
-        if self.order.len() == self.capacity {
-            let oldest = self.order.pop_front().expect("capacity > 0");
-            self.map.remove(&oldest);
-            self.evictions += 1;
+        if let Some(budget) = self.byte_budget {
+            while self.bytes > budget && self.order.len() > 1 {
+                self.evict_oldest();
+            }
         }
-        self.order.push_back(key);
+    }
+
+    fn evict_oldest(&mut self) {
+        let oldest = self.order.pop_front().expect("cache not empty");
+        if let Some((_, w)) = self.map.remove(&oldest) {
+            self.bytes -= w;
+        }
+        self.evictions += 1;
     }
 
     /// Number of entries currently retained.
@@ -69,14 +106,29 @@ impl<K: Hash + Eq + Clone, V> BoundedCache<K, V> {
         self.evictions
     }
 
+    /// Sum of the payload weights (bytes) of retained entries.
+    pub(crate) fn bytes(&self) -> usize {
+        self.bytes
+    }
+
     /// Changes the capacity, evicting oldest entries if shrinking.
     pub(crate) fn set_capacity(&mut self, capacity: usize) {
         assert!(capacity > 0, "cache capacity must be positive");
         self.capacity = capacity;
         while self.order.len() > capacity {
-            let oldest = self.order.pop_front().expect("len > capacity >= 1");
-            self.map.remove(&oldest);
-            self.evictions += 1;
+            self.evict_oldest();
+        }
+    }
+
+    /// Sets or clears the payload-byte budget, evicting oldest-first until
+    /// the retained total fits. A single over-budget entry is allowed to
+    /// remain (evicting it would only force an immediate rebuild).
+    pub(crate) fn set_byte_budget(&mut self, budget: Option<usize>) {
+        self.byte_budget = budget;
+        if let Some(budget) = budget {
+            while self.bytes > budget && self.order.len() > 1 {
+                self.evict_oldest();
+            }
         }
     }
 }

@@ -62,7 +62,7 @@ mod store;
 mod vuln;
 
 pub use cells::{CellLayout, CellRegion, CellType, CellTypeMap};
-pub use config::{DisturbanceParams, DramConfig, FlipEngine, RetentionParams};
+pub use config::{DisturbanceParams, DramConfig, FlipEngine, MapGen, RetentionParams};
 pub use ecc::{EccRegion, EccResult, EccScrubStats, Secded};
 pub use error::DramError;
 pub use geometry::{AddressMapping, BankCoord, DramGeometry, RowId};

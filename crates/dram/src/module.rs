@@ -104,6 +104,12 @@ pub struct DramModule {
     /// read-only oracles (`peek`) warm it too.
     row_cache: Cell<(u64, u64)>,
     clock_ns: u64,
+    /// End of the current refresh window (`u64::MAX` while refresh is off):
+    /// the first instant at which `set_clock` must account completed
+    /// windows. Caching it keeps the per-access clock bump division-free —
+    /// two `u64` divisions per read/write otherwise dominate the chunked
+    /// data path.
+    window_end_ns: u64,
     /// Some(t) when auto-refresh was disabled at time t.
     refresh_disabled_at: Option<u64>,
     /// Incremented on every refresh enable/disable toggle and power cycle so
@@ -134,11 +140,13 @@ impl std::fmt::Debug for DramModule {
 impl DramModule {
     /// Creates a module from its configuration. All cells start at logic `0`.
     pub fn new(config: DramConfig) -> Self {
-        let vuln = VulnerabilityModel::new(
+        let vuln = VulnerabilityModel::with_modes(
             &config.geometry,
             config.layout,
             config.disturbance,
             config.seed,
+            config.map_gen,
+            config.flip_engine,
         );
         let retention =
             RetentionModel::new(config.retention, config.geometry.bits_per_row(), config.seed);
@@ -152,6 +160,7 @@ impl DramModule {
             remap: RemapTable::new(),
             row_cache: Cell::new((ROW_NONE, ROW_NONE)),
             clock_ns: 0,
+            window_end_ns: config.refresh_interval_ns,
             refresh_disabled_at: None,
             generation: 0,
             activations: vec![NO_ACTIVATIONS; total_rows],
@@ -176,6 +185,7 @@ impl DramModule {
             remap: self.remap.clone(),
             row_cache: self.row_cache.clone(),
             clock_ns: self.clock_ns,
+            window_end_ns: self.window_end_ns,
             refresh_disabled_at: self.refresh_disabled_at,
             generation: self.generation,
             activations: self.activations.clone(),
@@ -251,10 +261,31 @@ impl DramModule {
         self.sync_model_stats();
     }
 
+    /// Byte-budget variant of [`Self::set_model_cache_capacity`]: bounds
+    /// every per-row model cache by retained payload bytes instead of (in
+    /// addition to) entry count, evicting oldest-first while over budget.
+    /// `None` clears the budget. Like the row bound this is purely a
+    /// memory/performance knob — evicted entries are regenerated from the
+    /// module seed on demand.
+    pub fn set_model_cache_bytes(&mut self, budget: Option<usize>) {
+        self.vuln.set_cache_bytes(budget);
+        self.retention.set_cache_bytes(budget);
+        self.sync_model_stats();
+    }
+
     /// Rows currently retained in the largest per-row model cache — what
     /// the O(capacity) memory-bound test watches during a templating sweep.
     pub fn model_cache_rows(&self) -> usize {
         self.vuln.cached_rows().max(self.retention.cached_rows())
+    }
+
+    /// Payload bytes currently retained across all per-row model caches,
+    /// engine-local acceleration structures (compiled planes, expired
+    /// masks, the sorted retention index) included. The telemetry gauges
+    /// `vuln_cache_bytes`/`retention_cache_bytes` report only the
+    /// engine-invariant subset (bit maps and long-cell lists).
+    pub fn model_cache_bytes(&self) -> usize {
+        self.vuln.cache_bytes() + self.retention.cache_bytes()
     }
 
     /// Clears the per-flip event log, keeping counters.
@@ -397,6 +428,24 @@ impl DramModule {
     ///
     /// Returns [`DramError::OutOfBounds`] if the range exceeds capacity.
     pub fn read_u64(&mut self, addr: u64) -> Result<u64, DramError> {
+        // Single-span fast path: all 8 bytes in one row (always, for rows
+        // of at least 8 bytes and an aligned or merely non-straddling
+        // address). Skips the span iterator and the staging buffer.
+        let row_bytes = self.config.geometry.row_bytes();
+        let col = (addr % row_bytes) as usize;
+        if row_bytes - col as u64 >= 8 {
+            self.check_range(addr, 8)?;
+            self.stats.reads += 1;
+            self.set_clock(self.clock_ns + COL_ACCESS_NS);
+            let backing = self.resolve_row(RowId(addr / row_bytes));
+            self.touch_row(backing);
+            return Ok(match self.store.bytes(backing.0) {
+                Some(bytes) => {
+                    u64::from_le_bytes(bytes[col..col + 8].try_into().expect("8-byte slice"))
+                }
+                None => 0,
+            });
+        }
         let mut buf = [0u8; 8];
         self.read_into(addr, &mut buf)?;
         Ok(u64::from_le_bytes(buf))
@@ -408,6 +457,19 @@ impl DramModule {
     ///
     /// Returns [`DramError::OutOfBounds`] if the range exceeds capacity.
     pub fn write_u64(&mut self, addr: u64, value: u64) -> Result<(), DramError> {
+        // Single-span fast path mirroring `read_u64`.
+        let row_bytes = self.config.geometry.row_bytes();
+        let col = (addr % row_bytes) as usize;
+        if row_bytes - col as u64 >= 8 {
+            self.check_range(addr, 8)?;
+            self.stats.writes += 1;
+            self.set_clock(self.clock_ns + COL_ACCESS_NS);
+            let backing = self.resolve_row(RowId(addr / row_bytes));
+            self.touch_row(backing);
+            let row = self.store.materialize(backing.0, self.clock_ns);
+            row.bytes[col..col + 8].copy_from_slice(&value.to_le_bytes());
+            return Ok(());
+        }
         self.write(addr, &value.to_le_bytes())
     }
 
@@ -460,6 +522,18 @@ impl DramModule {
     /// Debug oracle: little-endian `u64` variant of [`peek`](Self::peek).
     /// Allocation-free — this sits on the page-walk inspection hot path.
     pub fn peek_u64(&self, addr: u64) -> Result<u64, DramError> {
+        let row_bytes = self.config.geometry.row_bytes();
+        let col = (addr % row_bytes) as usize;
+        if row_bytes - col as u64 >= 8 {
+            self.check_range(addr, 8)?;
+            let backing = self.resolve_row(RowId(addr / row_bytes));
+            return Ok(match self.store.bytes(backing.0) {
+                Some(bytes) => {
+                    u64::from_le_bytes(bytes[col..col + 8].try_into().expect("8-byte slice"))
+                }
+                None => 0,
+            });
+        }
         let mut buf = [0u8; 8];
         self.peek_into(addr, &mut buf)?;
         Ok(u64::from_le_bytes(buf))
@@ -479,6 +553,7 @@ impl DramModule {
         if self.refresh_disabled_at.is_none() {
             self.refresh_disabled_at = Some(self.clock_ns);
             self.generation += 1;
+            self.reset_window_end();
         }
     }
 
@@ -489,6 +564,7 @@ impl DramModule {
             self.decay_all_materialized();
             self.refresh_disabled_at = None;
             self.generation += 1;
+            self.reset_window_end();
         }
     }
 
@@ -525,6 +601,7 @@ impl DramModule {
         self.activations.fill(NO_ACTIVATIONS);
         self.generation += 1;
         self.refresh_disabled_at = None;
+        self.reset_window_end();
     }
 
     // ------------------------------------------------------------------
@@ -561,14 +638,7 @@ impl DramModule {
         let trc = self.config.disturbance.trc_ns.max(1);
         let mut remaining = count;
         while remaining > 0 {
-            let window_end = match self.refresh_disabled_at {
-                None => {
-                    (self.clock_ns / self.config.refresh_interval_ns + 1)
-                        * self.config.refresh_interval_ns
-                }
-                Some(_) => u64::MAX,
-            };
-            let fit_by_time = ((window_end.saturating_sub(self.clock_ns)) / trc).max(1);
+            let fit_by_time = ((self.window_end_ns.saturating_sub(self.clock_ns)) / trc).max(1);
             let fit = remaining.min(fit_by_time);
             self.stats.activations += fit;
             self.set_clock(self.clock_ns + fit * trc);
@@ -714,11 +784,28 @@ impl DramModule {
 
     fn set_clock(&mut self, new: u64) {
         debug_assert!(new >= self.clock_ns);
-        if self.refresh_disabled_at.is_none() {
-            let interval = self.config.refresh_interval_ns;
-            self.stats.refresh_windows += new / interval - self.clock_ns / interval;
+        if new < self.window_end_ns {
+            // Common case: still inside the current refresh window (or
+            // refresh is off, `window_end_ns == u64::MAX`) — no completed
+            // windows to account, no divisions.
+            self.clock_ns = new;
+            return;
         }
+        let interval = self.config.refresh_interval_ns;
+        self.stats.refresh_windows += new / interval - self.clock_ns / interval;
         self.clock_ns = new;
+        self.window_end_ns = (new / interval + 1) * interval;
+    }
+
+    /// Recomputes [`Self::window_end_ns`] after a refresh-state change.
+    fn reset_window_end(&mut self) {
+        self.window_end_ns = match self.refresh_disabled_at {
+            None => {
+                let interval = self.config.refresh_interval_ns;
+                (self.clock_ns / interval + 1) * interval
+            }
+            Some(_) => u64::MAX,
+        };
     }
 
     /// Ordinary-access bookkeeping for `row` (already remap-resolved):
@@ -873,10 +960,13 @@ impl DramModule {
         self.sync_model_stats();
     }
 
-    /// Mirrors the model-cache eviction counters into the stats snapshot.
+    /// Mirrors the model-cache eviction counters and engine-invariant byte
+    /// gauges into the stats snapshot.
     fn sync_model_stats(&mut self) {
         self.stats.vuln_cache_evictions = self.vuln.evictions();
         self.stats.retention_cache_evictions = self.retention.evictions();
+        self.stats.vuln_cache_bytes = self.vuln.map_bytes() as u64;
+        self.stats.retention_cache_bytes = self.retention.long_bytes() as u64;
     }
 }
 

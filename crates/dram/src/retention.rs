@@ -8,8 +8,23 @@ use crate::bounded::BoundedCache;
 use crate::cells::CellType;
 use crate::config::{FlipEngine, RetentionParams};
 use crate::geometry::RowId;
-use crate::rng::{hash3, poisson, stream_rng, to_unit};
+use crate::rng::{hash3, mantissa_cutoff, poisson, stream_rng, to_unit, RowBlocks};
 use crate::vuln::MODEL_CACHE_ROWS;
+
+/// Seed salt of the ordinary retention draw ("ORDI").
+const ORDI_SALT: u64 = 0x4F52_4449;
+
+/// Seed salt of the long-retention population ("RETN").
+const RETN_SALT: u64 = 0x5245_544E;
+
+/// Low bits of a packed retention-index key that hold the cell index; the
+/// high `64 - 21 = 43` bits hold the retention time in nanoseconds.
+const INDEX_BIT_WIDTH: u32 = 21;
+
+/// Default payload-byte budget of the per-row retention index cache. The
+/// index weighs 8 bytes per cell (256 KiB for a 4 KiB row), so unlike the
+/// other model caches it is bounded by bytes, not entries.
+const INDEX_CACHE_BYTES: usize = 64 << 20;
 
 /// A cell with unusually long retention, discoverable by profiling.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -37,11 +52,21 @@ pub(crate) struct RetentionModel {
     long_cache: BoundedCache<u64, Rc<[LongCell]>>,
     /// Expired-cell masks for the wordwise partial-decay path, keyed by
     /// `(row, elapsed_ns, row bits)`: bit `b` is set iff that cell's
-    /// retention has expired after `elapsed_ns` without refresh. Building a
-    /// mask costs one retention hash per cell — exactly the scalar loop —
-    /// so memoizing it is what makes repeated decay sweeps (profiling
-    /// passes, forked campaigns) wordwise-cheap.
+    /// retention has expired after `elapsed_ns` without refresh. A mask is
+    /// built from the sorted per-row retention index in O(expired bits)
+    /// (one `partition_point`, then one bit-set per expired cell);
+    /// memoizing it keeps repeated sweeps of the same elapsed bucket
+    /// (profiling passes, forked campaigns) allocation-free.
     expired: BoundedCache<(u64, u64, u64), Rc<[u64]>>,
+    /// Sorted per-row retention index, keyed by `(row, row bits)`: one
+    /// packed `retention_ns << 21 | bit` key per *ordinary* cell, ascending.
+    /// Built lazily — a row's first partial-decay window uses a direct
+    /// counter-mode scan and leaves an empty marker; the second distinct
+    /// window pays one sort, after which every further window's mask
+    /// first-build is a binary search plus O(expired bits) instead of an
+    /// O(row bits) rescan. Byte-budgeted (8 bytes/cell, zero-weight
+    /// markers) rather than entry-bounded.
+    index: BoundedCache<(u64, u64), Rc<[u64]>>,
 }
 
 impl fmt::Debug for RetentionModel {
@@ -62,23 +87,52 @@ impl RetentionModel {
             bits_per_row,
             long_cache: BoundedCache::new(MODEL_CACHE_ROWS),
             expired: BoundedCache::new(MODEL_CACHE_ROWS),
+            index: {
+                let mut index = BoundedCache::new(MODEL_CACHE_ROWS);
+                index.set_byte_budget(Some(INDEX_CACHE_BYTES));
+                index
+            },
         }
     }
 
     /// Total cache evictions (long cells + expired masks) since creation.
+    /// Retention-index evictions are excluded: the index is an engine-local
+    /// acceleration structure whose byte budget can evict on one engine and
+    /// not the other, and the mirrored stats counter must stay
+    /// engine-invariant (the differential suites assert it byte for byte).
     pub(crate) fn evictions(&self) -> u64 {
         self.long_cache.evictions() + self.expired.evictions()
     }
 
-    /// Rows currently memoized in the larger of the two caches.
+    /// Rows currently memoized in the largest of the caches.
     pub(crate) fn cached_rows(&self) -> usize {
-        self.long_cache.len().max(self.expired.len())
+        self.long_cache.len().max(self.expired.len()).max(self.index.len())
     }
 
-    /// Rebounds both caches to `rows` entries.
+    /// Payload bytes retained across all retention caches, engine-local
+    /// acceleration structures included.
+    pub(crate) fn cache_bytes(&self) -> usize {
+        self.long_cache.bytes() + self.expired.bytes() + self.index.bytes()
+    }
+
+    /// Payload bytes of the long-cell cache alone — the engine-invariant
+    /// model content mirrored into the `retention_cache_bytes` gauge.
+    pub(crate) fn long_bytes(&self) -> usize {
+        self.long_cache.bytes()
+    }
+
+    /// Rebounds all caches to `rows` entries.
     pub(crate) fn set_cache_capacity(&mut self, rows: usize) {
         self.long_cache.set_capacity(rows);
         self.expired.set_capacity(rows);
+        self.index.set_capacity(rows);
+    }
+
+    /// Sets or clears the payload-byte budget of every retention cache.
+    pub(crate) fn set_cache_bytes(&mut self, budget: Option<usize>) {
+        self.long_cache.set_byte_budget(budget);
+        self.expired.set_byte_budget(budget);
+        self.index.set_byte_budget(budget);
     }
 
     #[allow(dead_code)] // exercised by tests; kept for parity with VulnerabilityModel
@@ -91,7 +145,7 @@ impl RetentionModel {
         if let Some(cells) = self.long_cache.get(&row.0) {
             return Rc::clone(cells);
         }
-        let mut rng = stream_rng(self.seed ^ 0x5245_544E, row.0); // "RETN"
+        let mut rng = stream_rng(self.seed ^ RETN_SALT, row.0);
         let n = poisson(&mut rng, self.bits_per_row as f64 * self.params.long_fraction);
         let span = self.params.long_max_ns - self.params.long_min_ns;
         let mut cells: Vec<LongCell> = (0..n)
@@ -102,12 +156,18 @@ impl RetentionModel {
             .collect();
         cells.sort_by_key(|c| c.bit);
         cells.dedup_by_key(|c| c.bit);
-        cells.into()
+        let cells: Rc<[LongCell]> = cells.into();
+        self.long_cache.insert_weighted(
+            row.0,
+            Rc::clone(&cells),
+            std::mem::size_of_val::<[LongCell]>(&cells),
+        );
+        cells
     }
 
     /// Retention time of an ordinary (non-long) cell.
     fn ordinary_retention_ns(&self, row: RowId, bit: u64) -> u64 {
-        let u = to_unit(hash3(self.seed ^ 0x4F52_4449, row.0, bit)); // "ORDI"
+        let u = to_unit(hash3(self.seed ^ ORDI_SALT, row.0, bit));
         self.params.min_ns + (u * (self.params.max_ns - self.params.min_ns) as f64) as u64
     }
 
@@ -212,15 +272,63 @@ impl RetentionModel {
 
     /// The expired-cell mask of `row` after `elapsed_ns` in a partial decay
     /// window (`min_ns ≤ elapsed < max_ns`), memoized per elapsed bucket.
+    ///
+    /// First-build consults the sorted retention index: the expired cells
+    /// are exactly the prefix of keys whose retention component is below
+    /// `elapsed_ns`, found with one `partition_point`. Rows too large (or
+    /// retentions too long) for the packed key encoding fall back to a
+    /// direct block-hash scan; both paths reproduce the scalar per-bit
+    /// predicate `ordinary_retention_ns(row, bit) < elapsed_ns` exactly.
     fn expired_mask(&mut self, row: RowId, elapsed_ns: u64, nbits: usize) -> Rc<[u64]> {
         let key = (row.0, elapsed_ns, nbits as u64);
         if let Some(mask) = self.expired.get(&key) {
             return Rc::clone(mask);
         }
         let mut mask = vec![0u64; words_for_bits(nbits)];
-        for bit in 0..nbits as u64 {
-            if self.ordinary_retention_ns(row, bit) < elapsed_ns {
-                mask[(bit / 64) as usize] |= 1u64 << (bit % 64);
+        let packable =
+            self.params.max_ns < 1 << (64 - INDEX_BIT_WIDTH) && nbits <= 1 << INDEX_BIT_WIDTH;
+        let index_key = (row.0, nbits as u64);
+        let cached = if packable { self.index.get(&index_key).map(Rc::clone) } else { None };
+        match cached {
+            Some(index) if !index.is_empty() => {
+                let expired = index.partition_point(|&k| k >> INDEX_BIT_WIDTH < elapsed_ns);
+                for &k in &index[..expired] {
+                    let bit = k & ((1 << INDEX_BIT_WIDTH) - 1);
+                    mask[(bit / 64) as usize] |= 1u64 << (bit % 64);
+                }
+            }
+            Some(_) if nbits > 0 => {
+                // Second distinct elapsed bucket for this row: the sort now
+                // pays for itself, so build the real index and use it.
+                let index = self.build_index(row, nbits);
+                let expired = index.partition_point(|&k| k >> INDEX_BIT_WIDTH < elapsed_ns);
+                for &k in &index[..expired] {
+                    let bit = k & ((1 << INDEX_BIT_WIDTH) - 1);
+                    mask[(bit / 64) as usize] |= 1u64 << (bit % 64);
+                }
+            }
+            _ => {
+                // First build for this row (or keys that cannot pack): one
+                // counter-mode scan, a third of the scalar mixing cost. The
+                // expiry predicate `min_ns + (to_unit(h) · span) as u64 <
+                // elapsed` is monotone in the hash mantissa, so one binary
+                // search with the genuine float predicate turns the per-bit
+                // test into a single integer compare — bit-exactly. When
+                // packable, leave an empty-index marker so the next elapsed
+                // bucket upgrades to the sorted index.
+                let blocks = RowBlocks::new(self.seed ^ ORDI_SALT, row.0);
+                let span = (self.params.max_ns - self.params.min_ns) as f64;
+                let min_ns = self.params.min_ns;
+                let cutoff =
+                    mantissa_cutoff(|m| min_ns + ((to_unit(m << 11) * span) as u64) < elapsed_ns);
+                for bit in 0..nbits as u64 {
+                    if blocks.cell(bit) >> 11 < cutoff {
+                        mask[(bit / 64) as usize] |= 1u64 << (bit % 64);
+                    }
+                }
+                if packable {
+                    self.index.insert_weighted(index_key, Vec::new().into(), 0);
+                }
             }
         }
         // Long cells shadow the ordinary draw at their positions.
@@ -236,8 +344,30 @@ impl RetentionModel {
             }
         }
         let mask: Rc<[u64]> = mask.into();
-        self.expired.insert(key, Rc::clone(&mask));
+        self.expired.insert_weighted(key, Rc::clone(&mask), std::mem::size_of_val::<[u64]>(&mask));
         mask
+    }
+
+    /// Builds (and caches) the sorted retention index of `row` over its
+    /// first `nbits` cells: one `retention_ns << 21 | bit` key per ordinary
+    /// cell, ascending. The per-cell hashes come from the counter-mode
+    /// block generator, which is hash-for-hash equal to the scalar
+    /// [`hash3`] draw, so `partition_point` over the keys reproduces the
+    /// scalar per-bit expiry predicate exactly.
+    fn build_index(&mut self, row: RowId, nbits: usize) -> Rc<[u64]> {
+        let key = (row.0, nbits as u64);
+        let blocks = RowBlocks::new(self.seed ^ ORDI_SALT, row.0);
+        let span = (self.params.max_ns - self.params.min_ns) as f64;
+        let mut keys: Vec<u64> = (0..nbits as u64)
+            .map(|bit| {
+                let r = self.params.min_ns + (to_unit(blocks.cell(bit)) * span) as u64;
+                r << INDEX_BIT_WIDTH | bit
+            })
+            .collect();
+        keys.sort_unstable();
+        let keys: Rc<[u64]> = keys.into();
+        self.index.insert_weighted(key, Rc::clone(&keys), std::mem::size_of_val::<[u64]>(&keys));
+        keys
     }
 }
 
@@ -471,6 +601,80 @@ mod tests {
         }
         assert!(m.cached_rows() <= 2);
         assert!(m.evictions() > 0);
+    }
+
+    #[test]
+    fn fallback_scan_matches_scalar_when_index_unpackable() {
+        // Retentions too long for the 43-bit packed key: the wordwise
+        // partial-decay path must take the direct block-hash fallback and
+        // still reproduce the scalar per-bit reference exactly.
+        let p = RetentionParams {
+            min_ns: 1 << 42,
+            max_ns: 1 << 43, // ≥ 2^43 ⟹ keys cannot pack
+            long_fraction: 1e-3,
+            long_min_ns: 1 << 44,
+            long_max_ns: 1 << 45,
+        };
+        for elapsed in [(1u64 << 42) + (1 << 40), (1 << 42) + (1 << 42) / 2] {
+            let mut scalar = RetentionModel::new(p, 4096 * 8, 0xFEED);
+            let mut wordwise = RetentionModel::new(p, 4096 * 8, 0xFEED);
+            let mut sb = vec![0xA5u8; 4096];
+            let mut wb = sb.clone();
+            let cs =
+                scalar.apply_decay(RowId(7), CellType::True, &mut sb, elapsed, FlipEngine::Scalar);
+            let cw = wordwise.apply_decay(
+                RowId(7),
+                CellType::True,
+                &mut wb,
+                elapsed,
+                FlipEngine::Wordwise,
+            );
+            assert_eq!(cs, cw, "elapsed={elapsed}");
+            assert_eq!(sb, wb, "elapsed={elapsed}");
+            assert_eq!(wordwise.index.len(), 0, "unpackable params must not build an index");
+        }
+    }
+
+    #[test]
+    fn index_byte_budget_evicts_without_changing_decay() {
+        // A byte budget far below one index's weight (a 4 KiB row's index
+        // is 32768 cells × 8 B = 256 KiB) forces eviction on every new row,
+        // yet decay results must match an unbudgeted twin bit for bit.
+        let p = RetentionParams::default();
+        let buckets = [p.min_ns + (p.max_ns - p.min_ns) / 4, p.min_ns + (p.max_ns - p.min_ns) / 2];
+        let mut capped = model();
+        capped.set_cache_bytes(Some(64 * 1024));
+        let mut uncapped = model();
+        for r in 0..4 {
+            // Two distinct elapsed buckets per row: the first leaves the
+            // lazy marker, the second builds the real sorted index.
+            for elapsed in buckets {
+                let mut cb = vec![0xFFu8; 4096];
+                let mut ub = cb.clone();
+                capped.apply_decay(
+                    RowId(r),
+                    CellType::True,
+                    &mut cb,
+                    elapsed,
+                    FlipEngine::Wordwise,
+                );
+                uncapped.apply_decay(
+                    RowId(r),
+                    CellType::True,
+                    &mut ub,
+                    elapsed,
+                    FlipEngine::Wordwise,
+                );
+                assert_eq!(cb, ub, "row {r}");
+            }
+        }
+        // The budget keeps at most one (over-budget) index resident, while
+        // the default 64 MiB budget retains all four.
+        assert!(capped.index.len() <= 1, "capped index len {}", capped.index.len());
+        assert_eq!(uncapped.index.len(), 4);
+        assert!(capped.cache_bytes() < uncapped.cache_bytes());
+        // Index evictions stay out of the engine-invariant counter.
+        assert_eq!(capped.evictions(), uncapped.evictions());
     }
 
     #[test]

@@ -44,6 +44,15 @@ pub struct DramStats {
     /// Evictions from the bounded retention-model caches (long-cell lists
     /// and expired-cell masks).
     pub retention_cache_evictions: u64,
+    /// Payload bytes retained in the vulnerability bit-map cache. Counts
+    /// the maps themselves, not the engine-local compiled planes, so the
+    /// gauge is identical across flip engines (the differential suites
+    /// assert full telemetry identity).
+    pub vuln_cache_bytes: u64,
+    /// Payload bytes retained in the retention model's long-cell cache
+    /// (expired masks and the sorted retention index are engine-local and
+    /// excluded for the same reason).
+    pub retention_cache_bytes: u64,
     /// Bounded log of the most recent disturbance flips, in order of
     /// occurrence. Older events beyond the capacity are evicted but counted
     /// (`flip_log.dropped()`), so `total_flips()` always equals
@@ -89,6 +98,8 @@ impl StatSource for DramStats {
         g.add_u64("decay_flips", self.decay_flips);
         g.add_u64("vuln_cache_evictions", self.vuln_cache_evictions);
         g.add_u64("retention_cache_evictions", self.retention_cache_evictions);
+        g.add_u64("vuln_cache_bytes", self.vuln_cache_bytes);
+        g.add_u64("retention_cache_bytes", self.retention_cache_bytes);
         g.add_u64("flip_log_retained", self.flip_log.len() as u64);
         g.add_u64("flip_log_dropped", self.flip_log.dropped());
     }

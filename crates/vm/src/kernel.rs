@@ -207,6 +207,7 @@ impl KernelConfig {
             seed: 0xBEEF,
             backend: cta_dram::StoreBackend::default(),
             flip_engine: cta_dram::FlipEngine::default(),
+            map_gen: cta_dram::MapGen::default(),
         };
         KernelConfig {
             dram,

@@ -51,29 +51,44 @@ fi
 cargo run --release -q -p cta-bench --bin bench-baseline -- --label check --quick
 
 echo "==> bench regression watch (quick smoke vs previous check label)"
-# Warns loudly — never fails — when a translation-latency metric regressed
-# by more than 30% relative to the previous run of this script. Quick-mode
-# numbers are noisy: treat a warning as a prompt to re-run the full
-# (non-quick) bench-baseline before trusting the change.
+# Warns loudly — never fails — when a watched metric regressed by more
+# than 30% relative to the previous run of this script. Direction-aware:
+# latency metrics (ns/ms, lower is better) warn when they grow; rate
+# metrics (ops/sec, MB/sec, samples/sec — higher is better) warn when
+# they shrink. Quick-mode numbers are noisy: treat a warning as a prompt
+# to re-run the full (non-quick) bench-baseline before trusting the
+# change.
 NEW_CHECK=$(grep '"check"' BENCH_baseline.json || true)
+drift_watch() {
+    # $1 = direction (lat|rate), $2 = metric name
+    old=$(printf '%s\n' "$PREV_CHECK" \
+        | sed -n "s/.*\"$2\": \([0-9.]*\).*/\1/p")
+    new=$(printf '%s\n' "$NEW_CHECK" \
+        | sed -n "s/.*\"$2\": \([0-9.]*\).*/\1/p")
+    if [ -n "$old" ] && [ -n "$new" ]; then
+        awk -v d="$1" -v m="$2" -v o="$old" -v n="$new" 'BEGIN {
+            worse = (d == "lat") ? (o > 0 && n > o * 1.3) \
+                                 : (n > 0 && o > n * 1.3)
+            if (worse) {
+                printf "##########################################\n"
+                printf "WARNING: %s regressed by >30%%\n", m
+                printf "WARNING:   previous %.3f -> now %.3f\n", o, n
+                printf "WARNING: re-run the full bench-baseline\n"
+                printf "##########################################\n"
+            }
+        }'
+    fi
+}
 if [ -n "$PREV_CHECK" ] && [ -n "$NEW_CHECK" ]; then
     for metric in pte_walk_cold_stock_ns pte_walk_cold_cta_ns \
-        translate_tlb_hit_stock_ns translate_tlb_hit_cta_ns; do
-        old=$(printf '%s\n' "$PREV_CHECK" \
-            | sed -n "s/.*\"$metric\": \([0-9.]*\).*/\1/p")
-        new=$(printf '%s\n' "$NEW_CHECK" \
-            | sed -n "s/.*\"$metric\": \([0-9.]*\).*/\1/p")
-        if [ -n "$old" ] && [ -n "$new" ]; then
-            awk -v m="$metric" -v o="$old" -v n="$new" 'BEGIN {
-                if (o > 0 && n > o * 1.3) {
-                    printf "##########################################\n"
-                    printf "WARNING: %s regressed by >30%%\n", m
-                    printf "WARNING:   previous %.3f ns -> now %.3f ns\n", o, n
-                    printf "WARNING: re-run the full bench-baseline\n"
-                    printf "##########################################\n"
-                }
-            }'
-        fi
+        translate_tlb_hit_stock_ns translate_tlb_hit_cta_ns \
+        boot_dense_ms; do
+        drift_watch lat "$metric"
+    done
+    for metric in dram_write_u64_ops_per_sec dram_fill_mb_per_sec \
+        mc_serial_samples_per_sec vuln_map_rows_per_sec \
+        partial_decay_mb_per_sec; do
+        drift_watch rate "$metric"
     done
 else
     echo "(no previous check label to diff against)"
