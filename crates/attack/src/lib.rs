@@ -36,6 +36,7 @@ pub mod campaign;
 pub mod catalog;
 pub mod hammer;
 pub mod outcome;
+pub mod recording;
 pub mod spray;
 pub mod templating;
 
@@ -47,5 +48,9 @@ pub use campaign::{
 pub use catalog::{catalog, KnownAttack, Platform, VictimData};
 pub use hammer::HammerDriver;
 pub use outcome::{AttackOutcome, AttackTimeModel};
+pub use recording::{
+    record_campaign, replay_recording, verify_flip_accounting, RecordedAttack, Recording,
+    RecordingError, RecordingSpec, ReplayReport, ReplayTarget, TrialRecord,
+};
 pub use spray::SprayAttack;
 pub use templating::TemplatingAttack;

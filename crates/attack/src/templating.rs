@@ -89,6 +89,10 @@ impl TemplatingAttack {
         let templates = self.template(kernel, pid, arena, &mut out)?;
         out.note(format!("templating found {} usable flips", templates.len()));
         if templates.is_empty() {
+            // The templating phase itself hammered: account for its flips
+            // even on the give-up path, or campaign totals drift from the
+            // module's flip log (caught by `verify_flip_accounting`).
+            out.flips_induced = kernel.dram().stats().total_flips() - flips0;
             out.sim_time_ns = kernel.now_ns() - t0;
             return Ok(out);
         }

@@ -1,0 +1,217 @@
+//! Record/replay backbone: a recorded campaign must replay byte-identically
+//! under every store backend × flip engine, a lossy or retention-disabled
+//! recording must be rejected loudly, the serialized form must round-trip
+//! through the strict JSON layer, and any tampering with the transcript
+//! must be detected.
+
+use cta_attack::{
+    record_campaign, replay_recording, verify_flip_accounting, RecordedAttack, Recording,
+    RecordingError, RecordingSpec, ReplayTarget, SprayAttack, TemplatingAttack,
+};
+use cta_dram::{FlipDirection, StoreBackend};
+
+/// A deliberately small spray campaign: two trials, narrow spray, few
+/// hammer rows — enough to induce flips at `pf = 0.05` while keeping the
+/// 6-target replay grid fast.
+fn small_spray_spec() -> RecordingSpec {
+    let attack =
+        SprayAttack { regions: 8, file_pages: 2, max_hammer_rows: 4, flush_per_probe: false };
+    RecordingSpec::new(RecordedAttack::Spray(attack), vec![0, 1])
+}
+
+fn small_templating_spec() -> RecordingSpec {
+    let attack = TemplatingAttack { arena_pages: 96, max_attempts: 4, flush_per_probe: false };
+    RecordingSpec::new(RecordedAttack::Templating(attack), vec![3])
+}
+
+#[test]
+fn spray_recording_replays_identically_on_every_backend_and_engine() {
+    let recording = record_campaign(&small_spray_spec()).unwrap();
+    assert_eq!(recording.trials.len(), 2);
+    let total_flips: u64 = recording.trials.iter().map(|t| t.flips.len() as u64).sum();
+    assert!(total_flips > 0, "a recording with zero flips proves nothing");
+
+    for target in ReplayTarget::all() {
+        let report = replay_recording(&recording, target)
+            .unwrap_or_else(|e| panic!("replay failed on {target}: {e}"));
+        assert_eq!(report.trials, 2, "{target}");
+        assert_eq!(report.flips_verified, total_flips, "{target}");
+    }
+}
+
+#[test]
+fn templating_recording_replays_identically() {
+    let recording = record_campaign(&small_templating_spec()).unwrap();
+    for target in [
+        ReplayTarget::default(),
+        ReplayTarget { backend: StoreBackend::Cow, flip_engine: cta_dram::FlipEngine::Scalar },
+    ] {
+        replay_recording(&recording, target)
+            .unwrap_or_else(|e| panic!("replay failed on {target}: {e}"));
+    }
+}
+
+#[test]
+fn zero_capacity_recording_is_rejected_not_silently_empty() {
+    // Regression: flip_log_capacity = 0 used to yield an empty flip log
+    // that looked like a successful (flip-free) recording.
+    let mut spec = small_spray_spec();
+    spec.flip_log_capacity = 0;
+    match record_campaign(&spec) {
+        Err(RecordingError::RetentionDisabled) => {}
+        other => panic!("expected RetentionDisabled, got {other:?}"),
+    }
+}
+
+#[test]
+fn lossy_recording_is_rejected_with_the_drop_count() {
+    // A 2-event window wraps immediately on any real campaign.
+    let mut spec = small_spray_spec();
+    spec.flip_log_capacity = 2;
+    match record_campaign(&spec) {
+        Err(RecordingError::LossyFlipLog { dropped, retained, .. }) => {
+            assert!(dropped > 0, "a lossy log must report what it lost");
+            assert_eq!(retained, 2);
+        }
+        other => panic!("expected LossyFlipLog, got {other:?}"),
+    }
+}
+
+#[test]
+fn replay_rejects_a_lossy_capacity_override_too() {
+    // A recording edited (or recorded by older code) to claim a tiny
+    // capacity must fail replay the same way, not assert on garbage.
+    let mut recording = record_campaign(&small_spray_spec()).unwrap();
+    recording.spec.flip_log_capacity = 1;
+    match replay_recording(&recording, ReplayTarget::default()) {
+        Err(RecordingError::LossyFlipLog { .. }) => {}
+        other => panic!("expected LossyFlipLog, got {other:?}"),
+    }
+}
+
+#[test]
+fn serialized_recording_round_trips_exactly() {
+    let recording = record_campaign(&small_spray_spec()).unwrap();
+    let json = recording.to_json_string().unwrap();
+    let parsed = Recording::from_json_str(&json).unwrap();
+    assert_eq!(parsed, recording, "JSON round-trip must be lossless");
+    // And the round-tripped recording still replays.
+    replay_recording(&parsed, ReplayTarget::default()).unwrap();
+    // Strictness: the serialized form itself re-parses through the strict
+    // JSON layer (no duplicate keys, finite numbers, no trailing junk).
+    cta_telemetry::json::parse(&json).unwrap();
+}
+
+#[test]
+fn tampered_flip_transcript_fails_replay() {
+    let mut recording = record_campaign(&small_spray_spec()).unwrap();
+    let trial = recording.trials.iter_mut().find(|t| !t.flips.is_empty()).unwrap();
+    let seed = trial.seed;
+    let event = &mut trial.flips[0];
+    event.direction = match event.direction {
+        FlipDirection::OneToZero => FlipDirection::ZeroToOne,
+        FlipDirection::ZeroToOne => FlipDirection::OneToZero,
+    };
+    match replay_recording(&recording, ReplayTarget::default()) {
+        Err(RecordingError::Mismatch { seed: s, what: "flip transcript", detail }) => {
+            assert_eq!(s, seed);
+            assert!(detail.contains("event 0"), "{detail}");
+        }
+        other => panic!("expected flip-transcript mismatch, got {other:?}"),
+    }
+}
+
+#[test]
+fn tampered_contents_hash_fails_replay() {
+    let mut recording = record_campaign(&small_spray_spec()).unwrap();
+    recording.trials[0].contents_hash ^= 1;
+    match replay_recording(&recording, ReplayTarget::default()) {
+        Err(RecordingError::Mismatch { what: "contents hash", .. }) => {}
+        other => panic!("expected contents-hash mismatch, got {other:?}"),
+    }
+}
+
+#[test]
+fn tampered_telemetry_fails_replay() {
+    let mut recording = record_campaign(&small_spray_spec()).unwrap();
+    let json = recording.telemetry.to_compact_string().replacen(
+        "\"activations\": ",
+        "\"activations\": 1",
+        1,
+    );
+    recording.telemetry = cta_telemetry::json::parse(&json).unwrap();
+    match replay_recording(&recording, ReplayTarget::default()) {
+        Err(RecordingError::Mismatch { what: "telemetry snapshot", .. }) => {}
+        other => panic!("expected telemetry mismatch, got {other:?}"),
+    }
+}
+
+#[test]
+fn flip_accounting_cross_checks_counters_against_transcript() {
+    let recording = record_campaign(&small_spray_spec()).unwrap();
+    // Rebuild a Counters view of the recorded telemetry to doctor it.
+    let mut counters = cta_telemetry::Counters::new("recording");
+    let total: u64 = recording.trials.iter().map(|t| t.flips.len() as u64).sum();
+    counters.set_u64("campaign", "total_flips", total + 1);
+    counters.set_u64("dram", "flips_one_to_zero", total);
+    counters.set_u64("dram", "flips_zero_to_one", 0);
+    match verify_flip_accounting(&counters, &recording.trials) {
+        Err(RecordingError::Accounting { what, from_log, from_counters }) => {
+            assert!(what.contains("campaign.total_flips"), "{what}");
+            assert_eq!(from_log, total);
+            assert_eq!(from_counters, total + 1);
+        }
+        other => panic!("expected accounting drift, got {other:?}"),
+    }
+
+    counters.set_u64("campaign", "total_flips", total);
+    counters.set_u64("dram", "flips_one_to_zero", total + 2);
+    match verify_flip_accounting(&counters, &recording.trials) {
+        Err(RecordingError::Accounting { what, .. }) => {
+            assert!(what.contains("directional"), "{what}");
+        }
+        other => panic!("expected directional drift, got {other:?}"),
+    }
+}
+
+#[test]
+fn malformed_documents_are_rejected_with_paths() {
+    // Not JSON at all.
+    assert!(matches!(Recording::from_json_str("{nope"), Err(RecordingError::Json(_))));
+    // Valid JSON, wrong shape.
+    match Recording::from_json_str("{}") {
+        Err(RecordingError::Malformed { path, .. }) => assert_eq!(path, "version"),
+        other => panic!("expected Malformed, got {other:?}"),
+    }
+    // Wrong version.
+    match Recording::from_json_str(r#"{"version": 99}"#) {
+        Err(RecordingError::Malformed { path, message }) => {
+            assert_eq!(path, "version");
+            assert!(message.contains("99"), "{message}");
+        }
+        other => panic!("expected version error, got {other:?}"),
+    }
+    // A real recording with a broken telemetry snapshot fails schema
+    // validation at parse time.
+    let recording = record_campaign(&small_spray_spec()).unwrap();
+    let json = recording.to_json_string().unwrap();
+    let broken = json.replacen("\"label\": \"recording\"", "\"label\": 7", 1);
+    match Recording::from_json_str(&broken) {
+        Err(RecordingError::Malformed { path, .. }) => {
+            assert!(path.starts_with("telemetry."), "{path}");
+        }
+        other => panic!("expected telemetry schema failure, got {other:?}"),
+    }
+}
+
+#[test]
+fn recording_is_thread_count_invariant() {
+    let serial = record_campaign(&small_spray_spec()).unwrap();
+    let mut spec = small_spray_spec();
+    spec.threads = 4;
+    let parallel = record_campaign(&spec).unwrap();
+    // The spec differs (threads is recorded), but every observable —
+    // trials, transcripts, telemetry — must be identical.
+    assert_eq!(parallel.trials, serial.trials);
+    assert_eq!(parallel.telemetry, serial.telemetry);
+}

@@ -1,4 +1,5 @@
-//! `json-check` — strict-JSON gate over the workspace's emitted artifacts.
+//! `json-check` — strict-JSON and schema gate over the workspace's emitted
+//! artifacts.
 //!
 //! Parses every file named on the command line — or, with no arguments,
 //! `BENCH_baseline.json` plus every `*.json` under the telemetry directory
@@ -8,15 +9,27 @@
 //! that `BENCH_baseline.json` once accumulated) fails CI instead of
 //! silently rotting the machine-readable record.
 //!
+//! With `--schema`, each file must additionally have the right *shape*
+//! (`cta_telemetry::schema`), chosen by filename:
+//!
+//! * `BENCH_baseline.json` — labeled sections of exactly `quick` (bool)
+//!   and `metrics` (flat object of finite numbers);
+//! * `*.recording.json` — a campaign recording whose embedded `telemetry`
+//!   member must be a schema-valid snapshot;
+//! * anything else — a telemetry snapshot: exactly `label`/`flags`/
+//!   `groups` at top level, flat scalar groups, plus any per-binary
+//!   required groups/keys/kinds declared for the snapshot's label.
+//!
 //! Usage:
 //!
 //! ```text
-//! json-check [FILE ...]
+//! json-check [--schema] [FILE ...]
 //! ```
 
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 
-use cta_telemetry::json;
+use cta_telemetry::json::{self, JsonValue};
+use cta_telemetry::schema;
 
 /// The default audit set: the baseline record plus every telemetry
 /// snapshot. A missing baseline file is fine (fresh checkout); a missing
@@ -40,34 +53,84 @@ fn default_files() -> Vec<PathBuf> {
     files
 }
 
+/// Shape-checks `doc` according to what the filename says it is,
+/// returning every violation.
+fn schema_errors(path: &Path, doc: &JsonValue) -> Vec<schema::SchemaError> {
+    let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+    if name == "BENCH_baseline.json" {
+        return schema::validate_baseline(doc);
+    }
+    if name.ends_with(".recording.json") {
+        // Full recording validation (spec, trials, transcript) is
+        // replay-check's job; here the embedded snapshot must be shaped
+        // like one.
+        return match doc.get("telemetry") {
+            Some(telemetry) => schema::validate_snapshot(telemetry)
+                .into_iter()
+                .map(|e| schema::SchemaError {
+                    path: format!("telemetry.{}", e.path),
+                    message: e.message,
+                })
+                .collect(),
+            None => vec![schema::SchemaError {
+                path: "telemetry".into(),
+                message: "recording is missing its telemetry snapshot".into(),
+            }],
+        };
+    }
+    schema::validate_snapshot(doc)
+}
+
 fn main() {
-    let args: Vec<PathBuf> = std::env::args().skip(1).map(PathBuf::from).collect();
-    let explicit = !args.is_empty();
-    let files = if explicit { args } else { default_files() };
+    let mut check_schema = false;
+    let mut args: Vec<PathBuf> = Vec::new();
+    for arg in std::env::args().skip(1) {
+        if arg == "--schema" {
+            check_schema = true;
+        } else {
+            args.push(PathBuf::from(arg));
+        }
+    }
+    let files = if args.is_empty() { default_files() } else { args };
     if files.is_empty() {
         println!("json-check: no files to validate");
         return;
     }
 
+    let mode = if check_schema { "strict JSON + schema" } else { "strict JSON" };
     let mut failures = 0u32;
     for path in &files {
-        match std::fs::read_to_string(path) {
+        let text = match std::fs::read_to_string(path) {
+            Ok(text) => text,
             Err(e) => {
                 eprintln!("json-check: FAIL {}: {e}", path.display());
                 failures += 1;
+                continue;
             }
-            Ok(text) => match json::parse(&text) {
-                Ok(_) => println!("json-check: ok   {}", path.display()),
-                Err(e) => {
+        };
+        let doc = match json::parse(&text) {
+            Ok(doc) => doc,
+            Err(e) => {
+                eprintln!("json-check: FAIL {}: {e}", path.display());
+                failures += 1;
+                continue;
+            }
+        };
+        if check_schema {
+            let errors = schema_errors(path, &doc);
+            if !errors.is_empty() {
+                for e in &errors {
                     eprintln!("json-check: FAIL {}: {e}", path.display());
-                    failures += 1;
                 }
-            },
+                failures += 1;
+                continue;
+            }
         }
+        println!("json-check: ok   {}", path.display());
     }
     if failures > 0 {
-        eprintln!("json-check: {failures} of {} files are not strict JSON", files.len());
+        eprintln!("json-check: {failures} of {} files failed the {mode} gate", files.len());
         std::process::exit(1);
     }
-    println!("json-check: {} files valid", files.len());
+    println!("json-check: {} files valid ({mode})", files.len());
 }

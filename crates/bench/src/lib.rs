@@ -80,6 +80,16 @@ pub fn telemetry_dir() -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..").join("telemetry")
 }
 
+/// Directory holding the golden campaign recordings the replay gate
+/// verifies: `$CTA_RECORDINGS_DIR` when set, otherwise
+/// `fixtures/recordings/` at the repo root.
+pub fn recordings_dir() -> PathBuf {
+    if let Ok(dir) = std::env::var("CTA_RECORDINGS_DIR") {
+        return PathBuf::from(dir);
+    }
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..").join("fixtures").join("recordings")
+}
+
 /// Writes `counters` to `<telemetry_dir>/<label>.telemetry.json` and prints
 /// the path, so every experiment run leaves a machine-readable artifact
 /// next to its human-readable output.

@@ -72,7 +72,7 @@ pub use profiler::{
     RetentionProfile,
 };
 pub use remap::RemapTable;
-pub use stats::{DramStats, FlipEvent};
+pub use stats::{DramStats, FlipEvent, FlipLog};
 pub use store::{AnyRowStore, CowStore, DenseStore, RowMut, RowStore, SparseStore, StoreBackend};
 pub use vuln::{FlipDirection, VulnerabilityModel, VulnerableBit};
 

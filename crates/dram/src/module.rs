@@ -7,7 +7,7 @@ use crate::error::DramError;
 use crate::geometry::{DramGeometry, RowId};
 use crate::remap::RemapTable;
 use crate::retention::{get_bit, set_bit, RetentionModel};
-use crate::stats::{DramStats, FlipEvent};
+use crate::stats::{DramStats, FlipEvent, FlipLog};
 use crate::store::{AnyRowStore, RowStore, StoreBackend};
 use crate::vuln::{VulnerabilityModel, VulnerableBit};
 
@@ -293,11 +293,15 @@ impl DramModule {
         self.stats.clear_flip_log();
     }
 
-    /// Takes the retained flip log (oldest first), leaving it empty and
-    /// resetting its drop counter. Events already evicted by the bounded
-    /// log are not returned; only the aggregate counters remember them.
-    pub fn take_flip_log(&mut self) -> Vec<FlipEvent> {
-        self.stats.flip_log.drain_to_vec()
+    /// Takes the retained flip log (oldest first) together with the exact
+    /// number of events the bounded ring evicted, leaving the log empty and
+    /// resetting its drop counter. The returned transcript is complete
+    /// **iff** [`FlipLog::dropped`] is zero; consumers that require a
+    /// faithful transcript (record/replay) must check
+    /// [`FlipLog::is_complete`] instead of assuming it.
+    pub fn take_flip_log(&mut self) -> FlipLog {
+        let (events, dropped) = self.stats.flip_log.drain_to_vec();
+        FlipLog { events, dropped }
     }
 
     /// Reconfigures how many flip events the bounded log retains. Zero

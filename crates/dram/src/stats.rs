@@ -18,6 +18,58 @@ pub struct FlipEvent {
     pub time_ns: u64,
 }
 
+/// A drained flip log: the retained events plus the exact number of older
+/// events the bounded ring evicted before the drain.
+///
+/// Returned by [`DramModule::take_flip_log`](crate::DramModule::take_flip_log)
+/// so callers cannot mistake a truncated transcript for a complete one:
+/// `events` is the full history **iff** `dropped == 0`. Record/replay code
+/// must check [`FlipLog::is_complete`] and fail loudly on a lossy log.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FlipLog {
+    /// Retained flip events, oldest first.
+    pub events: Vec<FlipEvent>,
+    /// Events evicted by the bounded ring before this drain (0 ⇒ `events`
+    /// is the complete history since the last reset).
+    pub dropped: u64,
+}
+
+impl FlipLog {
+    /// True when no events were evicted: `events` is the full transcript.
+    pub fn is_complete(&self) -> bool {
+        self.dropped == 0
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when no events were retained.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Total events ever recorded: retained plus dropped.
+    pub fn total_recorded(&self) -> u64 {
+        self.dropped + self.events.len() as u64
+    }
+
+    /// Iterates over retained events, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &FlipEvent> {
+        self.events.iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a FlipLog {
+    type Item = &'a FlipEvent;
+    type IntoIter = std::slice::Iter<'a, FlipEvent>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.events.iter()
+    }
+}
+
 /// Running counters and the flip log of a [`DramModule`](crate::DramModule).
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct DramStats {

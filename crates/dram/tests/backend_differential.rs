@@ -90,11 +90,15 @@ fn backends_are_bit_identical_under_seeded_op_sequence() {
             assert_eq!(m.store_backend(), backend);
             let peeks = drive(&mut m, seed);
             let contents = m.peek(0, m.capacity_bytes() as usize).unwrap();
-            let flips: String = m
-                .take_flip_log()
-                .iter()
-                .map(|e| format!("{:?}/{:?}/{:?}/{};", e.row, e.bit, e.direction, e.time_ns))
-                .collect();
+            let log = m.take_flip_log();
+            // The drop count is part of the observable: every backend must
+            // evict exactly the same events from the bounded window.
+            let flips: String =
+                std::iter::once(format!("dropped={};", log.dropped))
+                    .chain(log.iter().map(|e| {
+                        format!("{:?}/{:?}/{:?}/{};", e.row, e.bit, e.direction, e.time_ns)
+                    }))
+                    .collect();
             let mut counters = Counters::new("diff");
             counters.record(m.stats());
             counters.add_u64("dram", "rows_materialized", m.rows_materialized() as u64);

@@ -516,6 +516,95 @@ mod tests {
     }
 
     #[test]
+    fn astral_strings_round_trip_through_escapes_and_raw() {
+        // The same astral character must survive whether it arrives as a
+        // surrogate-pair escape or as raw UTF-8, and must re-parse from the
+        // compact rendering (which emits astral characters raw).
+        let escaped = parse(r#""😀""#).unwrap();
+        assert_eq!(escaped, JsonValue::String("😀".into()));
+        let raw = parse("\"😀\"").unwrap();
+        assert_eq!(escaped, raw);
+        assert_eq!(parse(&escaped.to_compact_string()).unwrap(), escaped);
+
+        // Boundary code points of the astral plane via escapes.
+        assert_eq!(
+            parse(r#""𐀀""#).unwrap(),
+            JsonValue::String("\u{10000}".into()),
+            "first astral code point"
+        );
+        assert_eq!(
+            parse(r#""􏿿""#).unwrap(),
+            JsonValue::String("\u{10FFFF}".into()),
+            "last astral code point"
+        );
+    }
+
+    #[test]
+    fn broken_surrogate_escapes_are_rejected() {
+        for (bad, why) in [
+            (r#""\ud800""#, "lone high surrogate at end of string"),
+            (r#""\ud800x""#, "high surrogate followed by a plain char"),
+            (r#""\ud800\n""#, "high surrogate followed by a non-\\u escape"),
+            (r#""\ud800\ud800""#, "high surrogate followed by another high"),
+            (r#""\udc00""#, "lone low surrogate"),
+            (r#""\udfff""#, "lone low surrogate (upper bound)"),
+            (r#""\ude00\ud83d""#, "reversed pair"),
+            (r#""a\udc00b""#, "lone low surrogate mid-string"),
+        ] {
+            assert!(parse(bad).is_err(), "{why}: {bad} must be rejected");
+        }
+    }
+
+    #[test]
+    fn random_strings_round_trip_through_compact_rendering() {
+        // Fuzz-style: seeded random strings over a charset that covers every
+        // escape class (controls, quotes, backslashes, BMP, astral) must
+        // survive value → compact JSON → value unchanged.
+        const CHARSET: &[char] = &[
+            'a',
+            'Z',
+            '9',
+            ' ',
+            '"',
+            '\\',
+            '/',
+            '\n',
+            '\r',
+            '\t',
+            '\u{0}',
+            '\u{1F}',
+            'é',
+            '\u{7FF}',
+            'あ',
+            '\u{FFFD}',
+            '😀',
+            '\u{10000}',
+            '\u{10FFFF}',
+            '𝔘',
+        ];
+        let mut state = 0x0123_4567_89AB_CDEFu64;
+        let mut next = move || {
+            // SplitMix64, as used by the differential suites.
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        for trial in 0..200 {
+            let len = (next() % 24) as usize;
+            let s: String =
+                (0..len).map(|_| CHARSET[(next() % CHARSET.len() as u64) as usize]).collect();
+            let value = JsonValue::String(s.clone());
+            let rendered = value.to_compact_string();
+            let reparsed = parse(&rendered).unwrap_or_else(|e| {
+                panic!("trial {trial}: {s:?} rendered as {rendered:?} failed to parse: {e}")
+            });
+            assert_eq!(reparsed, value, "trial {trial}: round-trip mangled {s:?}");
+        }
+    }
+
+    #[test]
     fn compact_serialization_round_trips() {
         let doc = r#"{"label": {"quick": false, "metrics": {"ns": 141.917, "rate": 18374516.413, "hits": 936, "neg": -0.001, "tiny": 6.5e-7}}, "s": "a\"b\n", "arr": [1, 2.5, true, null]}"#;
         let v = parse(doc).unwrap();

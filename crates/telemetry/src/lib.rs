@@ -17,6 +17,11 @@
 //! * [`json`] — a strict JSON parser (duplicate keys and non-finite
 //!   numbers rejected) so CI can prove every emitted artifact is real
 //!   JSON, not just JSON-shaped text.
+//! * [`schema`] — shape validation on top of the parser: the universal
+//!   snapshot envelope, per-binary required groups/keys with declared
+//!   [`ValueKind`]s, and the bench-baseline record shape, so a snapshot
+//!   that silently lost a group or turned a counter into a float fails CI
+//!   instead of misleading every downstream consumer.
 //!
 //! The crate is dependency-free (JSON is emitted by hand with `BTreeMap`
 //! ordering) so every other crate in the workspace can depend on it without
@@ -28,7 +33,9 @@
 mod counters;
 pub mod json;
 mod ring;
+pub mod schema;
 
 pub use counters::{Counters, Group, StatSource, Value};
 pub use json::{JsonError, JsonValue};
 pub use ring::{RingLog, DEFAULT_LOG_CAPACITY};
+pub use schema::{SchemaError, SnapshotSchema, ValueKind};

@@ -93,11 +93,21 @@ impl<T> RingLog<T> {
         }
     }
 
-    /// Removes and returns all retained events (oldest first) and resets
-    /// the drop counter, leaving a fresh log with the same capacity.
-    pub fn drain_to_vec(&mut self) -> Vec<T> {
+    /// Removes and returns all retained events (oldest first) **and** the
+    /// number of events that were dropped before this drain, leaving a
+    /// fresh log with the same capacity.
+    ///
+    /// The drop count is part of the return value on purpose: a caller that
+    /// treats the drained `Vec` as "the complete event history" is wrong
+    /// whenever the window wrapped, and an earlier version of this method
+    /// silently reset the counter — making a truncated log indistinguishable
+    /// from a complete one. Callers that genuinely only want the retained
+    /// window can ignore the count explicitly; record/replay callers must
+    /// fail loudly when it is non-zero.
+    pub fn drain_to_vec(&mut self) -> (Vec<T>, u64) {
+        let dropped = self.dropped;
         self.dropped = 0;
-        self.buf.drain(..).collect()
+        (self.buf.drain(..).collect(), dropped)
     }
 
     /// Discards all retained events and resets the drop counter.
@@ -156,16 +166,30 @@ mod tests {
     }
 
     #[test]
-    fn drain_resets_log() {
+    fn drain_resets_log_and_reports_drops() {
         let mut log = RingLog::new(2);
         for i in 0..5u32 {
             log.push(i);
         }
-        let events = log.drain_to_vec();
+        let (events, dropped) = log.drain_to_vec();
         assert_eq!(events, vec![3, 4]);
+        assert_eq!(dropped, 3, "the drain must surface the loss, not swallow it");
         assert!(log.is_empty());
         assert_eq!(log.dropped(), 0);
         assert_eq!(log.capacity(), 2);
+    }
+
+    #[test]
+    fn lossless_drain_reports_zero_drops() {
+        let mut log = RingLog::new(8);
+        for i in 0..5u32 {
+            log.push(i);
+        }
+        let (events, dropped) = log.drain_to_vec();
+        assert_eq!(events, vec![0, 1, 2, 3, 4]);
+        assert_eq!(dropped, 0);
+        // A second drain of the now-empty log is also lossless.
+        assert_eq!(log.drain_to_vec(), (vec![], 0));
     }
 
     #[test]

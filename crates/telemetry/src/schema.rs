@@ -1,0 +1,447 @@
+//! Shape validation for the workspace's machine-readable artifacts.
+//!
+//! The strict [`crate::json`] parser proves an emitted file is
+//! standards-valid JSON; this module proves it is the *right* JSON. A
+//! telemetry snapshot that parses but silently lost its `dram` group, or
+//! whose counters turned into floats, would still sail through a
+//! syntax-only gate — and every downstream consumer (drift watchers,
+//! replay verifiers, dashboards) would misread it. Schema validation turns
+//! those shape regressions into CI failures:
+//!
+//! * [`validate_snapshot`] checks the universal envelope every
+//!   [`crate::Counters::to_json`] snapshot has — exactly the top-level keys
+//!   `label` / `flags` / `groups`, string flags, flat groups of
+//!   number/bool/text values — and then applies the per-binary
+//!   [`declarations`]: required groups and keys with declared
+//!   [`ValueKind`]s, matched by snapshot-label prefix.
+//! * [`validate_baseline`] checks the `BENCH_baseline.json` record: one
+//!   object per label, each with exactly `quick` (bool) and `metrics`
+//!   (flat object of finite numbers).
+//!
+//! Kind checking is necessarily approximate for numbers — JSON has one
+//! number type, so a `UInt` declaration is enforced as "non-negative,
+//! integral, and exactly representable (≤ 2⁵³)" rather than by token
+//! shape. That still catches the real failure modes: a counter emitted as
+//! `1.5`, a rate emitted as a string, a boolean flipped to `0`/`1`.
+
+use std::fmt;
+
+use crate::json::JsonValue;
+
+/// The integer range within which every `f64` is exact: `±2^53`. JSON
+/// numbers round-trip through `f64`, so declared `UInt` values outside
+/// this range could not be validated (or replayed) faithfully.
+pub const MAX_EXACT_INT: f64 = 9_007_199_254_740_992.0; // 2^53
+
+/// Declared kind of a telemetry value, mirroring [`crate::Value`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ValueKind {
+    /// A monotonic counter: non-negative integral number (≤ 2⁵³).
+    UInt,
+    /// A derived metric: any finite number.
+    Float,
+    /// A condition flag: `true` / `false`.
+    Bool,
+    /// Free-form metadata: a string.
+    Text,
+}
+
+impl ValueKind {
+    /// True when `v` is admissible for this kind.
+    #[must_use]
+    pub fn admits(self, v: &JsonValue) -> bool {
+        match self {
+            ValueKind::UInt => match v {
+                JsonValue::Number(n) => *n >= 0.0 && n.fract() == 0.0 && *n <= MAX_EXACT_INT,
+                _ => false,
+            },
+            ValueKind::Float => matches!(v, JsonValue::Number(_)),
+            ValueKind::Bool => matches!(v, JsonValue::Bool(_)),
+            ValueKind::Text => matches!(v, JsonValue::String(_)),
+        }
+    }
+
+    /// Human-readable kind name for error messages.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            ValueKind::UInt => "uint (non-negative integral number)",
+            ValueKind::Float => "float (finite number)",
+            ValueKind::Bool => "bool",
+            ValueKind::Text => "text (string)",
+        }
+    }
+}
+
+/// One shape violation, addressed by a `.`-separated path into the
+/// document (e.g. `groups.dram.flips_one_to_zero`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SchemaError {
+    /// Where in the document the violation sits.
+    pub path: String,
+    /// What is wrong there.
+    pub message: String,
+}
+
+impl fmt::Display for SchemaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.path, self.message)
+    }
+}
+
+/// A required key within a required group.
+#[derive(Debug, Clone, Copy)]
+pub struct KeyReq {
+    /// Key name inside the group.
+    pub key: &'static str,
+    /// Declared kind the value must satisfy.
+    pub kind: ValueKind,
+}
+
+/// A group a snapshot must contain, with its required keys.
+#[derive(Debug, Clone, Copy)]
+pub struct GroupReq {
+    /// Group name under `groups`.
+    pub group: &'static str,
+    /// Keys the group must contain (it may contain more).
+    pub keys: &'static [KeyReq],
+}
+
+/// Required shape of one binary's telemetry snapshot, matched by label
+/// prefix (labels are `<binary>` or `<binary>-<variant>`).
+#[derive(Debug, Clone, Copy)]
+pub struct SnapshotSchema {
+    /// Snapshot-label prefix this declaration applies to.
+    pub label_prefix: &'static str,
+    /// Groups (and keys within them) the snapshot must contain.
+    pub required: &'static [GroupReq],
+}
+
+/// Per-binary snapshot declarations. A snapshot whose label matches no
+/// declaration still gets the universal envelope checks; one that matches
+/// (longest prefix wins) must additionally carry the declared groups/keys
+/// with the declared kinds.
+#[must_use]
+pub fn declarations() -> &'static [SnapshotSchema] {
+    const BENCH_BASELINE: &[GroupReq] = &[
+        GroupReq {
+            group: "bench",
+            keys: &[
+                KeyReq { key: "quick", kind: ValueKind::Bool },
+                KeyReq { key: "total_wall_s", kind: ValueKind::Float },
+                KeyReq { key: "pte_walk_cold_stock_ns", kind: ValueKind::Float },
+                KeyReq { key: "dram_write_u64_ops_per_sec", kind: ValueKind::Float },
+            ],
+        },
+        GroupReq { group: "tlb", keys: &[KeyReq { key: "hit_rate", kind: ValueKind::Float }] },
+        GroupReq { group: "psc", keys: &[KeyReq { key: "hit_rate", kind: ValueKind::Float }] },
+    ];
+    const EXP_TABLE4: &[GroupReq] = &[
+        GroupReq { group: "tlb", keys: &[KeyReq { key: "hit_rate", kind: ValueKind::Float }] },
+        GroupReq { group: "psc", keys: &[KeyReq { key: "hit_rate", kind: ValueKind::Float }] },
+    ];
+    // The embedded telemetry of a flip-log recording (cta-attack): replay
+    // verifies these counters against the flip-event transcript, so their
+    // presence and integer kind are load-bearing.
+    const RECORDING: &[GroupReq] = &[
+        GroupReq {
+            group: "campaign",
+            keys: &[
+                KeyReq { key: "trials", kind: ValueKind::UInt },
+                KeyReq { key: "total_flips", kind: ValueKind::UInt },
+                KeyReq { key: "successes", kind: ValueKind::UInt },
+                KeyReq { key: "total_rows_hammered", kind: ValueKind::UInt },
+                KeyReq { key: "total_sim_time_ns", kind: ValueKind::UInt },
+            ],
+        },
+        GroupReq {
+            group: "dram",
+            keys: &[
+                KeyReq { key: "flips_one_to_zero", kind: ValueKind::UInt },
+                KeyReq { key: "flips_zero_to_one", kind: ValueKind::UInt },
+                KeyReq { key: "flip_log_retained", kind: ValueKind::UInt },
+                KeyReq { key: "flip_log_dropped", kind: ValueKind::UInt },
+                KeyReq { key: "activations", kind: ValueKind::UInt },
+            ],
+        },
+    ];
+    &[
+        SnapshotSchema { label_prefix: "bench-baseline", required: BENCH_BASELINE },
+        SnapshotSchema { label_prefix: "exp-table4", required: EXP_TABLE4 },
+        SnapshotSchema { label_prefix: "recording", required: RECORDING },
+    ]
+}
+
+/// The declaration applying to `label`, if any (longest matching prefix).
+#[must_use]
+pub fn schema_for(label: &str) -> Option<&'static SnapshotSchema> {
+    declarations()
+        .iter()
+        .filter(|s| label.starts_with(s.label_prefix))
+        .max_by_key(|s| s.label_prefix.len())
+}
+
+fn err(path: impl Into<String>, message: impl Into<String>) -> SchemaError {
+    SchemaError { path: path.into(), message: message.into() }
+}
+
+/// Validates a telemetry snapshot: the universal
+/// [`crate::Counters::to_json`] envelope plus, when the label matches a
+/// per-binary declaration, that binary's required groups/keys/kinds.
+/// Returns every violation found (empty ⇒ valid).
+#[must_use]
+pub fn validate_snapshot(doc: &JsonValue) -> Vec<SchemaError> {
+    let mut errors = Vec::new();
+    let Some(members) = doc.as_object() else {
+        return vec![err("$", "snapshot must be a JSON object")];
+    };
+
+    // Exactly the envelope keys — an unknown top-level key means some
+    // emitter grew a side channel no consumer knows about.
+    for (key, _) in members {
+        if !matches!(key.as_str(), "label" | "flags" | "groups") {
+            errors.push(err(key, "unknown top-level key (expected label, flags, groups)"));
+        }
+    }
+
+    let label = match doc.get("label") {
+        None => {
+            errors.push(err("label", "missing"));
+            None
+        }
+        Some(JsonValue::String(s)) if !s.is_empty() => Some(s.clone()),
+        Some(JsonValue::String(_)) => {
+            errors.push(err("label", "must be non-empty"));
+            None
+        }
+        Some(_) => {
+            errors.push(err("label", "must be a string"));
+            None
+        }
+    };
+
+    match doc.get("flags") {
+        None => errors.push(err("flags", "missing")),
+        Some(JsonValue::Array(items)) => {
+            for (i, item) in items.iter().enumerate() {
+                if !matches!(item, JsonValue::String(_)) {
+                    errors.push(err(format!("flags[{i}]"), "flags must be strings"));
+                }
+            }
+        }
+        Some(_) => errors.push(err("flags", "must be an array")),
+    }
+
+    match doc.get("groups") {
+        None => errors.push(err("groups", "missing")),
+        Some(JsonValue::Object(groups)) => {
+            for (name, group) in groups {
+                let Some(values) = group.as_object() else {
+                    errors.push(err(format!("groups.{name}"), "group must be an object"));
+                    continue;
+                };
+                for (key, value) in values {
+                    let flat = matches!(
+                        value,
+                        JsonValue::Number(_) | JsonValue::Bool(_) | JsonValue::String(_)
+                    );
+                    if !flat {
+                        errors.push(err(
+                            format!("groups.{name}.{key}"),
+                            "group values must be numbers, booleans, or strings",
+                        ));
+                    }
+                }
+            }
+        }
+        Some(_) => errors.push(err("groups", "must be an object")),
+    }
+
+    if let Some(label) = label {
+        if let Some(schema) = schema_for(&label) {
+            errors.extend(validate_required(doc, schema));
+        }
+    }
+    errors
+}
+
+/// Checks `doc` against one declaration's required groups/keys/kinds
+/// (assumes the envelope checks ran separately).
+#[must_use]
+pub fn validate_required(doc: &JsonValue, schema: &SnapshotSchema) -> Vec<SchemaError> {
+    let mut errors = Vec::new();
+    let groups = doc.get("groups");
+    for req in schema.required {
+        let Some(group) = groups.and_then(|g| g.get(req.group)) else {
+            errors.push(err(
+                format!("groups.{}", req.group),
+                format!("required group missing (schema `{}`)", schema.label_prefix),
+            ));
+            continue;
+        };
+        for key_req in req.keys {
+            let path = format!("groups.{}.{}", req.group, key_req.key);
+            match group.get(key_req.key) {
+                None => errors.push(err(path, "required key missing")),
+                Some(v) if !key_req.kind.admits(v) => {
+                    errors.push(err(path, format!("expected {}", key_req.kind.name())));
+                }
+                Some(_) => {}
+            }
+        }
+    }
+    errors
+}
+
+/// Validates the `BENCH_baseline.json` record: a top-level object of
+/// labeled sections, each with exactly `quick` (bool) and `metrics` (a
+/// flat object of finite numbers). Returns every violation found.
+#[must_use]
+pub fn validate_baseline(doc: &JsonValue) -> Vec<SchemaError> {
+    let mut errors = Vec::new();
+    let Some(sections) = doc.as_object() else {
+        return vec![err("$", "baseline must be a JSON object")];
+    };
+    for (label, section) in sections {
+        let Some(members) = section.as_object() else {
+            errors.push(err(label, "section must be an object"));
+            continue;
+        };
+        for (key, _) in members {
+            if !matches!(key.as_str(), "quick" | "metrics") {
+                errors.push(err(
+                    format!("{label}.{key}"),
+                    "unknown section key (expected quick, metrics)",
+                ));
+            }
+        }
+        match section.get("quick") {
+            Some(JsonValue::Bool(_)) => {}
+            Some(_) => errors.push(err(format!("{label}.quick"), "must be a boolean")),
+            None => errors.push(err(format!("{label}.quick"), "missing")),
+        }
+        match section.get("metrics") {
+            Some(JsonValue::Object(metrics)) => {
+                for (metric, value) in metrics {
+                    if !matches!(value, JsonValue::Number(_)) {
+                        errors.push(err(
+                            format!("{label}.metrics.{metric}"),
+                            "metrics must be numbers",
+                        ));
+                    }
+                }
+            }
+            Some(_) => errors.push(err(format!("{label}.metrics"), "must be an object")),
+            None => errors.push(err(format!("{label}.metrics"), "missing")),
+        }
+    }
+    errors
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse;
+    use crate::Counters;
+
+    #[test]
+    fn live_counters_snapshots_validate() {
+        let mut c = Counters::new("exp-anything");
+        c.set_u64("dram", "reads", 7);
+        c.set_f64("tlb", "hit_rate", 0.5);
+        c.set_bool("bench", "quick", true);
+        c.set_text("bench", "note", "hi");
+        c.flag("checked");
+        let doc = parse(&c.to_json()).unwrap();
+        assert_eq!(validate_snapshot(&doc), vec![]);
+    }
+
+    #[test]
+    fn unknown_top_level_key_is_rejected() {
+        let doc = parse(r#"{"label": "x", "flags": [], "groups": {}, "extra": 1}"#).unwrap();
+        let errors = validate_snapshot(&doc);
+        assert!(errors.iter().any(|e| e.path == "extra"), "{errors:?}");
+    }
+
+    #[test]
+    fn missing_envelope_pieces_are_each_reported() {
+        let errors = validate_snapshot(&parse("{}").unwrap());
+        for path in ["label", "flags", "groups"] {
+            assert!(errors.iter().any(|e| e.path == path), "missing {path}: {errors:?}");
+        }
+    }
+
+    #[test]
+    fn nested_group_values_are_rejected() {
+        let doc = parse(r#"{"label": "x", "flags": [], "groups": {"g": {"k": [1]}}}"#).unwrap();
+        let errors = validate_snapshot(&doc);
+        assert_eq!(errors.len(), 1);
+        assert_eq!(errors[0].path, "groups.g.k");
+    }
+
+    #[test]
+    fn declared_snapshot_must_carry_required_groups() {
+        // A bench-baseline label without its bench group fails the
+        // per-binary declaration even though the envelope is fine.
+        let doc = parse(r#"{"label": "bench-baseline-check", "flags": [], "groups": {}}"#).unwrap();
+        let errors = validate_snapshot(&doc);
+        assert!(errors.iter().any(|e| e.path == "groups.bench"), "{errors:?}");
+    }
+
+    #[test]
+    fn uint_kind_rejects_fractional_and_negative_numbers() {
+        assert!(ValueKind::UInt.admits(&JsonValue::Number(0.0)));
+        assert!(ValueKind::UInt.admits(&JsonValue::Number(936.0)));
+        assert!(!ValueKind::UInt.admits(&JsonValue::Number(1.5)));
+        assert!(!ValueKind::UInt.admits(&JsonValue::Number(-1.0)));
+        assert!(!ValueKind::UInt.admits(&JsonValue::Number(MAX_EXACT_INT * 2.0)));
+        assert!(!ValueKind::UInt.admits(&JsonValue::Bool(true)));
+        assert!(ValueKind::Float.admits(&JsonValue::Number(-0.5)));
+        assert!(!ValueKind::Float.admits(&JsonValue::String("0.5".into())));
+    }
+
+    #[test]
+    fn recording_declaration_enforces_integer_counters() {
+        let doc = parse(
+            r#"{"label": "recording", "flags": [], "groups": {
+                "campaign": {"trials": 2, "total_flips": 1.5, "successes": 0,
+                             "total_rows_hammered": 4, "total_sim_time_ns": 9},
+                "dram": {"flips_one_to_zero": 1, "flips_zero_to_one": 0,
+                         "flip_log_retained": 1, "flip_log_dropped": 0,
+                         "activations": 3}}}"#,
+        )
+        .unwrap();
+        let errors = validate_snapshot(&doc);
+        assert_eq!(errors.len(), 1, "{errors:?}");
+        assert_eq!(errors[0].path, "groups.campaign.total_flips");
+    }
+
+    #[test]
+    fn schema_for_picks_longest_prefix() {
+        assert_eq!(schema_for("bench-baseline-check").unwrap().label_prefix, "bench-baseline");
+        assert_eq!(schema_for("recording").unwrap().label_prefix, "recording");
+        assert!(schema_for("exp-fig1").is_none());
+    }
+
+    #[test]
+    fn baseline_shape_validates_and_rejects_drift() {
+        let good = parse(
+            r#"{"before": {"quick": false, "metrics": {"ns": 1.5, "hits": 936}},
+                "check": {"quick": true, "metrics": {}}}"#,
+        )
+        .unwrap();
+        assert_eq!(validate_baseline(&good), vec![]);
+
+        let bad = parse(
+            r#"{"before": {"quick": "yes", "metrics": {"ns": "fast"}, "notes": 1},
+                "late": {"metrics": {}}}"#,
+        )
+        .unwrap();
+        let errors = validate_baseline(&bad);
+        let paths: Vec<&str> = errors.iter().map(|e| e.path.as_str()).collect();
+        assert!(paths.contains(&"before.quick"), "{errors:?}");
+        assert!(paths.contains(&"before.metrics.ns"), "{errors:?}");
+        assert!(paths.contains(&"before.notes"), "{errors:?}");
+        assert!(paths.contains(&"late.quick"), "{errors:?}");
+    }
+}

@@ -101,12 +101,23 @@ for ex in quickstart cell_profiling coldboot_and_popcount defended_system \
     cargo run --release -q --example "$ex" > /dev/null
 done
 
-echo "==> strict JSON validation (BENCH_baseline.json + telemetry/*.json)"
+echo "==> strict JSON + schema validation (BENCH_baseline.json + telemetry/*.json)"
 # Every machine-readable artifact the workspace emits must parse as
-# standards-valid JSON (duplicate keys and non-finite numbers rejected).
-# With no arguments json-check audits BENCH_baseline.json and every
-# *.json under telemetry/.
-cargo run --release -q -p cta-bench --bin json-check
+# standards-valid JSON (duplicate keys and non-finite numbers rejected)
+# AND have the right shape: snapshots carry exactly label/flags/groups
+# with flat scalar groups plus any per-binary required keys, the baseline
+# carries quick/metrics sections. With no arguments json-check audits
+# BENCH_baseline.json and every *.json under telemetry/.
+cargo run --release -q -p cta-bench --bin json-check -- --schema
+cargo run --release -q -p cta-bench --bin json-check -- --schema \
+    fixtures/recordings/*.recording.json
+
+echo "==> golden recording replay (all backends x flip engines)"
+# The checked-in campaign recordings must replay byte-identically — flip
+# transcripts, contents hashes, clocks, outcomes, telemetry — under every
+# store backend and flip engine. After an *intentional* simulation
+# change, regenerate with `replay-check --record` and commit the diff.
+cargo run --release -q -p cta-bench --bin replay-check
 
 echo "==> telemetry sanity: no NaN/inf, no sanitizer flags"
 # Word-boundary patterns: a substring match like `flip_info` or a
