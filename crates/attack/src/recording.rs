@@ -41,7 +41,7 @@
 
 use std::fmt;
 
-use cta_core::SystemBuilder;
+use cta_core::{DefenseSpec, SystemBuilder};
 use cta_dram::{DisturbanceParams, FlipDirection, FlipEvent, FlipLog, MapGen, RowId};
 use cta_telemetry::json::{self, JsonValue};
 use cta_telemetry::{schema, Counters};
@@ -148,6 +148,7 @@ impl RecordingSpec {
             .seed(seed)
             .backend(target.backend)
             .flip_engine(target.flip_engine)
+            .defense(target.defense)
     }
 }
 
@@ -159,6 +160,17 @@ pub struct ReplayTarget {
     pub backend: cta_dram::StoreBackend,
     /// Disturbance/decay inner-loop implementation.
     pub flip_engine: cta_dram::FlipEngine,
+    /// Software defense installed on the trial machines. Golden gates
+    /// replay under the default [`DefenseSpec::None`], which must be
+    /// byte-identical to the recorded (undefended) campaign. Any installed
+    /// defense diverges at least at the telemetry comparison (defended
+    /// kernels emit a `defense` counter group): a pure
+    /// [`DefenseSpec::Observer`] replays the flip transcript, contents,
+    /// clock, and outcome exactly and fails only there, while an *acting*
+    /// defense diverges in the transcript itself. Both are deliberate
+    /// divergence probes, expected to fail with
+    /// [`RecordingError::Mismatch`].
+    pub defense: DefenseSpec,
 }
 
 impl fmt::Display for ReplayTarget {
@@ -167,7 +179,11 @@ impl fmt::Display for ReplayTarget {
             cta_dram::FlipEngine::Scalar => "scalar",
             cta_dram::FlipEngine::Wordwise => "wordwise",
         };
-        write!(f, "{}/{engine}", self.backend.name())
+        write!(f, "{}/{engine}", self.backend.name())?;
+        if !self.defense.is_none() {
+            write!(f, "+{}", self.defense)?;
+        }
+        Ok(())
     }
 }
 
@@ -178,7 +194,7 @@ impl ReplayTarget {
         let mut targets = Vec::new();
         for backend in cta_dram::StoreBackend::ALL {
             for flip_engine in [cta_dram::FlipEngine::Scalar, cta_dram::FlipEngine::Wordwise] {
-                targets.push(ReplayTarget { backend, flip_engine });
+                targets.push(ReplayTarget { backend, flip_engine, defense: DefenseSpec::None });
             }
         }
         targets

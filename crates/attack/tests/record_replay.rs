@@ -8,7 +8,8 @@ use cta_attack::{
     record_campaign, replay_recording, verify_flip_accounting, RecordedAttack, Recording,
     RecordingError, RecordingSpec, ReplayTarget, SprayAttack, TemplatingAttack,
 };
-use cta_dram::{FlipDirection, StoreBackend};
+use cta_core::DefenseSpec;
+use cta_dram::{BlockHammerParams, FlipDirection, StoreBackend};
 
 /// A deliberately small spray campaign: two trials, narrow spray, few
 /// hammer rows — enough to induce flips at `pf = 0.05` while keeping the
@@ -44,7 +45,11 @@ fn templating_recording_replays_identically() {
     let recording = record_campaign(&small_templating_spec()).unwrap();
     for target in [
         ReplayTarget::default(),
-        ReplayTarget { backend: StoreBackend::Cow, flip_engine: cta_dram::FlipEngine::Scalar },
+        ReplayTarget {
+            backend: StoreBackend::Cow,
+            flip_engine: cta_dram::FlipEngine::Scalar,
+            defense: DefenseSpec::None,
+        },
     ] {
         replay_recording(&recording, target)
             .unwrap_or_else(|e| panic!("replay failed on {target}: {e}"));
@@ -201,6 +206,63 @@ fn malformed_documents_are_rejected_with_paths() {
             assert!(path.starts_with("telemetry."), "{path}");
         }
         other => panic!("expected telemetry schema failure, got {other:?}"),
+    }
+}
+
+/// The golden fixtures checked into `fixtures/recordings/`, parsed
+/// through the strict loader.
+fn golden_fixtures() -> Vec<(String, Recording)> {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../fixtures/recordings");
+    let mut fixtures = Vec::new();
+    for name in ["spray-small", "templating-small"] {
+        let path = dir.join(format!("{name}.recording.json"));
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("golden fixture {} unreadable: {e}", path.display()));
+        fixtures.push((name.to_string(), Recording::from_json_str(&text).unwrap()));
+    }
+    fixtures
+}
+
+#[test]
+fn golden_fixtures_replay_byte_identically_under_explicit_no_defense() {
+    // The defense refactor's determinism contract: a replay target that
+    // names `DefenseSpec::None` explicitly takes the pre-refactor code
+    // path bit for bit, so the pre-refactor golden recordings replay
+    // unchanged — transcript, contents hash, clock, outcome, telemetry.
+    let target = ReplayTarget { defense: DefenseSpec::None, ..ReplayTarget::default() };
+    for (name, recording) in golden_fixtures() {
+        let report = replay_recording(&recording, target)
+            .unwrap_or_else(|e| panic!("golden fixture {name} diverged under None: {e}"));
+        assert_eq!(report.trials, recording.trials.len(), "{name}");
+    }
+}
+
+#[test]
+fn observer_defense_replays_the_transcript_but_marks_the_telemetry() {
+    // A pure observer must not perturb the simulation: the per-trial
+    // comparisons (flip transcript, contents, clock, outcome) all pass,
+    // and the only divergence is the campaign telemetry, where the
+    // defended kernel emits its `defense` counter group.
+    let recording = record_campaign(&small_spray_spec()).unwrap();
+    let target = ReplayTarget { defense: DefenseSpec::Observer, ..ReplayTarget::default() };
+    match replay_recording(&recording, target) {
+        Err(RecordingError::Mismatch { what: "telemetry snapshot", .. }) => {}
+        other => panic!("expected telemetry-only divergence, got {other:?}"),
+    }
+}
+
+#[test]
+fn an_acting_defense_diverges_in_the_flip_transcript_itself() {
+    let recording = record_campaign(&small_spray_spec()).unwrap();
+    let target = ReplayTarget {
+        defense: DefenseSpec::BlockHammer(BlockHammerParams::default()),
+        ..ReplayTarget::default()
+    };
+    assert_eq!(target.to_string(), format!("{}+blockhammer", ReplayTarget::default()));
+    match replay_recording(&recording, target) {
+        Err(RecordingError::Mismatch { .. }) => {}
+        Ok(_) => panic!("a throttling defense must not reproduce an undefended recording"),
+        Err(other) => panic!("expected a replay mismatch, got {other:?}"),
     }
 }
 

@@ -3,19 +3,40 @@
 //! low-rate sampler catches the sustained hammering long before it can
 //! matter; and for unprotected data rows, preemptive mitigation stops
 //! flips outright.
+//!
+//! The detector runs as the hook-native [`cta_dram::AnvilSamplerDefense`]
+//! installed through the `Defense` trait (`DefenseSpec::Anvil`), so the
+//! DRAM module itself consults it on every activation batch — no explicit
+//! polling loop. The legacy polled API ([`cta_ext::AnvilDetector`]) keeps
+//! its own tests in `cta-ext`.
 
-use cta_bench::{emit_telemetry, header, kv};
-use cta_dram::{DisturbanceParams, DramConfig, DramModule, RowId};
-use cta_ext::{AnvilConfig, AnvilDetector};
+use cta_bench::{defended_builder, emit_telemetry, header, kv};
+use cta_core::DefenseSpec;
+use cta_dram::{
+    AnvilSamplerDefense, AnvilSamplerParams, DisturbanceParams, DramConfig, DramModule, RowId,
+};
 use cta_telemetry::Counters;
 use cta_workloads::{spec2006, Runner};
 
 fn module(seed: u64) -> DramModule {
-    DramModule::new(
+    let mut m = DramModule::new(
         DramConfig::small_test()
             .with_seed(seed)
             .with_disturbance(DisturbanceParams { pf: 0.05, ..DisturbanceParams::default() }),
-    )
+    );
+    // Same activation hook the full system gets from DefenseSpec::Anvil,
+    // installed directly on the bare module.
+    m.install_defense(Box::new(AnvilSamplerDefense::new(AnvilSamplerParams::default())));
+    m
+}
+
+/// ANVIL alarms raised so far, read from the installed hook's counters.
+fn anvil_alarms(m: &DramModule) -> u64 {
+    m.defense()
+        .map(|d| {
+            d.counters().iter().find(|(k, _)| *k == "anvil_alarms").map(|(_, v)| *v).unwrap_or(0)
+        })
+        .unwrap_or(0)
 }
 
 fn main() {
@@ -25,15 +46,15 @@ fn main() {
     for seed in 0..20u64 {
         let mut m = module(seed);
         m.fill(2 * 4096, 4096, 0xFF).unwrap();
-        let mut detector = AnvilDetector::new(AnvilConfig::default());
         let threshold = m.config().disturbance.hammer_threshold;
-        // The attacker hammers in bursts; the detector samples periodically.
+        // The attacker hammers in bursts; the in-module sampler flags the
+        // sustained activation stream and refreshes the aggressors' rows
+        // before the victims accumulate enough disturbance.
         for _ in 0..32 {
             m.hammer(RowId(1), threshold / 8).unwrap();
             m.hammer(RowId(3), threshold / 8).unwrap();
-            detector.sample_and_mitigate(&mut m).unwrap();
         }
-        if !detector.alarms().is_empty() {
+        if anvil_alarms(&m) > 0 {
             detected += 1;
         }
         if m.stats().total_flips() == 0 {
@@ -46,15 +67,14 @@ fn main() {
     assert_eq!(prevented, 20);
 
     header("False positives on benign workloads");
-    let mut kernel =
-        cta_core::SystemBuilder::new(16 << 20).ptp_bytes(1 << 20).protected(true).build().unwrap();
-    let mut detector = AnvilDetector::new(AnvilConfig::default());
+    let mut kernel = defended_builder(9, true, DefenseSpec::Anvil(AnvilSamplerParams::default()))
+        .build()
+        .unwrap();
     let runner = Runner { repetitions: 1, seed: 9 };
-    let mut false_positives = 0;
     for spec in spec2006().iter().take(6) {
         runner.run(&mut kernel, spec).unwrap();
-        false_positives += detector.sample(kernel.dram()).len();
     }
+    let false_positives = anvil_alarms(kernel.dram());
     kv("alarms across 6 SPEC-shaped workloads", false_positives);
     assert_eq!(false_positives, 0, "benign work must not trip the detector");
 
@@ -62,7 +82,7 @@ fn main() {
     tel.set_u64("anvil", "campaigns", 20);
     tel.set_u64("anvil", "campaigns_detected", detected);
     tel.set_u64("anvil", "campaigns_preempted", prevented);
-    tel.set_u64("anvil", "benign_false_positives", false_positives as u64);
+    tel.set_u64("anvil", "benign_false_positives", false_positives);
     kernel.record_counters(&mut tel);
     emit_telemetry(&tel);
 

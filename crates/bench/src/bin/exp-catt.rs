@@ -18,36 +18,32 @@
 //! pfn-bit-10 above the kernel-partition PT frames — the flip pattern the
 //! bypasses exploit.
 
-use cta_bench::{emit_telemetry, header, kv};
+use cta_bench::{defended_builder, emit_telemetry, header, kv};
 use cta_core::verify::verify_system;
-use cta_core::SystemBuilder;
-use cta_dram::{CellType, DisturbanceParams, RowId};
-use cta_mem::{MemoryMap, PAGE_SIZE};
+use cta_core::{CattPartition, DefenseSpec, SystemBuilder};
+use cta_dram::{CellType, RowId};
+use cta_mem::PAGE_SIZE;
 use cta_telemetry::Counters;
 use cta_vm::{Access, Kernel, Pid, VirtAddr};
 
 const TOTAL: u64 = 8 << 20;
-const USER: u64 = 4 << 20;
-const GUARD: u64 = 4096;
 const FILE_PAGES: u64 = 60;
 const REGIONS: u64 = 48;
 
 fn base_builder(seed: u64, protected: bool) -> SystemBuilder {
-    SystemBuilder::new(TOTAL)
-        .ptp_bytes(512 * 1024)
-        .seed(seed)
-        .protected(protected)
-        // A finer polarity alternation (16-row runs) so both cell types
-        // exist near any allocation site — required for same-polarity
-        // manufacturer remaps between partitions.
-        .cell_period(16)
-        .disturbance(DisturbanceParams { pf: 0.05, ..DisturbanceParams::default() })
+    // The shared standard machine, with a finer polarity alternation
+    // (16-row runs) so both cell types exist near any allocation site —
+    // required for same-polarity manufacturer remaps between partitions.
+    defended_builder(seed, protected, DefenseSpec::None).cell_period(16)
 }
 
 fn catt_machine(seed: u64) -> Kernel {
-    let mut config = base_builder(seed, false).to_config();
-    config.memory_map_override = Some(MemoryMap::x86_64_with_catt(TOTAL, USER, GUARD));
-    Kernel::new(config).expect("CATT machine boots")
+    // CATT is the allocation-seam member of the defense catalog: the spec
+    // installs the partitioned memory map at boot, no DRAM hook.
+    base_builder(seed, false)
+        .defense(DefenseSpec::Catt(CattPartition::half_of(TOTAL)))
+        .build()
+        .expect("CATT machine boots")
 }
 
 /// Sprays the wide file across many regions, filling page tables.

@@ -26,6 +26,7 @@
 //! | `exp-ecc` | §2.3 context: SECDED vs RowHammer |
 //! | `exp-anvil` | §5 coupling: CTA + activity detection |
 //! | `exp-catt` | §2.5 baseline: CATT and its two bypasses |
+//! | `exp-matrix` | attacks × defenses × cell layouts cross-product |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -34,7 +35,7 @@ pub mod baseline;
 
 use std::path::PathBuf;
 
-use cta_core::SystemBuilder;
+use cta_core::{DefenseSpec, SystemBuilder};
 use cta_dram::DisturbanceParams;
 use cta_telemetry::Counters;
 use cta_vm::Kernel;
@@ -68,6 +69,23 @@ pub fn standard_builder(seed: u64, protected: bool) -> SystemBuilder {
 /// fatal configuration error.
 pub fn standard_machine(seed: u64, protected: bool) -> Kernel {
     standard_builder(seed, protected).build().expect("machine boots")
+}
+
+/// The standard machine with a software defense attached — what the
+/// defense-facing experiments (`exp-catt`, `exp-anvil`, `exp-matrix`)
+/// share instead of hand-rolling kernel configs per binary.
+pub fn defended_builder(seed: u64, protected: bool, defense: DefenseSpec) -> SystemBuilder {
+    standard_builder(seed, protected).defense(defense)
+}
+
+/// Builds the standard defended machine.
+///
+/// # Panics
+///
+/// Panics if the machine cannot boot — experiment binaries treat that as
+/// fatal configuration error.
+pub fn defended_machine(seed: u64, protected: bool, defense: DefenseSpec) -> Kernel {
+    defended_builder(seed, protected, defense).build().expect("defended machine boots")
 }
 
 /// Directory the experiment binaries write telemetry snapshots into:

@@ -6,6 +6,8 @@ use cta_dram::{
 use cta_mem::PtpSpec;
 use cta_vm::{Kernel, KernelConfig, VmError};
 
+use crate::defense::DefenseSpec;
+
 /// Builder for a complete simulated system: DRAM module + kernel, with or
 /// without CTA.
 ///
@@ -40,6 +42,7 @@ pub struct SystemBuilder {
     psc_entries: usize,
     flip_engine: FlipEngine,
     map_gen: MapGen,
+    defense: DefenseSpec,
 }
 
 impl SystemBuilder {
@@ -65,6 +68,7 @@ impl SystemBuilder {
             psc_entries: 16,
             flip_engine: FlipEngine::default(),
             map_gen: MapGen::default(),
+            defense: DefenseSpec::None,
         }
     }
 
@@ -168,6 +172,16 @@ impl SystemBuilder {
         self
     }
 
+    /// Software RowHammer defense to install on the machine (see
+    /// [`crate::defense`]): the spec's allocation hook rewrites the boot
+    /// configuration, its activation hook lands on the DRAM module after
+    /// boot. [`DefenseSpec::None`] (the default) builds the stock machine,
+    /// byte for byte.
+    pub fn defense(mut self, defense: DefenseSpec) -> Self {
+        self.defense = defense;
+        self
+    }
+
     /// The kernel configuration this builder describes.
     pub fn to_config(&self) -> KernelConfig {
         use cta_dram::{AddressMapping, DramGeometry, RetentionParams};
@@ -193,7 +207,7 @@ impl SystemBuilder {
                 .with_multi_level(self.multi_level)
                 .with_two_zeros_restriction(self.restrict_two_zeros)
         });
-        KernelConfig {
+        let mut config = KernelConfig {
             dram,
             cta,
             profile_cells: self.profile_cells,
@@ -202,16 +216,25 @@ impl SystemBuilder {
             cell_map_override: None,
             screen_ps_bit: self.screen_ps_bit,
             memory_map_override: None,
-        }
+        };
+        // Allocation-seam hook: the defense may rewrite the boot
+        // configuration (CATT's partitioned memory map).
+        self.defense.instantiate().configure(&mut config);
+        config
     }
 
-    /// Boots the machine.
+    /// Boots the machine, installing the configured defense's activation
+    /// hook (if any) on the DRAM module.
     ///
     /// # Errors
     ///
     /// Propagates kernel boot failures (e.g. an infeasible `ZONE_PTP`).
     pub fn build(&self) -> Result<Kernel, VmError> {
-        Kernel::new(self.to_config())
+        let mut kernel = Kernel::new(self.to_config())?;
+        if let Some(hook) = self.defense.instantiate().row_hook() {
+            kernel.install_row_defense(hook);
+        }
+        Ok(kernel)
     }
 }
 

@@ -1,0 +1,300 @@
+//! The system-level `Defense` trait and the [`DefenseSpec`] catalog.
+//!
+//! A software RowHammer defense crosses up to two seams of the simulated
+//! machine, and [`Defense`] has one hook per seam:
+//!
+//! - **allocation** ([`Defense::configure`]): rewrite the
+//!   [`KernelConfig`] before boot — CATT installs its partitioned
+//!   [`cta_mem::MemoryMap`] here;
+//! - **activation/refresh** ([`Defense::row_hook`]): supply a
+//!   [`cta_dram::RowDefense`] that the DRAM module consults on every
+//!   activation batch and through which it issues targeted refreshes —
+//!   ANVIL, SoftTRR, and BlockHammer live here.
+//!
+//! [`DefenseSpec`] is the `Copy` value-level catalog of the workspace's
+//! defenses, what builders, replay targets, and experiment matrices carry;
+//! [`DefenseSpec::instantiate`] turns a spec into the trait object.
+//! [`SystemBuilder::defense`](crate::SystemBuilder::defense) applies both
+//! hooks in the right order (configure before boot, row hook after, with
+//! protection replayed for boot-time page tables).
+
+use cta_dram::{
+    AnvilSamplerDefense, AnvilSamplerParams, BlockHammerDefense, BlockHammerParams,
+    ObserverDefense, RowDefense, SoftTrrDefense, SoftTrrParams,
+};
+use cta_mem::MemoryMap;
+use cta_vm::KernelConfig;
+
+/// A software RowHammer defense, hooked into the machine at the
+/// allocation seam (boot configuration) and/or the activation seam (the
+/// DRAM module's per-batch hook). Implementations must be deterministic.
+pub trait Defense {
+    /// Short stable identifier, e.g. `"catt"`.
+    fn name(&self) -> &'static str;
+
+    /// Allocation-seam hook: adjusts the kernel configuration before
+    /// boot. The default does nothing.
+    fn configure(&self, _config: &mut KernelConfig) {}
+
+    /// Activation/refresh-seam hook: the row defense to install on the
+    /// DRAM module, if this defense watches the activation stream.
+    fn row_hook(&self) -> Option<Box<dyn RowDefense>> {
+        None
+    }
+}
+
+/// The absence of a defense: both hooks are no-ops. A machine built with
+/// `NoDefense` is byte-identical to one built with no defense at all.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoDefense;
+
+impl Defense for NoDefense {
+    fn name(&self) -> &'static str {
+        "none"
+    }
+}
+
+/// A pure observer at the activation seam (see
+/// [`cta_dram::ObserverDefense`]): watches, never intervenes.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct ObserverSpec;
+
+impl Defense for ObserverSpec {
+    fn name(&self) -> &'static str {
+        "observer"
+    }
+
+    fn row_hook(&self) -> Option<Box<dyn RowDefense>> {
+        Some(Box::new(ObserverDefense::new()))
+    }
+}
+
+/// CATT (Brasser et al., USENIX Security 2017) as an allocation-seam
+/// defense: a strict physical partition between kernel and user memory
+/// with a guard stripe in between, installed as the boot memory map.
+/// No activation hook — CATT never watches the DRAM command stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CattPartition {
+    /// Bytes of the top-of-memory user partition.
+    pub user_bytes: u64,
+    /// Bytes of the guard stripe between the partitions.
+    pub guard_bytes: u64,
+}
+
+impl CattPartition {
+    /// The conventional split: half of `total_bytes` for user memory with
+    /// a one-page guard stripe.
+    pub fn half_of(total_bytes: u64) -> Self {
+        CattPartition { user_bytes: total_bytes / 2, guard_bytes: 4096 }
+    }
+}
+
+impl Defense for CattPartition {
+    fn name(&self) -> &'static str {
+        "catt"
+    }
+
+    fn configure(&self, config: &mut KernelConfig) {
+        let total = config.dram.geometry.capacity_bytes();
+        config.memory_map_override =
+            Some(MemoryMap::x86_64_with_catt(total, self.user_bytes, self.guard_bytes));
+    }
+}
+
+/// Wraps an activation-seam row defense constructor as a [`Defense`].
+macro_rules! row_only_defense {
+    ($(#[$doc:meta])* $wrapper:ident, $params:ty, $imp:ident, $name:literal) => {
+        $(#[$doc])*
+        #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+        pub struct $wrapper(pub $params);
+
+        impl Defense for $wrapper {
+            fn name(&self) -> &'static str {
+                $name
+            }
+
+            fn row_hook(&self) -> Option<Box<dyn RowDefense>> {
+                Some(Box::new($imp::new(self.0)))
+            }
+        }
+    };
+}
+
+row_only_defense!(
+    /// ANVIL-style activation sampling with targeted refresh (see
+    /// [`cta_dram::AnvilSamplerDefense`]).
+    AnvilSampling,
+    AnvilSamplerParams,
+    AnvilSamplerDefense,
+    "anvil"
+);
+
+row_only_defense!(
+    /// SoftTRR: targeted refresh of rows adjacent to page-table rows (see
+    /// [`cta_dram::SoftTrrDefense`]). The kernel registers every
+    /// page-table frame with the hook as it allocates.
+    SoftTrr,
+    SoftTrrParams,
+    SoftTrrDefense,
+    "softtrr"
+);
+
+row_only_defense!(
+    /// BlockHammer-style per-row activation-rate blacklisting (see
+    /// [`cta_dram::BlockHammerDefense`]).
+    BlockHammer,
+    BlockHammerParams,
+    BlockHammerDefense,
+    "blockhammer"
+);
+
+/// Value-level catalog of the workspace's software defenses — what
+/// builders, experiment matrices, and replay targets carry. `Copy` so
+/// specs embed freely in campaign and recording metadata.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub enum DefenseSpec {
+    /// No defense installed (the stock machine).
+    #[default]
+    None,
+    /// Pure observer: proves the hook is side-effect free.
+    Observer,
+    /// CATT physical kernel/user partition.
+    Catt(CattPartition),
+    /// ANVIL activation sampling + targeted refresh.
+    Anvil(AnvilSamplerParams),
+    /// SoftTRR targeted refresh of page-table neighborhoods.
+    SoftTrr(SoftTrrParams),
+    /// BlockHammer activation-rate blacklisting.
+    BlockHammer(BlockHammerParams),
+}
+
+impl DefenseSpec {
+    /// Every defense in the catalog with default parameters, `None`
+    /// first — the defense axis of `exp-matrix`.
+    pub fn catalog(total_bytes: u64) -> Vec<DefenseSpec> {
+        vec![
+            DefenseSpec::None,
+            DefenseSpec::Catt(CattPartition::half_of(total_bytes)),
+            DefenseSpec::Anvil(AnvilSamplerParams::default()),
+            DefenseSpec::SoftTrr(SoftTrrParams::default()),
+            DefenseSpec::BlockHammer(BlockHammerParams::default()),
+        ]
+    }
+
+    /// Whether this is [`DefenseSpec::None`].
+    pub fn is_none(&self) -> bool {
+        matches!(self, DefenseSpec::None)
+    }
+
+    /// The spec's stable identifier (matches [`Defense::name`]).
+    pub fn name(&self) -> &'static str {
+        match self {
+            DefenseSpec::None => "none",
+            DefenseSpec::Observer => "observer",
+            DefenseSpec::Catt(_) => "catt",
+            DefenseSpec::Anvil(_) => "anvil",
+            DefenseSpec::SoftTrr(_) => "softtrr",
+            DefenseSpec::BlockHammer(_) => "blockhammer",
+        }
+    }
+
+    /// Instantiates the defense behind the spec.
+    pub fn instantiate(&self) -> Box<dyn Defense> {
+        match *self {
+            DefenseSpec::None => Box::new(NoDefense),
+            DefenseSpec::Observer => Box::new(ObserverSpec),
+            DefenseSpec::Catt(partition) => Box::new(partition),
+            DefenseSpec::Anvil(params) => Box::new(AnvilSampling(params)),
+            DefenseSpec::SoftTrr(params) => Box::new(SoftTrr(params)),
+            DefenseSpec::BlockHammer(params) => Box::new(BlockHammer(params)),
+        }
+    }
+}
+
+impl std::fmt::Display for DefenseSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SystemBuilder;
+    use cta_vm::VirtAddr;
+
+    #[test]
+    fn catalog_covers_every_defense_once() {
+        let catalog = DefenseSpec::catalog(8 << 20);
+        let names: Vec<&str> = catalog.iter().map(|d| d.name()).collect();
+        assert_eq!(names, ["none", "catt", "anvil", "softtrr", "blockhammer"]);
+    }
+
+    #[test]
+    fn catt_spec_installs_the_partitioned_map() {
+        let spec = DefenseSpec::Catt(CattPartition::half_of(8 << 20));
+        let builder = SystemBuilder::small_test().defense(spec);
+        let config = builder.to_config();
+        assert!(config.memory_map_override.is_some(), "CATT overrides the memory map");
+        // CATT is allocation-only: no row hook on the DRAM module, and the
+        // booted allocator enforces the strict user partition.
+        let kernel = builder.build().unwrap();
+        assert!(kernel.dram().defense().is_none());
+        assert!(kernel.allocator().strict_user(), "CATT partitions are strict");
+    }
+
+    #[test]
+    fn row_defenses_install_on_the_module() {
+        for spec in [
+            DefenseSpec::Observer,
+            DefenseSpec::Anvil(AnvilSamplerParams::default()),
+            DefenseSpec::SoftTrr(SoftTrrParams::default()),
+            DefenseSpec::BlockHammer(BlockHammerParams::default()),
+        ] {
+            let kernel = SystemBuilder::small_test().defense(spec).build().unwrap();
+            assert_eq!(kernel.dram().defense().map(|d| d.name()), Some(spec.name()));
+        }
+    }
+
+    #[test]
+    fn softtrr_build_protects_boot_and_later_page_tables() {
+        let mut kernel = SystemBuilder::small_test()
+            .defense(DefenseSpec::SoftTrr(SoftTrrParams::default()))
+            .build()
+            .unwrap();
+        let pid = kernel.create_process(false).unwrap();
+        kernel.mmap_anonymous(pid, VirtAddr(0x40_0000), 0x4000, true).unwrap();
+        let protected: u64 = kernel
+            .dram()
+            .defense()
+            .expect("softtrr installed")
+            .counters()
+            .iter()
+            .find(|(k, _)| *k == "softtrr_protected_rows")
+            .map(|(_, v)| *v)
+            .unwrap();
+        assert!(protected > 0, "page-table allocations must register protected rows");
+        assert_eq!(protected, kernel.stats().pt_pages_allocated.min(protected), "sanity");
+    }
+
+    #[test]
+    fn none_spec_build_is_byte_identical_to_default_build() {
+        let mut stock = SystemBuilder::small_test().protected(true).build().unwrap();
+        let mut defended =
+            SystemBuilder::small_test().protected(true).defense(DefenseSpec::None).build().unwrap();
+        for k in [&mut stock, &mut defended] {
+            let pid = k.create_process(false).unwrap();
+            k.mmap_anonymous(pid, VirtAddr(0x40_0000), 0x8000, true).unwrap();
+            let ops: Vec<(VirtAddr, bool)> =
+                (0..8).map(|i| (VirtAddr(0x40_0000 + i * 0x1000), i % 2 == 0)).collect();
+            let mut buf = [0xA5u8; 16];
+            k.access_batch(pid, &ops, &mut buf).unwrap();
+        }
+        assert_eq!(
+            stock.dram().peek(0, stock.dram().capacity_bytes() as usize).unwrap(),
+            defended.dram().peek(0, defended.dram().capacity_bytes() as usize).unwrap()
+        );
+        assert_eq!(stock.counters("diff").to_json(), defended.counters("diff").to_json());
+        assert_eq!(stock.dram().now_ns(), defended.dram().now_ns());
+    }
+}

@@ -46,12 +46,16 @@
 #![warn(missing_docs)]
 
 pub mod builder;
+pub mod defense;
 pub mod lwm;
 pub mod mono;
 pub mod screening;
 pub mod verify;
 
 pub use builder::SystemBuilder;
+pub use defense::{
+    AnvilSampling, BlockHammer, CattPartition, Defense, DefenseSpec, NoDefense, SoftTrr,
+};
 pub use lwm::PtpIndicator;
 pub use mono::{can_reach, MonotonicValue};
 pub use screening::screen_page_size_bit;

@@ -49,6 +49,7 @@ mod bitplane;
 mod bounded;
 mod cells;
 mod config;
+pub mod defense;
 mod ecc;
 mod error;
 mod geometry;
@@ -63,6 +64,11 @@ mod vuln;
 
 pub use cells::{CellLayout, CellRegion, CellType, CellTypeMap};
 pub use config::{DisturbanceParams, DramConfig, FlipEngine, MapGen, RetentionParams};
+pub use defense::{
+    ActivationCtx, AnvilSamplerDefense, AnvilSamplerParams, BlockHammerDefense, BlockHammerParams,
+    DefenseSnapshot, DefenseStats, ObserverDefense, RowDefense, SoftTrrDefense, SoftTrrParams,
+    Verdict,
+};
 pub use ecc::{EccRegion, EccResult, EccScrubStats, Secded};
 pub use error::DramError;
 pub use geometry::{AddressMapping, BankCoord, DramGeometry, RowId};

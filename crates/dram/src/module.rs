@@ -3,6 +3,7 @@ use std::cell::Cell;
 use crate::bitplane::{load_word, store_word};
 use crate::cells::{CellLayout, CellType, CellTypeMap};
 use crate::config::{DramConfig, FlipEngine};
+use crate::defense::{ActivationCtx, DefenseSnapshot, DefenseStats, RowDefense, Verdict};
 use crate::error::DramError;
 use crate::geometry::{DramGeometry, RowId};
 use crate::remap::RemapTable;
@@ -122,6 +123,12 @@ pub struct DramModule {
     /// of ordinary accesses.
     open_rows: Vec<u64>,
     stats: DramStats,
+    /// Installed software defense consulted on every activation batch;
+    /// `None` takes the exact pre-hook code path.
+    defense: Option<Box<dyn RowDefense>>,
+    /// Intervention accounting for the installed defense, separate from
+    /// [`DramStats`] so undefended telemetry is unchanged.
+    defense_stats: DefenseStats,
 }
 
 impl std::fmt::Debug for DramModule {
@@ -132,6 +139,7 @@ impl std::fmt::Debug for DramModule {
             .field("clock_ns", &self.clock_ns)
             .field("materialized_rows", &self.store.materialized_count())
             .field("refresh_enabled", &self.refresh_disabled_at.is_none())
+            .field("defense", &self.defense.as_ref().map(|d| d.name()))
             .field("stats", &format_args!("{}", self.stats))
             .finish()
     }
@@ -166,6 +174,8 @@ impl DramModule {
             activations: vec![NO_ACTIVATIONS; total_rows],
             open_rows: vec![ROW_NONE; banks],
             stats: DramStats::default(),
+            defense: None,
+            defense_stats: DefenseStats::default(),
             config,
         }
     }
@@ -191,6 +201,8 @@ impl DramModule {
             activations: self.activations.clone(),
             open_rows: self.open_rows.clone(),
             stats: self.stats.clone(),
+            defense: self.defense.clone(),
+            defense_stats: self.defense_stats.clone(),
         }
     }
 
@@ -737,6 +749,61 @@ impl DramModule {
         Ok(())
     }
 
+    // ------------------------------------------------------------------
+    // Software defenses
+    // ------------------------------------------------------------------
+
+    /// Installs a software defense on the activation path, replacing any
+    /// previous one. See [`crate::defense`] for the hook contract.
+    pub fn install_defense(&mut self, defense: Box<dyn RowDefense>) {
+        self.defense = Some(defense);
+        self.defense_stats = DefenseStats::default();
+    }
+
+    /// Removes and returns the installed defense, if any. The accumulated
+    /// [`DefenseStats`] are kept until the next install.
+    pub fn uninstall_defense(&mut self) -> Option<Box<dyn RowDefense>> {
+        self.defense.take()
+    }
+
+    /// The installed defense, if any.
+    pub fn defense(&self) -> Option<&dyn RowDefense> {
+        self.defense.as_deref()
+    }
+
+    /// Module-side accounting of defense interventions.
+    pub fn defense_stats(&self) -> &DefenseStats {
+        &self.defense_stats
+    }
+
+    /// Telemetry snapshot of the installed defense (`None` when no defense
+    /// is installed, so undefended snapshots carry no `defense` group).
+    pub fn defense_snapshot(&self) -> Option<DefenseSnapshot> {
+        self.defense.as_ref().map(|d| DefenseSnapshot {
+            name: d.name(),
+            stats: self.defense_stats.clone(),
+            counters: d.counters(),
+        })
+    }
+
+    /// Marks the row containing (logical) `row` as protected for the
+    /// installed defense — what the kernel calls for every page-table
+    /// frame it allocates. A no-op without a defense.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DramError::RowOutOfBounds`] for rows outside the module.
+    pub fn defense_protect_row(&mut self, row: RowId) -> Result<(), DramError> {
+        if row.0 >= self.config.geometry.total_rows() {
+            return Err(DramError::RowOutOfBounds { row, rows: self.config.geometry.total_rows() });
+        }
+        let backing = self.resolve_row(row);
+        if let Some(defense) = self.defense.as_mut() {
+            defense.on_protect_row(backing);
+        }
+        Ok(())
+    }
+
     /// The fixed vulnerable-bit map of `row` — an experimenter oracle, also
     /// what a templating attacker reconstructs by hammering memory they own.
     ///
@@ -834,8 +901,20 @@ impl DramModule {
     }
 
     /// Adds `count` activations to `backing`'s within-window counter and
-    /// disturbs neighbors on a threshold crossing.
+    /// disturbs neighbors on a threshold crossing, consulting the installed
+    /// defense first. Without a defense this is exactly the pre-hook path.
     fn record_activation(&mut self, backing: RowId, count: u64) {
+        if self.defense.is_some() {
+            self.record_activation_defended(backing, count);
+            return;
+        }
+        self.apply_activations(backing, count);
+    }
+
+    /// The undefended (hardware) activation accounting: count the batch,
+    /// disturb neighbors on a threshold crossing.
+    #[inline]
+    fn apply_activations(&mut self, backing: RowId, count: u64) {
         let threshold = self.config.disturbance.hammer_threshold;
         let key = self.current_window_key();
         let (gen, win, have) = self.activations[backing.0 as usize];
@@ -845,6 +924,87 @@ impl DramModule {
         if before < threshold && after >= threshold {
             let _ = self.disturb_neighbors(backing);
         }
+    }
+
+    /// Activation accounting with a defense installed: the batch is offered
+    /// to the hook, which may allow it, throttle it, or split it around
+    /// targeted refreshes. Re-consulting on the remainder lets a defense
+    /// break up even a single burst larger than its own threshold.
+    fn record_activation_defended(&mut self, backing: RowId, count: u64) {
+        self.defense_stats.activations_seen += count;
+        let neighbors = self.config.geometry.adjacent_rows(backing).unwrap_or_default();
+        let mut remaining = count;
+        // Guards against a defense that neither permits progress nor resets
+        // the aggressor's counter (which would loop forever).
+        let mut stalled_rounds = 0u32;
+        while remaining > 0 {
+            let key = self.current_window_key();
+            let (gen, win, have) = self.activations[backing.0 as usize];
+            let before = if (gen, win) == key { have } else { 0 };
+            let ctx = ActivationCtx {
+                row: backing,
+                count: remaining,
+                window_activations: before,
+                now_ns: self.clock_ns,
+                hammer_threshold: self.config.disturbance.hammer_threshold,
+                neighbors: &neighbors,
+            };
+            // Take the box out for the call so the defense's `&mut self`
+            // cannot alias the module state it reads through `ctx`.
+            let mut defense = self.defense.take().expect("defended path has a defense");
+            let verdict = defense.on_activation(&ctx);
+            self.defense = Some(defense);
+            self.defense_stats.consultations += 1;
+            match verdict {
+                Verdict::Allow => {
+                    self.apply_activations(backing, remaining);
+                    remaining = 0;
+                }
+                Verdict::Throttle { permitted } => {
+                    let take = permitted.min(remaining);
+                    if take > 0 {
+                        self.apply_activations(backing, take);
+                    }
+                    self.defense_stats.activations_denied += remaining - take;
+                    remaining = 0;
+                }
+                Verdict::Refresh { permitted, targets } => {
+                    let take = permitted.min(remaining);
+                    if take > 0 {
+                        self.apply_activations(backing, take);
+                    }
+                    remaining -= take;
+                    for target in targets {
+                        self.targeted_refresh_backing(target);
+                    }
+                    stalled_rounds = if take == 0 { stalled_rounds + 1 } else { 0 };
+                    if stalled_rounds >= 2 {
+                        // Defense bug: no forward progress two rounds in a
+                        // row. Fail open rather than hang the simulation.
+                        self.apply_activations(backing, remaining);
+                        remaining = 0;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Applies one defense-issued targeted refresh: victims of `backing`
+    /// recharge at the current clock and its window counter resets —
+    /// exactly what a manual [`Self::refresh_neighbors_of`] call does (no
+    /// simulated time is charged on either path). Rows outside the module
+    /// (a defense bug) are ignored.
+    fn targeted_refresh_backing(&mut self, backing: RowId) {
+        if backing.0 >= self.config.geometry.total_rows() {
+            return;
+        }
+        if let Ok(victims) = self.config.geometry.adjacent_rows(backing) {
+            for victim in victims {
+                self.store.touch(victim.0, self.clock_ns);
+            }
+        }
+        self.activations[backing.0 as usize] = NO_ACTIVATIONS;
+        self.defense_stats.targeted_refreshes += 1;
     }
 
     /// Applies retention decay to a materialized row up to time `now`.

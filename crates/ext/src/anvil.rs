@@ -10,6 +10,17 @@
 //! window ([`DramModule::window_activations`]) and, like ANVIL, reacts by
 //! refreshing the suspected aggressor's victim rows — resetting the
 //! hammer's progress before the disturbance threshold is crossed.
+//!
+//! This module is the *polled* form: the caller decides when
+//! [`AnvilDetector::sample_and_mitigate`] runs. The hook-native form is
+//! [`cta_dram::AnvilSamplerDefense`] (installed via
+//! `cta_core::DefenseSpec::Anvil`), where the DRAM module itself consults
+//! the sampler on every activation batch — that is what `exp-anvil` and
+//! `exp-matrix` run. Same thresholds, same mitigation; the hook variant
+//! samples the activation *stream* instead of a point-in-time top-N scan,
+//! and inherits the stream's burst structure: a single batch larger than
+//! the hammer threshold lands before the refresh does, which the
+//! `exp-matrix` hammer column makes visible.
 
 use cta_dram::{DramError, DramModule, RowId};
 

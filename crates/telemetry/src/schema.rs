@@ -165,9 +165,44 @@ pub fn declarations() -> &'static [SnapshotSchema] {
             ],
         },
     ];
+    // The attacks × defenses × cell-layouts cross-product (exp-matrix):
+    // the aggregate defense counters and overhead gauges are what the
+    // Table-4-style comparison reads, so their presence and kinds gate.
+    const EXP_MATRIX: &[GroupReq] = &[
+        GroupReq {
+            group: "matrix",
+            keys: &[
+                KeyReq { key: "attacks", kind: ValueKind::UInt },
+                KeyReq { key: "defenses", kind: ValueKind::UInt },
+                KeyReq { key: "layouts", kind: ValueKind::UInt },
+                KeyReq { key: "cells", kind: ValueKind::UInt },
+                KeyReq { key: "seeds_per_cell", kind: ValueKind::UInt },
+                KeyReq { key: "quick", kind: ValueKind::Bool },
+            ],
+        },
+        GroupReq {
+            group: "defense",
+            keys: &[
+                KeyReq { key: "softtrr_refreshes", kind: ValueKind::UInt },
+                KeyReq { key: "blockhammer_blacklisted", kind: ValueKind::UInt },
+                KeyReq { key: "anvil_alarms", kind: ValueKind::UInt },
+                KeyReq { key: "activations_denied", kind: ValueKind::UInt },
+            ],
+        },
+        GroupReq {
+            group: "overhead",
+            keys: &[
+                KeyReq { key: "catt_delta_percent", kind: ValueKind::Float },
+                KeyReq { key: "anvil_delta_percent", kind: ValueKind::Float },
+                KeyReq { key: "softtrr_delta_percent", kind: ValueKind::Float },
+                KeyReq { key: "blockhammer_delta_percent", kind: ValueKind::Float },
+            ],
+        },
+    ];
     &[
         SnapshotSchema { label_prefix: "bench-baseline", required: BENCH_BASELINE },
         SnapshotSchema { label_prefix: "exp-table4", required: EXP_TABLE4 },
+        SnapshotSchema { label_prefix: "exp-matrix", required: EXP_MATRIX },
         SnapshotSchema { label_prefix: "recording", required: RECORDING },
     ]
 }
@@ -421,6 +456,25 @@ mod tests {
         assert_eq!(schema_for("bench-baseline-check").unwrap().label_prefix, "bench-baseline");
         assert_eq!(schema_for("recording").unwrap().label_prefix, "recording");
         assert!(schema_for("exp-fig1").is_none());
+    }
+
+    #[test]
+    fn matrix_declaration_requires_defense_counters_and_overhead_gauges() {
+        assert_eq!(schema_for("exp-matrix").unwrap().label_prefix, "exp-matrix");
+        // A matrix snapshot that lost its defense counters or overhead
+        // gauges must fail even with a clean envelope.
+        let doc = parse(
+            r#"{"label": "exp-matrix", "flags": [], "groups": {
+                "matrix": {"attacks": 4, "defenses": 5, "layouts": 3,
+                           "cells": 60, "seeds_per_cell": 4, "quick": false},
+                "overhead": {"catt_delta_percent": 0.5, "anvil_delta_percent": 1.5,
+                             "softtrr_delta_percent": 0.1,
+                             "blockhammer_delta_percent": -0.2}}}"#,
+        )
+        .unwrap();
+        let errors = validate_snapshot(&doc);
+        assert_eq!(errors.len(), 1, "{errors:?}");
+        assert_eq!(errors[0].path, "groups.defense");
     }
 
     #[test]

@@ -431,6 +431,11 @@ impl Kernel {
         // operation history, so backend choice never perturbs telemetry.
         c.add_u64("dram", "rows_materialized", self.dram.rows_materialized() as u64);
         self.alloc.record_counters(c);
+        // Only defended machines carry a `defense` group, so undefended
+        // snapshots stay byte-identical to pre-hook telemetry.
+        if let Some(snapshot) = self.dram.defense_snapshot() {
+            c.record(&snapshot);
+        }
     }
 
     /// Convenience wrapper around [`Kernel::record_counters`] producing a
@@ -582,7 +587,36 @@ impl Kernel {
             .pt_pages
             .push((pfn, level));
         self.stats.pt_pages_allocated += 1;
+        // Page-table rows are the victims SoftTRR-style defenses watch:
+        // register this frame's row(s) with any installed row defense.
+        self.notify_defense_pt_frame(pfn);
         Ok(pfn)
+    }
+
+    /// Registers a page-table frame's DRAM row(s) as protected with the
+    /// installed row defense, if any. A no-op on undefended machines.
+    fn notify_defense_pt_frame(&mut self, pfn: Pfn) {
+        if self.dram.defense().is_none() {
+            return;
+        }
+        let row_bytes = self.dram.geometry().row_bytes();
+        let first = pfn.addr().0 / row_bytes;
+        let last = (pfn.addr().0 + PAGE_SIZE - 1) / row_bytes;
+        for row in first..=last {
+            let _ = self.dram.defense_protect_row(cta_dram::RowId(row));
+        }
+    }
+
+    /// Installs a software row defense on the DRAM module and replays
+    /// protection registrations for every page-table page already
+    /// allocated, so installing after boot still protects existing tables.
+    pub fn install_row_defense(&mut self, defense: Box<dyn cta_dram::RowDefense>) {
+        self.dram.install_defense(defense);
+        let frames: Vec<Pfn> =
+            self.processes.values().flat_map(|p| p.pt_pages.iter().map(|(pfn, _)| *pfn)).collect();
+        for pfn in frames {
+            self.notify_defense_pt_frame(pfn);
+        }
     }
 
     /// Maps `va → pfn` in `pid`'s address space, growing the hierarchy as

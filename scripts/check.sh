@@ -101,6 +101,13 @@ for ex in quickstart cell_profiling coldboot_and_popcount defended_system \
     cargo run --release -q --example "$ex" > /dev/null
 done
 
+echo "==> defense-matrix smoke (exp-matrix --quick)"
+# The attacks x defenses x cell-layouts cross-product, 2 seeds per cell.
+# The binary asserts internally that SoftTRR and BlockHammer each reduce
+# exploit probability vs `none` in at least one cell; its telemetry lands
+# in telemetry/ and gets schema-checked by the json-check gate below.
+cargo run --release -q -p cta-bench --bin exp-matrix -- --quick > /dev/null
+
 echo "==> strict JSON + schema validation (BENCH_baseline.json + telemetry/*.json)"
 # Every machine-readable artifact the workspace emits must parse as
 # standards-valid JSON (duplicate keys and non-finite numbers rejected)
