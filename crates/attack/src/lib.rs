@@ -22,7 +22,11 @@
 //!
 //! [`campaign`] runs any of these across many seeds — one freshly built
 //! kernel per trial, optionally in parallel with deterministic,
-//! seed-ordered results (see `cta_parallel`).
+//! seed-ordered results (see `cta_parallel`). [`executor`] is the
+//! long-running service form of the same contract: parent kernels are
+//! booted once per (machine, seed, tenant) and every trial runs on a
+//! copy-on-write fork, with campaigns fanned out across a work-stealing
+//! worker pool and merged byte-identically to the serial path.
 //!
 //! Every attack returns an [`outcome::AttackOutcome`] scoring success by
 //! *observed behavior* (kernel secret leaked / overwritten), cross-checked
@@ -34,6 +38,7 @@
 pub mod brute;
 pub mod campaign;
 pub mod catalog;
+pub mod executor;
 pub mod hammer;
 pub mod outcome;
 pub mod recording;
@@ -46,6 +51,10 @@ pub use campaign::{
     run_forked_campaign_with_counters, spray_campaign, templating_campaign, CampaignSummary,
 };
 pub use catalog::{catalog, KnownAttack, Platform, VictimData};
+pub use executor::{
+    CampaignExecutor, CampaignOutput, CampaignRequest, CampaignTicket, ExecutorConfig,
+    ServiceStats, TenantLimits,
+};
 pub use hammer::HammerDriver;
 pub use outcome::{AttackOutcome, AttackTimeModel};
 pub use recording::{

@@ -23,7 +23,10 @@ use std::time::Instant;
 use cta_analysis::{
     monte_carlo_p_exploitable, monte_carlo_p_exploitable_sharded, FlipStats, Restriction,
 };
-use cta_attack::{run_campaign, run_forked_campaign, SprayAttack};
+use cta_attack::{
+    record_campaign, run_campaign, run_forked_campaign, CampaignExecutor, CampaignRequest,
+    ExecutorConfig, RecordedAttack, RecordingSpec, ReplayTarget, SprayAttack, TenantLimits,
+};
 use cta_bench::{emit_telemetry, header, kv};
 use cta_core::SystemBuilder;
 use cta_dram::{DisturbanceParams, DramConfig, DramModule, StoreBackend};
@@ -489,6 +492,146 @@ fn bench_datapath(quick: bool, metrics: &mut Vec<(String, f64)>) {
     metrics.push(("datapath_partial_decay_speedup".into(), wordwise.2 / scalar.2));
 }
 
+/// The persistent campaign service under a saturating multi-tenant queue
+/// (the `service_*` metrics the `service` baseline label records). Every
+/// campaign is first recorded through the scoped boot-per-trial path —
+/// that wall clock is the reboot baseline, and the recording is the
+/// golden the executor's output is asserted byte-identical against
+/// (trial transcripts and merged telemetry) before any rate is recorded.
+/// Then all campaigns are submitted to a [`CampaignExecutor`] up front —
+/// tenants interleaved, queue saturated from the first trial — and the
+/// sustained rate, per-trial p50/p99 latency (submit → completion, so
+/// queueing counts), and pool gauges are measured over the full drain.
+///
+/// Campaign specs are boot-heavy on purpose (CTA protection + boot-time
+/// cell profiling on the CoW backend): that is the cost the parent pool
+/// pays once per (tenant, machine, seed) and every fork amortizes, and it
+/// is core-count independent — the recorded speedup holds on a single-
+/// core runner.
+fn bench_service(quick: bool, metrics: &mut Vec<(String, f64)>, tel: &mut Counters) {
+    use cta_telemetry::json;
+
+    let tenants: &[(&str, u64)] = if quick {
+        &[("alpha", 11), ("bravo", 23)]
+    } else {
+        &[("alpha", 11), ("bravo", 23), ("charlie", 47)]
+    };
+    let campaigns_per_tenant = if quick { 2 } else { 3 };
+    let trials_per_campaign = if quick { 4 } else { 12 };
+    // The default spray attack, as in `bench_backends`: its trial cost is
+    // well under the profiled boot it amortizes, so pool efficiency (not
+    // attack choice) dominates the recorded speedup.
+    let attack = SprayAttack::default();
+    let target = ReplayTarget { backend: StoreBackend::Cow, ..ReplayTarget::default() };
+    let spec_for = |seed: u64| {
+        // Same machine, same seed for every trial of a tenant: the
+        // executor boots one parent per (worker, tenant) and forks the
+        // rest, while the reboot baseline pays the profiled boot per
+        // trial.
+        let mut spec =
+            RecordingSpec::new(RecordedAttack::Spray(attack), vec![seed; trials_per_campaign]);
+        // 16 MiB doubles the profiled-boot cost the pool amortizes while
+        // the per-trial fork stays O(changed rows); the recorded speedup
+        // then reflects pool efficiency rather than a borderline
+        // boot-to-trial ratio.
+        spec.memory_bytes = 16 << 20;
+        spec.protected = true;
+        spec.profile_cells = true;
+        // The default spray attack lands more flips per trial than the
+        // default ring capacity; transcripts must stay lossless.
+        spec.flip_log_capacity = 1 << 16;
+        spec
+    };
+
+    // Reboot baseline + goldens: the scoped path boots a machine per
+    // trial. One recording per tenant suffices as golden (campaigns
+    // within a tenant are identical); the baseline clock still pays for
+    // every campaign.
+    let total_trials = tenants.len() * campaigns_per_tenant * trials_per_campaign;
+    let start = Instant::now();
+    let mut goldens = Vec::new();
+    for &(_, seed) in tenants {
+        let mut recording = None;
+        for _ in 0..campaigns_per_tenant {
+            recording = Some(record_campaign(&spec_for(seed)).expect("campaign records"));
+        }
+        goldens.push(recording.expect("at least one campaign per tenant"));
+    }
+    let reboot_rate = total_trials as f64 / start.elapsed().as_secs_f64();
+
+    // The service: 2 fixed workers (work stealing is exercised even on a
+    // single-core host), campaigns from all tenants submitted before any
+    // is waited on.
+    let exec = CampaignExecutor::new(ExecutorConfig { workers: 2, parents_per_worker: 2 });
+    exec.set_tenant_limits(
+        tenants[0].0,
+        TenantLimits { max_parents_per_worker: Some(2), model_cache_bytes: Some(64 << 20) },
+    );
+    let events_dir = cta_bench::telemetry_dir();
+    std::fs::create_dir_all(&events_dir).expect("telemetry dir is creatable");
+    let events_path = events_dir.join("executor-events.jsonl");
+    exec.set_jsonl_sink(std::fs::File::create(&events_path).expect("events sink is writable"));
+
+    let start = Instant::now();
+    let mut tickets = Vec::new();
+    for round in 0..campaigns_per_tenant {
+        for &(tenant, seed) in tenants {
+            let mut request = CampaignRequest::new(tenant, spec_for(seed));
+            request.target = target;
+            // The scoped path labels merged telemetry RECORDING_LABEL;
+            // match it so the byte-compare below covers the label too.
+            request.label = cta_attack::recording::RECORDING_LABEL.to_string();
+            tickets.push((round, exec.submit(request).expect("campaign submits")));
+        }
+    }
+    let mut latencies_ns: Vec<u64> = Vec::new();
+    let mut outputs = Vec::new();
+    for (_, ticket) in tickets {
+        let output = ticket.wait().expect("campaign completes");
+        latencies_ns.extend_from_slice(&output.trial_latencies_ns);
+        outputs.push(output);
+    }
+    let service_rate = total_trials as f64 / start.elapsed().as_secs_f64();
+
+    // Byte-identity with the scoped path is verified after the clock
+    // stops: it gates the recorded rate but is not service work (and on a
+    // single-core host it would steal cycles from the drain it times).
+    for (i, output) in outputs.iter().enumerate() {
+        let golden = &goldens[i % tenants.len()];
+        assert_eq!(
+            output.trials, golden.trials,
+            "executor transcripts must be byte-identical to the scoped path"
+        );
+        let merged = json::parse(&output.counters.to_json()).expect("merged telemetry parses");
+        assert_eq!(
+            merged, golden.telemetry,
+            "executor merged telemetry must be byte-identical to the scoped path"
+        );
+    }
+
+    latencies_ns.sort_unstable();
+    let pct = |p: usize| {
+        let rank = (latencies_ns.len() * p).div_ceil(100).max(1);
+        latencies_ns[rank.min(latencies_ns.len()) - 1] as f64 / 1e6
+    };
+    let stats = exec.stats();
+    exec.record_counters(tel);
+
+    metrics.push(("service_tenants".into(), tenants.len() as f64));
+    metrics.push(("service_campaigns".into(), (tenants.len() * campaigns_per_tenant) as f64));
+    metrics.push(("service_trials".into(), total_trials as f64));
+    metrics.push(("service_workers".into(), stats.workers as f64));
+    metrics.push(("service_reboot_trials_per_sec".into(), reboot_rate));
+    metrics.push(("service_trials_per_sec".into(), service_rate));
+    metrics.push(("service_speedup_vs_reboot".into(), service_rate / reboot_rate));
+    metrics.push(("service_p50_trial_latency_ms".into(), pct(50)));
+    metrics.push(("service_p99_trial_latency_ms".into(), pct(99)));
+    metrics.push(("service_parent_boots".into(), stats.parent_boots as f64));
+    metrics.push(("service_fork_hits".into(), stats.fork_hits as f64));
+    metrics.push(("service_steals".into(), stats.steals as f64));
+    kv("service events", events_path.display());
+}
+
 /// Warm-walk and batched-translation hot paths for the paging-structure
 /// caches. A 128-page sweep inside one 2 MiB region overflows the 64-entry
 /// TLB — every set cycles through 8 tags, so every translate misses — while
@@ -569,6 +712,7 @@ fn main() {
     bench_monte_carlo(opts.quick, &mut metrics);
     bench_table4_smoke(opts.quick, &mut metrics, &mut tel);
     bench_backends(opts.quick, &mut metrics);
+    bench_service(opts.quick, &mut metrics, &mut tel);
     bench_psc(opts.quick, &mut metrics, &mut tel);
     bench_flip_engine(opts.quick, &mut metrics);
     bench_datapath(opts.quick, &mut metrics);

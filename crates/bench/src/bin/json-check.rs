@@ -16,6 +16,9 @@
 //!   and `metrics` (flat object of finite numbers);
 //! * `*.recording.json` — a campaign recording whose embedded `telemetry`
 //!   member must be a schema-valid snapshot;
+//! * `*.jsonl` — a JSON Lines stream (strict JSON per line) of campaign
+//!   executor events, each with the declared scheduling fields and an
+//!   embedded schema-valid snapshot;
 //! * anything else — a telemetry snapshot: exactly `label`/`flags`/
 //!   `groups` at top level, flat scalar groups, plus any per-binary
 //!   required groups/keys/kinds declared for the snapshot's label.
@@ -45,12 +48,32 @@ fn default_files() -> Vec<PathBuf> {
         let mut snapshots: Vec<PathBuf> = entries
             .filter_map(Result::ok)
             .map(|e| e.path())
-            .filter(|p| p.extension().is_some_and(|ext| ext == "json"))
+            .filter(|p| p.extension().is_some_and(|ext| ext == "json" || ext == "jsonl"))
             .collect();
         snapshots.sort();
         files.extend(snapshots);
     }
     files
+}
+
+/// Validates a JSON Lines stream: every line strict JSON, and (with
+/// `--schema`) every line a well-shaped executor event. Returns rendered
+/// failure messages (empty ⇒ valid).
+fn jsonl_errors(text: &str, check_schema: bool) -> Vec<String> {
+    let docs = match cta_telemetry::jsonl::parse_lines(text) {
+        Ok(docs) => docs,
+        Err(e) => return vec![e.to_string()],
+    };
+    if !check_schema {
+        return Vec::new();
+    }
+    let mut failures = Vec::new();
+    for (index, doc) in docs.iter().enumerate() {
+        for e in schema::validate_executor_event(doc) {
+            failures.push(format!("line {}: {e}", index + 1));
+        }
+    }
+    failures
 }
 
 /// Shape-checks `doc` according to what the filename says it is,
@@ -108,6 +131,18 @@ fn main() {
                 continue;
             }
         };
+        if path.extension().is_some_and(|ext| ext == "jsonl") {
+            let errors = jsonl_errors(&text, check_schema);
+            if errors.is_empty() {
+                println!("json-check: ok   {}", path.display());
+            } else {
+                for e in &errors {
+                    eprintln!("json-check: FAIL {}: {e}", path.display());
+                }
+                failures += 1;
+            }
+            continue;
+        }
         let doc = match json::parse(&text) {
             Ok(doc) => doc,
             Err(e) => {

@@ -13,9 +13,17 @@
 //!
 //! ```text
 //! replay-check              # replay all fixtures across all targets
+//! replay-check --executor   # replay through the campaign executor too
 //! replay-check --record     # regenerate the fixtures from the specs
 //! replay-check FILE ...     # replay specific recording files
 //! ```
+//!
+//! `--executor` additionally replays every fixture *through the
+//! persistent [`CampaignExecutor`]* at 1 and 3 workers: same goldens,
+//! same byte-for-byte comparison, but served boot-once/fork-per-trial
+//! over work-stealing deques. A pass proves the executor's scheduling
+//! (worker count, steal interleaving, pool reuse) is invisible in the
+//! output, exactly as the scoped serial path promises.
 //!
 //! `--record` exists for intentional simulation changes: regenerate,
 //! eyeball the diff, and commit the new goldens alongside the change that
@@ -25,8 +33,8 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use cta_attack::{
-    record_campaign, replay_recording, RecordedAttack, Recording, RecordingSpec, ReplayTarget,
-    SprayAttack, TemplatingAttack,
+    record_campaign, replay_recording, CampaignExecutor, ExecutorConfig, RecordedAttack, Recording,
+    RecordingSpec, ReplayTarget, SprayAttack, TemplatingAttack,
 };
 
 /// The golden campaign set: deliberately tiny machines and narrow attacks
@@ -98,7 +106,13 @@ fn default_fixtures() -> Vec<PathBuf> {
     fixtures
 }
 
-fn replay_fixtures(files: &[PathBuf]) -> ExitCode {
+/// Worker counts the `--executor` mode replays under: the degenerate
+/// single-worker queue and an oversubscribed pool (more workers than this
+/// gate has campaigns per queue), so both "no stealing possible" and
+/// "stealing likely" schedules are pinned to the same bytes.
+const EXECUTOR_WORKERS: [usize; 2] = [1, 3];
+
+fn replay_fixtures(files: &[PathBuf], executor: bool) -> ExitCode {
     if files.is_empty() {
         eprintln!(
             "replay-check: no recordings under {} (run `replay-check --record` to create them)",
@@ -134,29 +148,55 @@ fn replay_fixtures(files: &[PathBuf]) -> ExitCode {
                     failures += 1;
                 }
             }
+            if !executor {
+                continue;
+            }
+            for workers in EXECUTOR_WORKERS {
+                let exec = CampaignExecutor::new(ExecutorConfig { workers, parents_per_worker: 2 });
+                match exec.replay(&recording, target) {
+                    Ok(report) => {
+                        println!(
+                            "replay-check: ok   {} [{target}] executor w={workers}, {} trials, {} flips",
+                            path.display(),
+                            report.trials,
+                            report.flips_verified
+                        );
+                    }
+                    Err(e) => {
+                        eprintln!(
+                            "replay-check: FAIL {} [{target}] executor w={workers}: {e}",
+                            path.display()
+                        );
+                        failures += 1;
+                    }
+                }
+            }
         }
     }
     if failures > 0 {
         eprintln!("replay-check: {failures} replay failures");
         return ExitCode::FAILURE;
     }
-    println!("replay-check: {} recordings replayed on all targets", files.len());
+    let how =
+        if executor { "on all targets, scoped and through the executor" } else { "on all targets" };
+    println!("replay-check: {} recordings replayed {how}", files.len());
     ExitCode::SUCCESS
 }
 
 fn main() -> ExitCode {
     let mut record = false;
+    let mut executor = false;
     let mut files: Vec<PathBuf> = Vec::new();
     for arg in std::env::args().skip(1) {
-        if arg == "--record" {
-            record = true;
-        } else {
-            files.push(PathBuf::from(arg));
+        match arg.as_str() {
+            "--record" => record = true,
+            "--executor" => executor = true,
+            _ => files.push(PathBuf::from(arg)),
         }
     }
     if record {
         return record_goldens();
     }
     let files = if files.is_empty() { default_fixtures() } else { files };
-    replay_fixtures(&files)
+    replay_fixtures(&files, executor)
 }

@@ -237,12 +237,21 @@ impl Default for AnvilSamplerParams {
 
 /// ANVIL as an inline activation-hook defense: counts global activations
 /// and, at every sampling point, inspects the current row's within-window
-/// count; past the threshold it lets the batch land and then refreshes
-/// the row's neighbors (losing the accumulated hammer progress).
+/// count; past the threshold it refreshes the row's neighbors (losing the
+/// accumulated hammer progress).
 ///
 /// This is the hook-native port of the explicit polling API
 /// `cta_ext::AnvilDetector` — same thresholds, same mitigation, but no
 /// caller-driven `sample_and_mitigate` loop.
+///
+/// **Burst splitting.** A verdict never permits activations *past* the
+/// next sampling point: a batch that crosses one is cut there
+/// ([`Verdict::Refresh`] with `permitted` up to the sample point — with
+/// an empty target list when the row looks cold — so the module
+/// re-consults with the remainder). A sampler that instead permitted the
+/// whole batch before sampling would let a single full-threshold burst
+/// land unmitigated, which is exactly how the defense matrix's `anvil`
+/// column used to collapse to `none` against one-shot hammer bursts.
 #[derive(Debug, Clone)]
 pub struct AnvilSamplerDefense {
     params: AnvilSamplerParams,
@@ -272,17 +281,22 @@ impl RowDefense for AnvilSamplerDefense {
     }
 
     fn on_activation(&mut self, ctx: &ActivationCtx<'_>) -> Verdict {
-        let before_samples = self.seen / self.params.sample_every;
-        self.seen += ctx.count;
-        if self.seen / self.params.sample_every == before_samples {
+        let until_sample = self.params.sample_every - self.seen % self.params.sample_every;
+        if ctx.count < until_sample {
             // No sampling point falls inside this batch.
+            self.seen += ctx.count;
             return Verdict::Allow;
         }
-        if ctx.window_activations + ctx.count >= self.params.activation_threshold {
+        // Cut the batch at the sampling point and inspect the row there;
+        // the module re-consults with whatever remains, so even one
+        // threshold-sized burst is examined every `sample_every`
+        // activations.
+        self.seen += until_sample;
+        if ctx.window_activations + until_sample >= self.params.activation_threshold {
             self.alarms += 1;
-            return Verdict::Refresh { permitted: ctx.count, targets: vec![ctx.row] };
+            return Verdict::Refresh { permitted: until_sample, targets: vec![ctx.row] };
         }
-        Verdict::Allow
+        Verdict::Refresh { permitted: until_sample, targets: Vec::new() }
     }
 
     fn counters(&self) -> Vec<(&'static str, u64)> {
@@ -498,13 +512,57 @@ mod tests {
         let n = [RowId(1)];
         // 100 activations: no sample point crossed, hot or not.
         assert_eq!(d.on_activation(&ctx(2, 100, 5000, &n)), Verdict::Allow);
-        // Crossing a sample point with a hot row: refresh verdict.
+        // Crossing a sample point with a hot row: the batch is cut at the
+        // sample point (3996 = 4096 - 100 already seen) and the row is
+        // refreshed there — never permitted to finish the burst first.
         let v = d.on_activation(&ctx(2, 4096, 5000, &n));
-        assert_eq!(v, Verdict::Refresh { permitted: 4096, targets: vec![RowId(2)] });
+        assert_eq!(v, Verdict::Refresh { permitted: 3996, targets: vec![RowId(2)] });
         assert_eq!(d.alarms(), 1);
-        // Crossing a sample point with a cold row: allow.
-        assert_eq!(d.on_activation(&ctx(3, 4096, 0, &n)), Verdict::Allow);
+        // Crossing a sample point with a cold row: cut, but no refresh.
+        let v = d.on_activation(&ctx(3, 4096, 0, &n));
+        assert_eq!(v, Verdict::Refresh { permitted: 4096, targets: Vec::new() });
         assert_eq!(d.counters(), vec![("anvil_alarms", 1)]);
+    }
+
+    #[test]
+    fn anvil_sampler_splits_a_single_full_threshold_burst() {
+        // One burst as large as the module's hammer threshold, replayed
+        // the way record_activation_defended re-consults: the row's
+        // window count must stay far below the hammer threshold because
+        // every crossing of the 16 Ki activation threshold triggers a
+        // refresh (window reset) at the next sample point.
+        let p = AnvilSamplerParams::default(); // 16 Ki threshold, 4096 sampling
+        let mut d = AnvilSamplerDefense::new(p);
+        let n = [RowId(1), RowId(3)];
+        let hammer_threshold = 128 * 1024;
+        let mut remaining: u64 = hammer_threshold;
+        let mut window: u64 = 0;
+        let mut peak: u64 = 0;
+        while remaining > 0 {
+            match d.on_activation(&ctx(2, remaining, window, &n)) {
+                Verdict::Allow => {
+                    window += remaining;
+                    remaining = 0;
+                }
+                Verdict::Throttle { .. } => panic!("sampler never throttles"),
+                Verdict::Refresh { permitted, targets } => {
+                    assert!(permitted > 0, "sampler must make forward progress");
+                    let take = permitted.min(remaining);
+                    window += take;
+                    remaining -= take;
+                    peak = peak.max(window);
+                    if targets.contains(&RowId(2)) {
+                        window = 0; // module-side window reset
+                    }
+                }
+            }
+            peak = peak.max(window);
+        }
+        assert!(d.alarms() > 0, "a full-threshold burst must raise alarms");
+        assert!(
+            peak < hammer_threshold / 4,
+            "window peaked at {peak}, close enough to {hammer_threshold} to flip"
+        );
     }
 
     #[test]

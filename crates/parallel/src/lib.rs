@@ -28,6 +28,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod executor;
+
 use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -120,9 +122,17 @@ where
         .collect()
 }
 
-/// [`parallel_map`] for fallible work: runs every job, then returns the
-/// first error *by index order* (not by completion order), so error
-/// selection is deterministic too.
+/// [`parallel_map`] for fallible work, with **cooperative early-cancel**:
+/// once any job fails, queued jobs at *higher* indices are skipped instead
+/// of run to completion, and the lowest-index error is returned.
+///
+/// Error selection is still deterministic: a failing index is only ever
+/// skipped when a strictly lower failing index has already been recorded,
+/// so the returned error is the same lowest-index error a run-everything
+/// implementation would pick — independent of worker count or scheduling.
+/// Only the *wasted work after a failure* changes. The serial path
+/// (`threads <= 1`) short-circuits at the first error, which is the same
+/// error by construction (indices run in order).
 ///
 /// # Errors
 ///
@@ -133,8 +143,62 @@ where
     E: Send,
     F: Fn(usize) -> Result<T, E> + Sync,
 {
-    let results = parallel_map(n, threads, f);
-    results.into_iter().collect()
+    let threads = worker_count(threads).min(n.max(1));
+    if threads <= 1 || n <= 1 {
+        let mut out = Vec::with_capacity(n);
+        for i in 0..n {
+            out.push(f(i)?);
+        }
+        return Ok(out);
+    }
+
+    let slots: Vec<Mutex<Option<Result<T, E>>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    // Lowest failing index seen so far; `usize::MAX` = no failure. Workers
+    // consult it before starting a job: an index above the watermark can
+    // never win error selection and its success would be discarded anyway.
+    let first_err = AtomicUsize::new(usize::MAX);
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                if i > first_err.load(Ordering::Acquire) {
+                    continue;
+                }
+                let value = f(i);
+                if value.is_err() {
+                    first_err.fetch_min(i, Ordering::AcqRel);
+                }
+                *slots[i].lock().expect("result slot poisoned") = Some(value);
+            });
+        }
+    });
+    let cutoff = first_err.load(Ordering::Acquire);
+    if cutoff == usize::MAX {
+        return Ok(slots
+            .into_iter()
+            .enumerate()
+            .map(|(i, slot)| {
+                slot.into_inner()
+                    .expect("result slot poisoned")
+                    .unwrap_or_else(|| panic!("slot {i} unfilled"))
+                    .unwrap_or_else(|_| panic!("slot {i} failed without raising the watermark"))
+            })
+            .collect());
+    }
+    match slots
+        .into_iter()
+        .nth(cutoff)
+        .expect("watermark within bounds")
+        .into_inner()
+        .expect("result slot poisoned")
+    {
+        Some(Err(e)) => Err(e),
+        _ => panic!("slot {cutoff} does not hold the recorded error"),
+    }
 }
 
 #[cfg(test)]
@@ -194,6 +258,59 @@ mod tests {
         let out: Result<Vec<u32>, usize> =
             try_parallel_map(10, 4, |i| if i % 3 == 2 { Err(i) } else { Ok(i as u32) });
         assert_eq!(out, Err(2));
+    }
+
+    #[test]
+    fn try_map_cancels_queued_work_after_failure() {
+        // Index 0 fails immediately; every other job sleeps. With the
+        // watermark in place, workers skip (almost) everything queued
+        // behind the failure instead of running all 64 jobs.
+        let executed = AtomicUsize::new(0);
+        let out: Result<Vec<usize>, &str> = try_parallel_map(64, 4, |i| {
+            if i == 0 {
+                return Err("boom");
+            }
+            executed.fetch_add(1, Ordering::Relaxed);
+            std::thread::sleep(std::time::Duration::from_millis(1));
+            Ok(i)
+        });
+        assert_eq!(out, Err("boom"));
+        let ran = executed.load(Ordering::Relaxed);
+        assert!(ran < 64, "early-cancel skipped nothing: {ran}/64 jobs ran");
+    }
+
+    #[test]
+    fn try_map_error_selection_survives_cancellation() {
+        // Two failing indices; the high one is fast and fails first in
+        // wall-clock terms, but selection must still pick index 3.
+        for _ in 0..16 {
+            let out: Result<Vec<usize>, usize> = try_parallel_map(12, 4, |i| {
+                if i == 3 {
+                    std::thread::sleep(std::time::Duration::from_millis(2));
+                    Err(i)
+                } else if i == 9 {
+                    Err(i)
+                } else {
+                    Ok(i)
+                }
+            });
+            assert_eq!(out, Err(3));
+        }
+    }
+
+    #[test]
+    fn try_map_serial_short_circuits() {
+        let executed = AtomicUsize::new(0);
+        let out: Result<Vec<usize>, usize> = try_parallel_map(10, 1, |i| {
+            executed.fetch_add(1, Ordering::Relaxed);
+            if i == 4 {
+                Err(i)
+            } else {
+                Ok(i)
+            }
+        });
+        assert_eq!(out, Err(4));
+        assert_eq!(executed.load(Ordering::Relaxed), 5);
     }
 
     #[test]

@@ -1,0 +1,142 @@
+//! JSON Lines streaming on top of the strict [`crate::json`] layer.
+//!
+//! A long-running campaign service cannot wait for shutdown to emit one
+//! big snapshot: each completed campaign appends **one line, one strict
+//! JSON document** to a stream, so consumers can tail progress and a
+//! crash loses at most the line being written. Every line goes through
+//! [`JsonValue::to_compact_string`] — the same emitter the snapshot path
+//! uses — so the duplicate-key and non-finite guarantees carry over, and
+//! the compact form never contains a raw newline (strings are escaped).
+//!
+//! [`parse_lines`] is the reading half: it re-parses a stream with the
+//! strict parser line by line, reporting the 1-based line number of the
+//! first malformed line. Blank lines are ignored (a trailing newline is
+//! the normal final state of an append-only stream).
+
+use std::fmt;
+use std::io::{self, Write};
+
+use crate::json::{parse, JsonError, JsonValue};
+
+/// A malformed line in a JSON Lines stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonlError {
+    /// 1-based line number of the offending line.
+    pub line: usize,
+    /// The strict-parser error for that line.
+    pub error: JsonError,
+}
+
+impl fmt::Display for JsonlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.error)
+    }
+}
+
+impl std::error::Error for JsonlError {}
+
+/// Append-only JSON Lines writer: one compact strict-JSON document per
+/// line, flushed after every line so concurrent tailing sees whole lines.
+#[derive(Debug)]
+pub struct JsonlWriter<W: Write> {
+    sink: W,
+    lines: u64,
+}
+
+impl<W: Write> JsonlWriter<W> {
+    /// Wraps `sink` (a file, a `Vec<u8>`, a locked stdout, ...).
+    pub fn new(sink: W) -> Self {
+        JsonlWriter { sink, lines: 0 }
+    }
+
+    /// Writes `value` as one compact line and flushes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the sink.
+    pub fn write(&mut self, value: &JsonValue) -> io::Result<()> {
+        self.sink.write_all(value.to_compact_string().as_bytes())?;
+        self.sink.write_all(b"\n")?;
+        self.sink.flush()?;
+        self.lines += 1;
+        Ok(())
+    }
+
+    /// Lines written so far.
+    pub fn lines(&self) -> u64 {
+        self.lines
+    }
+
+    /// Unwraps the underlying sink.
+    pub fn into_inner(self) -> W {
+        self.sink
+    }
+}
+
+/// Parses a JSON Lines stream with the strict parser, one document per
+/// non-blank line.
+///
+/// # Errors
+///
+/// The first malformed line, with its 1-based line number.
+pub fn parse_lines(input: &str) -> Result<Vec<JsonValue>, JsonlError> {
+    let mut docs = Vec::new();
+    for (index, line) in input.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        match parse(line) {
+            Ok(doc) => docs.push(doc),
+            Err(error) => return Err(JsonlError { line: index + 1, error }),
+        }
+    }
+    Ok(docs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc(n: f64) -> JsonValue {
+        JsonValue::Object(vec![("n".to_string(), JsonValue::Number(n))])
+    }
+
+    #[test]
+    fn lines_round_trip_through_strict_parser() {
+        let mut writer = JsonlWriter::new(Vec::new());
+        writer.write(&doc(1.0)).unwrap();
+        writer.write(&doc(2.5)).unwrap();
+        assert_eq!(writer.lines(), 2);
+        let text = String::from_utf8(writer.into_inner()).unwrap();
+        assert_eq!(text.matches('\n').count(), 2, "one newline per line");
+        let docs = parse_lines(&text).unwrap();
+        assert_eq!(docs, vec![doc(1.0), doc(2.5)]);
+    }
+
+    #[test]
+    fn embedded_newlines_stay_escaped() {
+        let tricky = JsonValue::Object(vec![(
+            "msg".to_string(),
+            JsonValue::String("two\nlines \"quoted\"".to_string()),
+        )]);
+        let mut writer = JsonlWriter::new(Vec::new());
+        writer.write(&tricky).unwrap();
+        let text = String::from_utf8(writer.into_inner()).unwrap();
+        assert_eq!(text.matches('\n').count(), 1, "escape, don't break, lines");
+        assert_eq!(parse_lines(&text).unwrap(), vec![tricky]);
+    }
+
+    #[test]
+    fn malformed_line_reports_its_line_number() {
+        let stream = "{\"a\": 1}\n\n{\"b\": }\n";
+        let err = parse_lines(stream).unwrap_err();
+        assert_eq!(err.line, 3);
+    }
+
+    #[test]
+    fn blank_lines_and_missing_trailing_newline_are_fine() {
+        assert_eq!(parse_lines("").unwrap(), Vec::<JsonValue>::new());
+        assert_eq!(parse_lines("\n\n").unwrap(), Vec::<JsonValue>::new());
+        assert_eq!(parse_lines("{\"a\": 1}").unwrap().len(), 1);
+    }
+}

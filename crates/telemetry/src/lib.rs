@@ -17,6 +17,10 @@
 //! * [`json`] — a strict JSON parser (duplicate keys and non-finite
 //!   numbers rejected) so CI can prove every emitted artifact is real
 //!   JSON, not just JSON-shaped text.
+//! * [`jsonl`] — JSON Lines streaming on top of the strict layer: one
+//!   compact document per line, flushed per line, so a long-running
+//!   service can emit per-campaign telemetry incrementally instead of
+//!   one snapshot at shutdown.
 //! * [`schema`] — shape validation on top of the parser: the universal
 //!   snapshot envelope, per-binary required groups/keys with declared
 //!   [`ValueKind`]s, and the bench-baseline record shape, so a snapshot
@@ -32,10 +36,12 @@
 
 mod counters;
 pub mod json;
+pub mod jsonl;
 mod ring;
 pub mod schema;
 
 pub use counters::{Counters, Group, StatSource, Value};
 pub use json::{JsonError, JsonValue};
+pub use jsonl::{JsonlError, JsonlWriter};
 pub use ring::{RingLog, DEFAULT_LOG_CAPACITY};
 pub use schema::{SchemaError, SnapshotSchema, ValueKind};

@@ -199,12 +199,74 @@ pub fn declarations() -> &'static [SnapshotSchema] {
             ],
         },
     ];
+    // A campaign merged by the persistent executor carries the same
+    // load-bearing counters as a recorded campaign: the executor's merge
+    // is pinned byte-identical to the serial recording path, so the shape
+    // requirements are shared.
+    const EXECUTOR: &[GroupReq] = RECORDING;
     &[
         SnapshotSchema { label_prefix: "bench-baseline", required: BENCH_BASELINE },
         SnapshotSchema { label_prefix: "exp-table4", required: EXP_TABLE4 },
         SnapshotSchema { label_prefix: "exp-matrix", required: EXP_MATRIX },
         SnapshotSchema { label_prefix: "recording", required: RECORDING },
+        SnapshotSchema { label_prefix: "executor", required: EXECUTOR },
     ]
+}
+
+/// Top-level fields of one executor JSONL campaign event, in emission
+/// order: scheduling metadata plus the embedded merged-telemetry snapshot.
+const EXECUTOR_EVENT_FIELDS: &[KeyReq] = &[
+    KeyReq { key: "event", kind: ValueKind::Text },
+    KeyReq { key: "seq", kind: ValueKind::UInt },
+    KeyReq { key: "tenant", kind: ValueKind::Text },
+    KeyReq { key: "campaign", kind: ValueKind::UInt },
+    KeyReq { key: "trials", kind: ValueKind::UInt },
+    KeyReq { key: "successes", kind: ValueKind::UInt },
+    KeyReq { key: "total_flips", kind: ValueKind::UInt },
+    KeyReq { key: "wall_ns", kind: ValueKind::UInt },
+    KeyReq { key: "p99_trial_ns", kind: ValueKind::UInt },
+];
+
+/// Validates one line of the campaign executor's JSONL stream: exactly the
+/// declared scheduling fields (see EXPERIMENTS.md) plus a `telemetry`
+/// member that must itself pass [`validate_snapshot`] — so a streamed
+/// campaign carries the same schema-checked counters as a recorded one.
+/// Returns every violation found (empty ⇒ valid).
+#[must_use]
+pub fn validate_executor_event(doc: &JsonValue) -> Vec<SchemaError> {
+    let mut errors = Vec::new();
+    let Some(members) = doc.as_object() else {
+        return vec![err("$", "executor event must be a JSON object")];
+    };
+    for (key, _) in members {
+        let known = key == "telemetry" || EXECUTOR_EVENT_FIELDS.iter().any(|f| f.key == key);
+        if !known {
+            errors.push(err(key, "unknown executor-event key"));
+        }
+    }
+    for field in EXECUTOR_EVENT_FIELDS {
+        match doc.get(field.key) {
+            None => errors.push(err(field.key, "missing")),
+            Some(v) if !field.kind.admits(v) => {
+                errors.push(err(field.key, format!("expected {}", field.kind.name())));
+            }
+            Some(_) => {}
+        }
+    }
+    if let Some(JsonValue::String(event)) = doc.get("event") {
+        if event != "campaign" {
+            errors.push(err("event", "must be \"campaign\""));
+        }
+    }
+    match doc.get("telemetry") {
+        None => errors.push(err("telemetry", "missing")),
+        Some(snapshot) => {
+            for e in validate_snapshot(snapshot) {
+                errors.push(err(format!("telemetry.{}", e.path), e.message));
+            }
+        }
+    }
+    errors
 }
 
 /// The declaration applying to `label`, if any (longest matching prefix).
@@ -365,6 +427,16 @@ pub fn validate_baseline(doc: &JsonValue) -> Vec<SchemaError> {
                         ));
                     }
                 }
+                if label == "service" {
+                    for required in SERVICE_BASELINE_METRICS {
+                        if !metrics.iter().any(|(metric, _)| metric == required) {
+                            errors.push(err(
+                                format!("{label}.metrics.{required}"),
+                                "required service metric missing",
+                            ));
+                        }
+                    }
+                }
             }
             Some(_) => errors.push(err(format!("{label}.metrics"), "must be an object")),
             None => errors.push(err(format!("{label}.metrics"), "missing")),
@@ -372,6 +444,12 @@ pub fn validate_baseline(doc: &JsonValue) -> Vec<SchemaError> {
     }
     errors
 }
+
+/// Metrics the `service` baseline section must record: the saturating
+/// multi-tenant queue's sustained throughput, its tail latency, and the
+/// amortization win over booting per campaign (the label's whole point).
+pub const SERVICE_BASELINE_METRICS: &[&str] =
+    &["service_trials_per_sec", "service_p99_trial_latency_ms", "service_speedup_vs_reboot"];
 
 #[cfg(test)]
 mod tests {
@@ -475,6 +553,72 @@ mod tests {
         let errors = validate_snapshot(&doc);
         assert_eq!(errors.len(), 1, "{errors:?}");
         assert_eq!(errors[0].path, "groups.defense");
+    }
+
+    #[test]
+    fn executor_event_envelope_validates() {
+        let good = parse(
+            r#"{"event": "campaign", "seq": 0, "tenant": "t0", "campaign": 3,
+                "trials": 2, "successes": 1, "total_flips": 9, "wall_ns": 120,
+                "p99_trial_ns": 55,
+                "telemetry": {"label": "executor", "flags": [], "groups": {
+                    "campaign": {"trials": 2, "total_flips": 9, "successes": 1,
+                                 "total_rows_hammered": 4, "total_sim_time_ns": 9},
+                    "dram": {"flips_one_to_zero": 5, "flips_zero_to_one": 4,
+                             "flip_log_retained": 9, "flip_log_dropped": 0,
+                             "activations": 30}}}}"#,
+        )
+        .unwrap();
+        assert_eq!(validate_executor_event(&good), vec![]);
+    }
+
+    #[test]
+    fn executor_event_rejects_drift() {
+        // Wrong event name, missing seq, stray key, and an embedded
+        // snapshot that lost its campaign group: all reported.
+        let bad = parse(
+            r#"{"event": "trial", "tenant": "t0", "campaign": 3, "trials": 2,
+                "successes": 1, "total_flips": 9, "wall_ns": 120,
+                "p99_trial_ns": 55, "stray": 1,
+                "telemetry": {"label": "executor", "flags": [], "groups": {}}}"#,
+        )
+        .unwrap();
+        let errors = validate_executor_event(&bad);
+        let paths: Vec<&str> = errors.iter().map(|e| e.path.as_str()).collect();
+        assert!(paths.contains(&"event"), "{errors:?}");
+        assert!(paths.contains(&"seq"), "{errors:?}");
+        assert!(paths.contains(&"stray"), "{errors:?}");
+        assert!(paths.contains(&"telemetry.groups.campaign"), "{errors:?}");
+    }
+
+    #[test]
+    fn executor_snapshot_label_shares_recording_shape() {
+        let schema = schema_for("executor").unwrap();
+        assert_eq!(schema.label_prefix, "executor");
+        let doc = parse(r#"{"label": "executor", "flags": [], "groups": {}}"#).unwrap();
+        let errors = validate_snapshot(&doc);
+        assert!(errors.iter().any(|e| e.path == "groups.campaign"), "{errors:?}");
+        assert!(errors.iter().any(|e| e.path == "groups.dram"), "{errors:?}");
+    }
+
+    #[test]
+    fn service_baseline_section_requires_its_metrics() {
+        let missing =
+            parse(r#"{"service": {"quick": false, "metrics": {"service_trials_per_sec": 50.0}}}"#)
+                .unwrap();
+        let errors = validate_baseline(&missing);
+        let paths: Vec<&str> = errors.iter().map(|e| e.path.as_str()).collect();
+        assert!(paths.contains(&"service.metrics.service_p99_trial_latency_ms"), "{errors:?}");
+        assert!(paths.contains(&"service.metrics.service_speedup_vs_reboot"), "{errors:?}");
+
+        let complete = parse(
+            r#"{"service": {"quick": false, "metrics": {
+                "service_trials_per_sec": 50.0,
+                "service_p99_trial_latency_ms": 12.5,
+                "service_speedup_vs_reboot": 4.2}}}"#,
+        )
+        .unwrap();
+        assert_eq!(validate_baseline(&complete), vec![]);
     }
 
     #[test]

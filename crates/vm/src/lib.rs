@@ -49,6 +49,7 @@ mod addr;
 mod error;
 mod file;
 mod kernel;
+mod pool;
 mod psc;
 mod pte;
 mod setassoc;
@@ -61,6 +62,7 @@ pub use file::{FileId, FileObject};
 pub use kernel::{
     FrameOwner, Kernel, KernelConfig, KernelStats, Pid, Process, PteRecord, HUGE_PAGE_SIZE,
 };
+pub use pool::{KernelPool, PoolStats};
 pub use psc::{Psc, PscEntry, PscStats};
 pub use pte::{Pte, PteFlags, PTE_ADDR_MASK};
 pub use tlb::{Tlb, TlbStats};

@@ -1,0 +1,199 @@
+//! Boot-once parent-kernel pools for fork-per-trial services.
+//!
+//! Booting a kernel — building page tables, profiling true/anti-cells,
+//! compiling the vulnerability map — dominates a trial's cost, while
+//! [`Kernel::fork`] on the CoW backend is O(changed rows). A long-running
+//! campaign service therefore keeps *parent* kernels (one per distinct
+//! boot configuration) alive and hands out forks per trial.
+//!
+//! [`KernelPool`] is that cache: an LRU map from an opaque configuration
+//! key to a booted parent. It is deliberately **not** thread-safe —
+//! `Kernel` is `!Send` by design (its DRAM model shares `Rc` state), so a
+//! pool lives inside one worker's local context and parents never cross
+//! threads. The executor layer gives each worker its own pool; capacity
+//! and the per-parent model-cache byte budget bound a worker's resident
+//! memory at O(parents + in-flight forks).
+//!
+//! Determinism: `fork()` of a freshly-booted kernel is bit-identical to a
+//! second boot from the same config (pinned by the backend differential
+//! suites), so *whether* a trial's kernel came from a pool hit or a fresh
+//! boot is invisible in its results.
+
+use crate::error::VmError;
+use crate::kernel::Kernel;
+
+/// Cumulative counters for one [`KernelPool`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Parents booted because no cached parent matched the key.
+    pub boots: u64,
+    /// Forks served from an already-resident parent.
+    pub fork_hits: u64,
+    /// Forks handed out in total (`boots + fork_hits`).
+    pub forks: u64,
+    /// Parents evicted (LRU) to stay within capacity.
+    pub evictions: u64,
+}
+
+/// An LRU cache of booted parent kernels, keyed by an opaque
+/// configuration key `K`.
+#[derive(Debug)]
+pub struct KernelPool<K: Eq + Clone> {
+    /// LRU order: least-recently-used first, most-recently-used last.
+    parents: Vec<(K, Kernel)>,
+    capacity: usize,
+    stats: PoolStats,
+}
+
+impl<K: Eq + Clone> KernelPool<K> {
+    /// Creates a pool holding at most `capacity` parents (clamped to 1).
+    pub fn new(capacity: usize) -> Self {
+        KernelPool { parents: Vec::new(), capacity: capacity.max(1), stats: PoolStats::default() }
+    }
+
+    /// Returns a fork of the parent for `key`, booting (and caching) the
+    /// parent via `boot` if it is not resident. The touched parent moves
+    /// to most-recently-used; a boot that overflows capacity evicts the
+    /// least-recently-used parent first.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the boot error; the pool is unchanged in that case.
+    pub fn fork_for<F>(&mut self, key: &K, boot: F) -> Result<Kernel, VmError>
+    where
+        F: FnOnce() -> Result<Kernel, VmError>,
+    {
+        if let Some(position) = self.parents.iter().position(|(k, _)| k == key) {
+            let entry = self.parents.remove(position);
+            self.parents.push(entry);
+            self.stats.fork_hits += 1;
+        } else {
+            let parent = boot()?;
+            self.stats.boots += 1;
+            if self.parents.len() >= self.capacity {
+                self.parents.remove(0);
+                self.stats.evictions += 1;
+            }
+            self.parents.push((key.clone(), parent));
+        }
+        self.stats.forks += 1;
+        Ok(self.parents.last().expect("parent just touched").1.fork())
+    }
+
+    /// Number of resident parents.
+    pub fn len(&self) -> usize {
+        self.parents.len()
+    }
+
+    /// True if no parents are resident.
+    pub fn is_empty(&self) -> bool {
+        self.parents.is_empty()
+    }
+
+    /// Maximum number of resident parents.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Changes the capacity (clamped to 1), evicting LRU parents as
+    /// needed to fit.
+    pub fn set_capacity(&mut self, capacity: usize) {
+        self.capacity = capacity.max(1);
+        while self.parents.len() > self.capacity {
+            self.parents.remove(0);
+            self.stats.evictions += 1;
+        }
+    }
+
+    /// True if a parent for `key` is resident.
+    pub fn contains(&self, key: &K) -> bool {
+        self.parents.iter().any(|(k, _)| k == key)
+    }
+
+    /// Drops every resident parent (counted as evictions).
+    pub fn clear(&mut self) {
+        self.stats.evictions += self.parents.len() as u64;
+        self.parents.clear();
+    }
+
+    /// Cumulative counters.
+    pub fn stats(&self) -> PoolStats {
+        self.stats
+    }
+
+    /// Total DRAM model-cache bytes held by resident parents — the gauge
+    /// a service publishes against its per-tenant memory limits.
+    pub fn model_cache_bytes(&self) -> u64 {
+        self.parents.iter().map(|(_, kernel)| kernel.dram().model_cache_bytes() as u64).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::{Kernel, KernelConfig};
+
+    fn boot() -> Result<Kernel, VmError> {
+        Kernel::new(KernelConfig::small_test())
+    }
+
+    #[test]
+    fn second_fork_hits_the_cached_parent() {
+        let mut pool: KernelPool<u32> = KernelPool::new(2);
+        let first = pool.fork_for(&7, boot).expect("boot");
+        let second = pool.fork_for(&7, boot).expect("fork hit");
+        let stats = pool.stats();
+        assert_eq!((stats.boots, stats.fork_hits, stats.forks), (1, 1, 2));
+        assert_eq!(pool.len(), 1);
+        // Hit and miss forks are the same machine.
+        assert_eq!(
+            first.dram().config().geometry.row_bytes(),
+            second.dram().config().geometry.row_bytes()
+        );
+    }
+
+    #[test]
+    fn lru_eviction_keeps_recently_used_parents() {
+        let mut pool: KernelPool<u32> = KernelPool::new(2);
+        pool.fork_for(&1, boot).expect("boot 1");
+        pool.fork_for(&2, boot).expect("boot 2");
+        pool.fork_for(&1, boot).expect("hit 1"); // 1 is now MRU
+        pool.fork_for(&3, boot).expect("boot 3"); // evicts 2
+        assert!(pool.contains(&1) && pool.contains(&3) && !pool.contains(&2));
+        assert_eq!(pool.stats().evictions, 1);
+        assert_eq!(pool.len(), 2);
+    }
+
+    #[test]
+    fn failed_boot_leaves_pool_unchanged() {
+        let mut pool: KernelPool<u32> = KernelPool::new(2);
+        pool.fork_for(&1, boot).expect("boot 1");
+        let err = pool.fork_for(&2, || Err(VmError::NoSuchFile));
+        assert!(err.is_err());
+        assert_eq!(pool.len(), 1);
+        assert_eq!(pool.stats().boots, 1);
+    }
+
+    #[test]
+    fn shrinking_capacity_evicts_lru_first() {
+        let mut pool: KernelPool<u32> = KernelPool::new(3);
+        for key in 1..=3 {
+            pool.fork_for(&key, boot).expect("boot");
+        }
+        pool.set_capacity(1);
+        assert_eq!(pool.len(), 1);
+        assert!(pool.contains(&3));
+        assert_eq!(pool.stats().evictions, 2);
+    }
+
+    #[test]
+    fn clear_counts_evictions_and_empties() {
+        let mut pool: KernelPool<u32> = KernelPool::new(4);
+        pool.fork_for(&1, boot).expect("boot");
+        pool.fork_for(&2, boot).expect("boot");
+        pool.clear();
+        assert_eq!(pool.model_cache_bytes(), 0);
+        assert!(pool.is_empty());
+        assert_eq!(pool.stats().evictions, 2);
+    }
+}

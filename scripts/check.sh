@@ -82,12 +82,12 @@ drift_watch() {
 if [ -n "$PREV_CHECK" ] && [ -n "$NEW_CHECK" ]; then
     for metric in pte_walk_cold_stock_ns pte_walk_cold_cta_ns \
         translate_tlb_hit_stock_ns translate_tlb_hit_cta_ns \
-        boot_dense_ms; do
+        boot_dense_ms service_p99_trial_latency_ms; do
         drift_watch lat "$metric"
     done
     for metric in dram_write_u64_ops_per_sec dram_fill_mb_per_sec \
         mc_serial_samples_per_sec vuln_map_rows_per_sec \
-        partial_decay_mb_per_sec; do
+        partial_decay_mb_per_sec service_trials_per_sec; do
         drift_watch rate "$metric"
     done
 else
@@ -108,23 +108,38 @@ echo "==> defense-matrix smoke (exp-matrix --quick)"
 # in telemetry/ and gets schema-checked by the json-check gate below.
 cargo run --release -q -p cta-bench --bin exp-matrix -- --quick > /dev/null
 
-echo "==> strict JSON + schema validation (BENCH_baseline.json + telemetry/*.json)"
+echo "==> campaign executor smoke (cta evaluate)"
+# The persistent executor end to end through its CLI front-end: a small
+# multi-tenant queue served boot-once/fork-per-trial, streaming one
+# executor event per campaign to telemetry/cta-events.jsonl. The stream
+# (and the cta-evaluate snapshot) is schema-checked by the json-check
+# gate below; the bench-baseline quick smoke above already recorded the
+# service_* metrics the drift watch tracks.
+cargo run --release -q -p cta-bench --bin cta -- evaluate \
+    --tenants 2 --campaigns 1 --trials 2 --workers 2 \
+    --jsonl telemetry/cta-events.jsonl > /dev/null
+
+echo "==> strict JSON + schema validation (BENCH_baseline.json + telemetry/*)"
 # Every machine-readable artifact the workspace emits must parse as
 # standards-valid JSON (duplicate keys and non-finite numbers rejected)
 # AND have the right shape: snapshots carry exactly label/flags/groups
 # with flat scalar groups plus any per-binary required keys, the baseline
-# carries quick/metrics sections. With no arguments json-check audits
-# BENCH_baseline.json and every *.json under telemetry/.
+# carries quick/metrics sections, and *.jsonl streams carry one
+# schema-valid executor event per line. With no arguments json-check
+# audits BENCH_baseline.json plus every *.json and *.jsonl under
+# telemetry/.
 cargo run --release -q -p cta-bench --bin json-check -- --schema
 cargo run --release -q -p cta-bench --bin json-check -- --schema \
     fixtures/recordings/*.recording.json
 
-echo "==> golden recording replay (all backends x flip engines)"
+echo "==> golden recording replay (all backends x flip engines, scoped + executor)"
 # The checked-in campaign recordings must replay byte-identically — flip
 # transcripts, contents hashes, clocks, outcomes, telemetry — under every
-# store backend and flip engine. After an *intentional* simulation
-# change, regenerate with `replay-check --record` and commit the diff.
-cargo run --release -q -p cta-bench --bin replay-check
+# store backend and flip engine, both through the scoped serial path and
+# through the campaign executor at 1 and 3 workers (scheduling must be
+# invisible in the bytes). After an *intentional* simulation change,
+# regenerate with `replay-check --record` and commit the diff.
+cargo run --release -q -p cta-bench --bin replay-check -- --executor
 
 echo "==> telemetry sanity: no NaN/inf, no sanitizer flags"
 # Word-boundary patterns: a substring match like `flip_info` or a
