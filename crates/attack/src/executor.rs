@@ -1,4 +1,5 @@
-//! The persistent campaign executor: boot once, fork per trial.
+//! The persistent campaign executor: boot once, fork (or journal) per
+//! trial.
 //!
 //! [`crate::recording`]'s scoped path builds a fresh kernel per trial —
 //! boot plus vulnerability-map compile dominate each trial's cost. A
@@ -10,6 +11,24 @@
 //! [`cta_parallel::executor::Executor`]: one worker's deque per campaign
 //! (locality with that worker's warm parents), work stealing when the
 //! queue saturates.
+//!
+//! **Trial isolation.** [`TrialIsolation`] selects how a trial is kept
+//! from perturbing its pooled parent: [`TrialIsolation::Fork`] (the
+//! default) copies the parent per trial, while
+//! [`TrialIsolation::Journal`] runs the trial **in place** on the parent
+//! under [`KernelPool::run_journaled`]'s undo journal and rolls it back —
+//! O(touched state) instead of O(parent). Rollback is byte-identical to a
+//! fresh fork (pinned by the isolation differential suites), so the two
+//! modes produce byte-identical campaign output and share the same pooled
+//! parents ([`TrialIsolation`] is deliberately absent from the parent
+//! key).
+//!
+//! **Cancellation.** [`CampaignExecutor::cancel`] drops a submitted
+//! campaign's still-queued trials from the worker deques; in-flight
+//! trials drain normally. Dropped trials surface as
+//! [`CampaignOutput::dropped_trials`] and are excluded from the merged
+//! transcript/counters; a `cancelled` event is emitted on the JSONL
+//! stream.
 //!
 //! **Determinism contract.** A campaign's observable output — its
 //! [`TrialRecord`]s, merged [`Counters`], and [`CampaignSummary`] — is
@@ -46,7 +65,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
-use cta_parallel::executor::{Executor, Ticket};
+use cta_parallel::executor::{BatchHandle, Executor, Ticket};
 use cta_telemetry::json::{self, JsonValue};
 use cta_telemetry::jsonl::JsonlWriter;
 use cta_telemetry::Counters;
@@ -90,6 +109,47 @@ pub struct TenantLimits {
     pub model_cache_bytes: Option<usize>,
 }
 
+/// How a trial is isolated from the pooled parent kernel that serves it.
+///
+/// Both modes produce byte-identical campaign output (transcripts, merged
+/// counters, contents hashes) — journal rollback restores the parent
+/// byte-identically to what a fork would have left — so isolation is an
+/// implementation knob, never part of the parent key or the result.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum TrialIsolation {
+    /// Fork the parent per trial: O(materialized rows) per trial on the
+    /// CoW backend, O(parent) on dense backends.
+    #[default]
+    Fork,
+    /// Run the trial in place on the parent under an undo journal and
+    /// roll back: O(touched state) per trial on every backend.
+    Journal,
+}
+
+impl TrialIsolation {
+    /// Canonical lowercase name (`fork` / `journal`), as accepted by
+    /// [`FromStr`](std::str::FromStr) and the `cta --isolation` flag.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            TrialIsolation::Fork => "fork",
+            TrialIsolation::Journal => "journal",
+        }
+    }
+}
+
+impl std::str::FromStr for TrialIsolation {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "fork" => Ok(TrialIsolation::Fork),
+            "journal" => Ok(TrialIsolation::Journal),
+            other => Err(format!("unknown isolation `{other}` (expected fork or journal)")),
+        }
+    }
+}
+
 /// One campaign submission: whose it is, what to run, and how.
 #[derive(Debug, Clone)]
 pub struct CampaignRequest {
@@ -103,6 +163,8 @@ pub struct CampaignRequest {
     pub spec: RecordingSpec,
     /// Implementation target (backend / flip engine / defense).
     pub target: ReplayTarget,
+    /// How each trial is isolated from its pooled parent.
+    pub isolation: TrialIsolation,
 }
 
 impl CampaignRequest {
@@ -113,6 +175,7 @@ impl CampaignRequest {
             label: EXECUTOR_LABEL.to_string(),
             spec,
             target: ReplayTarget::default(),
+            isolation: TrialIsolation::default(),
         }
     }
 }
@@ -137,6 +200,11 @@ pub struct CampaignOutput {
     pub trial_latencies_ns: Vec<u64>,
     /// Wall-clock campaign latency (submit → merge), nanoseconds.
     pub wall_ns: u64,
+    /// Trials dropped by [`CampaignExecutor::cancel`] before they ran.
+    /// Dropped trials appear in no transcript, counter, or summary — the
+    /// merged output covers exactly the trials that ran — so this count
+    /// (like the latencies) stays outside the deterministic observables.
+    pub dropped_trials: u64,
 }
 
 /// A point-in-time view of the executor's scheduling and pool gauges.
@@ -156,6 +224,9 @@ pub struct ServiceStats {
     pub parent_boots: u64,
     /// Trials served by forking an already-resident parent.
     pub fork_hits: u64,
+    /// Trials served in place under an undo journal
+    /// ([`TrialIsolation::Journal`]).
+    pub journal_runs: u64,
     /// Parents evicted to respect pool capacities.
     pub evictions: u64,
     /// Parents currently resident across all workers and tenants.
@@ -171,6 +242,7 @@ struct CampaignCtx {
     label: String,
     spec: RecordingSpec,
     target: ReplayTarget,
+    isolation: TrialIsolation,
     submitted: Instant,
 }
 
@@ -186,7 +258,9 @@ struct ExecutedTrial {
     latency_ns: u64,
 }
 
-type TrialOut = Result<ExecutedTrial, RecordingError>;
+/// One trial slot's result: `Ok(Some)` for a trial that ran, `Ok(None)`
+/// for a slot dropped by [`CampaignExecutor::cancel`] before it ran.
+type TrialOut = Result<Option<ExecutedTrial>, RecordingError>;
 
 /// Shared (worker-visible) executor state.
 struct ExecState {
@@ -197,12 +271,17 @@ struct ExecState {
     homes: Mutex<HashMap<String, usize>>,
     jsonl: Mutex<Option<JsonlWriter<Box<dyn Write + Send>>>>,
     next_event: AtomicU64,
+    // Campaign id → (tenant, batch handle) for campaigns still in flight;
+    // entries are removed by the completion hook, so `cancel` can only
+    // target batches whose merge has not yet run.
+    active: Mutex<HashMap<u64, (String, BatchHandle<TrialOut>)>>,
     // Per-worker gauges, republished after every trial (totals, not
     // deltas, so updates are idempotent).
     pool_parents: Vec<AtomicU64>,
     pool_bytes: Vec<AtomicU64>,
     boots: Vec<AtomicU64>,
     fork_hits: Vec<AtomicU64>,
+    journal_runs: Vec<AtomicU64>,
     evictions: Vec<AtomicU64>,
 }
 
@@ -234,23 +313,33 @@ impl WorkerCtx {
         let key = parent_key(&ctx.spec, ctx.target, seed, &limits);
         let spec = &ctx.spec;
         let target = ctx.target;
-        let mut kernel = pool
-            .fork_for(&key, || {
-                let mut parent = spec.builder(seed, target).build()?;
-                if let Some(budget) = limits.model_cache_bytes {
-                    parent.dram_mut().set_model_cache_bytes(Some(budget));
-                }
-                Ok(parent)
-            })
-            .map_err(RecordingError::Vm)?;
-
-        let result =
-            run_trial_on(&mut kernel, spec, seed).map(|(record, shard, log)| ExecutedTrial {
+        let boot = || {
+            let mut parent = spec.builder(seed, target).build()?;
+            if let Some(budget) = limits.model_cache_bytes {
+                parent.dram_mut().set_model_cache_bytes(Some(budget));
+            }
+            Ok(parent)
+        };
+        // Both arms run the same trial body on what is observably the
+        // same kernel — rollback restores the parent byte-identically, so
+        // which arm served a trial is invisible in its output.
+        let trial = match ctx.isolation {
+            TrialIsolation::Fork => {
+                let mut kernel = pool.fork_for(&key, boot).map_err(RecordingError::Vm)?;
+                run_trial_on(&mut kernel, spec, seed)
+            }
+            TrialIsolation::Journal => pool
+                .run_journaled(&key, boot, |kernel| run_trial_on(kernel, spec, seed))
+                .map_err(RecordingError::Vm)?,
+        };
+        let result = trial.map(|(record, shard, log)| {
+            Some(ExecutedTrial {
                 record,
                 shard,
                 dropped: log.dropped,
                 latency_ns: elapsed_ns(ctx.submitted),
-            });
+            })
+        });
         self.publish_gauges();
         result
     }
@@ -260,6 +349,7 @@ impl WorkerCtx {
         let mut bytes = 0u64;
         let mut boots = 0u64;
         let mut hits = 0u64;
+        let mut journal_runs = 0u64;
         let mut evictions = 0u64;
         for pool in self.pools.values() {
             parents += pool.len() as u64;
@@ -267,6 +357,7 @@ impl WorkerCtx {
             let stats = pool.stats();
             boots += stats.boots;
             hits += stats.fork_hits;
+            journal_runs += stats.journal_runs;
             evictions += stats.evictions;
         }
         let w = self.worker;
@@ -274,6 +365,7 @@ impl WorkerCtx {
         self.state.pool_bytes[w].store(bytes, Ordering::Relaxed);
         self.state.boots[w].store(boots, Ordering::Relaxed);
         self.state.fork_hits[w].store(hits, Ordering::Relaxed);
+        self.state.journal_runs[w].store(journal_runs, Ordering::Relaxed);
         self.state.evictions[w].store(evictions, Ordering::Relaxed);
     }
 }
@@ -370,10 +462,12 @@ impl CampaignExecutor {
             homes: Mutex::new(HashMap::new()),
             jsonl: Mutex::new(None),
             next_event: AtomicU64::new(0),
+            active: Mutex::new(HashMap::new()),
             pool_parents: (0..workers).map(|_| AtomicU64::new(0)).collect(),
             pool_bytes: (0..workers).map(|_| AtomicU64::new(0)).collect(),
             boots: (0..workers).map(|_| AtomicU64::new(0)).collect(),
             fork_hits: (0..workers).map(|_| AtomicU64::new(0)).collect(),
+            journal_runs: (0..workers).map(|_| AtomicU64::new(0)).collect(),
             evictions: (0..workers).map(|_| AtomicU64::new(0)).collect(),
         });
         let init_state = Arc::clone(&state);
@@ -422,6 +516,7 @@ impl CampaignExecutor {
             label: request.label,
             spec: request.spec,
             target: request.target,
+            isolation: request.isolation,
             submitted: Instant::now(),
         });
         let jobs: Vec<TrialJob> = (0..ctx.spec.seeds.len())
@@ -438,6 +533,7 @@ impl CampaignExecutor {
             let next = homes.len();
             *homes.entry(ctx.tenant.clone()).or_insert(next)
         };
+        let tenant = ctx.tenant.clone();
         let ticket =
             self.exec.submit_with_affinity(affinity, jobs, move |results: &[TrialOut]| {
                 let output = merge_campaign(&ctx, results);
@@ -445,8 +541,39 @@ impl CampaignExecutor {
                     emit_event(&hook_state, output);
                 }
                 *merged_slot.lock().expect("merge slot poisoned") = Some(output);
+                hook_state.active.lock().expect("active poisoned").remove(&ctx.id);
             });
+        // Register for cancellation — then undo the registration if the
+        // campaign already completed (the hook's removal may have run
+        // before the insert; an empty campaign completes inline above).
+        self.state.active.lock().expect("active poisoned").insert(id, (tenant, ticket.handle()));
+        if ticket.is_done() {
+            self.state.active.lock().expect("active poisoned").remove(&id);
+        }
         Ok(CampaignTicket { id, ticket, merged })
+    }
+
+    /// Drops campaign `campaign`'s still-queued trials from the worker
+    /// deques, returning how many were dropped. In-flight trials drain
+    /// normally; the campaign still merges (over the trials that ran) and
+    /// its ticket still completes, with the drop count in
+    /// [`CampaignOutput::dropped_trials`]. When trials were dropped, a
+    /// `cancelled` event is emitted on the JSONL stream. Cancelling an
+    /// unknown or already-merged campaign is a no-op returning 0.
+    pub fn cancel(&self, campaign: u64) -> usize {
+        let entry = self
+            .state
+            .active
+            .lock()
+            .expect("active poisoned")
+            .get(&campaign)
+            .map(|(tenant, handle)| (tenant.clone(), handle.clone()));
+        let Some((tenant, handle)) = entry else { return 0 };
+        let dropped = self.exec.cancel(&handle, |_| Ok(None));
+        if dropped > 0 {
+            emit_cancelled_event(&self.state, &tenant, campaign, dropped as u64);
+        }
+        dropped
     }
 
     /// Submits `request` and blocks for its merged output.
@@ -471,11 +598,29 @@ impl CampaignExecutor {
         recording: &Recording,
         target: ReplayTarget,
     ) -> Result<ReplayReport, RecordingError> {
+        self.replay_isolated(recording, target, TrialIsolation::Fork)
+    }
+
+    /// [`Self::replay`] under an explicit [`TrialIsolation`] — the gate
+    /// that proves journaled in-place trials reproduce the recorded
+    /// artifact byte-identically, exactly as forked trials do.
+    ///
+    /// # Errors
+    ///
+    /// [`RecordingError::Mismatch`] on the first divergence, plus
+    /// everything the scoped replay can raise.
+    pub fn replay_isolated(
+        &self,
+        recording: &Recording,
+        target: ReplayTarget,
+        isolation: TrialIsolation,
+    ) -> Result<ReplayReport, RecordingError> {
         let request = CampaignRequest {
             tenant: "replay".to_string(),
             label: crate::recording::RECORDING_LABEL.to_string(),
             spec: recording.spec.clone(),
             target,
+            isolation,
         };
         let output = self.run(request)?;
         compare_with_recording(recording, &output.trials, &output.counters, target)
@@ -494,6 +639,7 @@ impl CampaignExecutor {
             steals: exec.stolen,
             parent_boots: sum(&self.state.boots),
             fork_hits: sum(&self.state.fork_hits),
+            journal_runs: sum(&self.state.journal_runs),
             evictions: sum(&self.state.evictions),
             pool_parents: sum(&self.state.pool_parents),
             pool_model_cache_bytes: sum(&self.state.pool_bytes),
@@ -511,6 +657,7 @@ impl CampaignExecutor {
         counters.set_u64("executor", "steals", s.steals);
         counters.set_u64("executor", "parent_boots", s.parent_boots);
         counters.set_u64("executor", "fork_hits", s.fork_hits);
+        counters.set_u64("executor", "journal_runs", s.journal_runs);
         counters.set_u64("executor", "evictions", s.evictions);
         counters.set_u64("executor", "pool_parents", s.pool_parents);
         counters.set_u64("executor", "pool_model_cache_bytes", s.pool_model_cache_bytes);
@@ -528,10 +675,14 @@ fn merge_campaign(
     let mut counters = Counters::new(&ctx.label);
     let mut trials = Vec::with_capacity(results.len());
     let mut latencies = Vec::with_capacity(results.len());
+    let mut dropped_trials = 0u64;
     for result in results {
         match result {
             Err(e) => return Err(e.clone()),
-            Ok(trial) => {
+            // A slot cancelled before its trial ran: excluded from the
+            // merge entirely, counted separately.
+            Ok(None) => dropped_trials += 1,
+            Ok(Some(trial)) => {
                 if trial.dropped > 0 {
                     return Err(RecordingError::LossyFlipLog {
                         seed: trial.record.seed,
@@ -547,7 +698,11 @@ fn merge_campaign(
     }
     let summary = CampaignSummary::from_outcomes(trials.iter().map(|t| &t.outcome));
     counters.record(&summary);
-    crate::recording::verify_flip_accounting(&counters, &trials)?;
+    // A campaign whose every trial was cancelled before running merged no
+    // telemetry shards: there are no DRAM counters to cross-check.
+    if !trials.is_empty() {
+        crate::recording::verify_flip_accounting(&counters, &trials)?;
+    }
     Ok(CampaignOutput {
         campaign: ctx.id,
         tenant: ctx.tenant.clone(),
@@ -556,12 +711,19 @@ fn merge_campaign(
         summary,
         trial_latencies_ns: latencies,
         wall_ns: elapsed_ns(ctx.submitted),
+        dropped_trials,
     })
 }
 
 /// Emits one campaign event line (best effort: a broken sink must not
 /// fail the campaign, whose output is already merged).
 fn emit_event(state: &ExecState, output: &CampaignOutput) {
+    // A campaign that ran no trials merged no telemetry shards; its
+    // snapshot would fail the executor-event schema (and, when every slot
+    // was cancelled, the `cancelled` event already tells the story).
+    if output.trials.is_empty() {
+        return;
+    }
     let mut guard = state.jsonl.lock().expect("jsonl poisoned");
     let Some(writer) = guard.as_mut() else { return };
     let Ok(telemetry) = json::parse(&output.counters.to_json()) else { return };
@@ -575,11 +737,28 @@ fn emit_event(state: &ExecState, output: &CampaignOutput) {
         ("tenant".to_string(), JsonValue::String(output.tenant.clone())),
         ("campaign".to_string(), JsonValue::Number(output.campaign as f64)),
         ("trials".to_string(), JsonValue::Number(output.summary.trials as f64)),
+        ("dropped_trials".to_string(), JsonValue::Number(clamp_json(output.dropped_trials))),
         ("successes".to_string(), JsonValue::Number(output.summary.successes as f64)),
         ("total_flips".to_string(), JsonValue::Number(clamp_json(output.summary.total_flips))),
         ("wall_ns".to_string(), JsonValue::Number(clamp_json(output.wall_ns))),
         ("p99_trial_ns".to_string(), JsonValue::Number(clamp_json(p99))),
         ("telemetry".to_string(), telemetry),
+    ]);
+    let _ = writer.write(&doc);
+}
+
+/// Emits one `cancelled` event line (best effort, like campaign events):
+/// which campaign lost queued trials, and how many.
+fn emit_cancelled_event(state: &ExecState, tenant: &str, campaign: u64, dropped: u64) {
+    let mut guard = state.jsonl.lock().expect("jsonl poisoned");
+    let Some(writer) = guard.as_mut() else { return };
+    let seq = state.next_event.fetch_add(1, Ordering::Relaxed);
+    let doc = JsonValue::Object(vec![
+        ("event".to_string(), JsonValue::String("cancelled".to_string())),
+        ("seq".to_string(), JsonValue::Number(seq as f64)),
+        ("tenant".to_string(), JsonValue::String(tenant.to_string())),
+        ("campaign".to_string(), JsonValue::Number(campaign as f64)),
+        ("dropped_trials".to_string(), JsonValue::Number(clamp_json(dropped))),
     ]);
     let _ = writer.write(&doc);
 }

@@ -53,7 +53,7 @@ pub use campaign::{
 pub use catalog::{catalog, KnownAttack, Platform, VictimData};
 pub use executor::{
     CampaignExecutor, CampaignOutput, CampaignRequest, CampaignTicket, ExecutorConfig,
-    ServiceStats, TenantLimits,
+    ServiceStats, TenantLimits, TrialIsolation,
 };
 pub use hammer::HammerDriver;
 pub use outcome::{AttackOutcome, AttackTimeModel};

@@ -26,6 +26,7 @@ use cta_analysis::{
 use cta_attack::{
     record_campaign, run_campaign, run_forked_campaign, CampaignExecutor, CampaignRequest,
     ExecutorConfig, RecordedAttack, RecordingSpec, ReplayTarget, SprayAttack, TenantLimits,
+    TrialIsolation,
 };
 use cta_bench::{emit_telemetry, header, kv};
 use cta_core::SystemBuilder;
@@ -92,6 +93,20 @@ fn time_per_iter(iters: u64, mut f: impl FnMut()) -> f64 {
     start.elapsed().as_nanos() as f64 / iters as f64
 }
 
+/// Like [`time_per_iter`], but runs `warmup` untimed calls first. The
+/// nanosecond-scale walk benches (`pte_walk_*`, `translate_tlb_hit_*`)
+/// need this: their first iterations pay one-off costs — lazy row
+/// materialization, cache and branch-predictor fill, CPU frequency
+/// ramp-up — large enough relative to a ~100 ns steady-state walk to
+/// swing the recorded mean and trip the drift watch between otherwise
+/// identical runs.
+fn time_per_iter_warm(warmup: u64, iters: u64, mut f: impl FnMut()) -> f64 {
+    for _ in 0..warmup {
+        f();
+    }
+    time_per_iter(iters, f)
+}
+
 fn bench_walk_latency(quick: bool, metrics: &mut Vec<(String, f64)>) {
     let iters = if quick { 20_000 } else { 200_000 };
     for protected in [false, true] {
@@ -101,14 +116,13 @@ fn bench_walk_latency(quick: bool, metrics: &mut Vec<(String, f64)>) {
         let va = VirtAddr(0x4000_0000);
         k.mmap_anonymous(pid, va, 8 * PAGE_SIZE, true).unwrap();
 
-        let cold = time_per_iter(iters, || {
+        let cold = time_per_iter_warm(iters / 10, iters, || {
             k.flush_tlb();
             std::hint::black_box(k.translate(pid, va, Access::user_read()).unwrap());
         });
         metrics.push((format!("pte_walk_cold_{label}_ns"), cold));
 
-        k.translate(pid, va, Access::user_read()).unwrap();
-        let hot = time_per_iter(iters, || {
+        let hot = time_per_iter_warm(iters / 10, iters, || {
             std::hint::black_box(k.translate(pid, va, Access::user_read()).unwrap());
         });
         metrics.push((format!("translate_tlb_hit_{label}_ns"), hot));
@@ -266,7 +280,7 @@ fn bench_backends(quick: bool, metrics: &mut Vec<(String, f64)>) {
         let pid = k.create_process(false).unwrap();
         let va = VirtAddr(0x4000_0000);
         k.mmap_anonymous(pid, va, 8 * PAGE_SIZE, true).unwrap();
-        let cold = time_per_iter(walk_iters, || {
+        let cold = time_per_iter_warm(walk_iters / 10, walk_iters, || {
             k.flush_tlb();
             std::hint::black_box(k.translate(pid, va, Access::user_read()).unwrap());
         });
@@ -632,6 +646,95 @@ fn bench_service(quick: bool, metrics: &mut Vec<(String, f64)>, tel: &mut Counte
     kv("service events", events_path.display());
 }
 
+/// Journaled in-place rollback vs fork-per-trial (the `rollback` baseline
+/// label's `rollback_*`/`fork_*` metrics). The same campaign queue is
+/// drained twice by fresh persistent executors — once under
+/// [`TrialIsolation::Fork`], once under [`TrialIsolation::Journal`] — and
+/// every output pair is asserted byte-identical (trial transcripts and
+/// merged telemetry) before either rate is recorded, so the speedup pins
+/// a difference between provably equivalent computations.
+///
+/// The campaign shape is boot-heavy with a small per-trial working set,
+/// deliberately: on the sparse backend, boot-time cell profiling
+/// materializes every row, so each fork deep-copies the whole module —
+/// O(materialized rows) per trial — while the narrow spray trial dirties
+/// only a handful of rows that the journal captures lazily, making
+/// rollback O(touched state). `rollback_speedup_vs_fork` records how much
+/// of the fork tax the journal returns on that shape.
+fn bench_rollback(quick: bool, metrics: &mut Vec<(String, f64)>) {
+    let trials = if quick { 12 } else { 24 };
+    let campaigns = if quick { 2 } else { 3 };
+    let attack =
+        SprayAttack { regions: 4, file_pages: 2, max_hammer_rows: 2, flush_per_probe: false };
+    let spec = || {
+        // Constant seed: the pool boots one parent per worker and serves
+        // every trial from it, so the measured difference is pure
+        // isolation cost (fork+drop vs journal+rollback), not boot.
+        let mut spec = RecordingSpec::new(RecordedAttack::Spray(attack), vec![11; trials]);
+        spec.memory_bytes = 16 << 20;
+        // Narrow 256-byte rows: 64k materialized rows, so the per-row
+        // allocation overhead the fork pays (one boxed row copy each) is
+        // fully represented, while the journal's cost still tracks only
+        // the rows a trial dirties.
+        spec.row_bytes = 256;
+        spec.protected = true;
+        spec.profile_cells = true;
+        spec.flip_log_capacity = 1 << 16;
+        spec
+    };
+    let target = ReplayTarget { backend: StoreBackend::Sparse, ..ReplayTarget::default() };
+
+    let run = |isolation: TrialIsolation| {
+        // One worker: the isolation comparison wants a serial drain where
+        // per-trial isolation cost is the only variable (bench_service
+        // already pins the multi-worker schedule), and it keeps the two
+        // modes' memory-bandwidth contention identical on small hosts.
+        let exec = CampaignExecutor::new(ExecutorConfig { workers: 1, parents_per_worker: 2 });
+        let start = Instant::now();
+        let tickets: Vec<_> = (0..campaigns)
+            .map(|_| {
+                let mut request = CampaignRequest::new("bench", spec());
+                request.target = target;
+                request.isolation = isolation;
+                exec.submit(request).expect("campaign submits")
+            })
+            .collect();
+        let outputs: Vec<_> =
+            tickets.into_iter().map(|t| t.wait().expect("campaign completes")).collect();
+        let rate = (campaigns * trials) as f64 / start.elapsed().as_secs_f64();
+        (rate, outputs, exec.stats())
+    };
+    let (fork_rate, forked, fork_stats) = run(TrialIsolation::Fork);
+    let (journal_rate, journaled, journal_stats) = run(TrialIsolation::Journal);
+
+    assert_eq!(journal_stats.journal_runs, journal_stats.trials_completed);
+    assert_eq!(fork_stats.journal_runs, 0);
+    for (j, f) in journaled.iter().zip(&forked) {
+        assert_eq!(j.trials, f.trials, "journaled transcripts must equal forked");
+        assert_eq!(
+            j.counters.to_json(),
+            f.counters.to_json(),
+            "journaled merged telemetry must equal forked"
+        );
+    }
+
+    let pct = |outputs: &[cta_attack::CampaignOutput], p: usize| {
+        let mut ns: Vec<u64> =
+            outputs.iter().flat_map(|o| o.trial_latencies_ns.iter().copied()).collect();
+        ns.sort_unstable();
+        let rank = (ns.len() * p).div_ceil(100).max(1);
+        ns[rank.min(ns.len()) - 1] as f64 / 1e6
+    };
+    metrics.push(("rollback_trials".into(), (campaigns * trials) as f64));
+    metrics.push(("fork_trials_per_sec".into(), fork_rate));
+    metrics.push(("rollback_trials_per_sec".into(), journal_rate));
+    metrics.push(("rollback_speedup_vs_fork".into(), journal_rate / fork_rate));
+    metrics.push(("fork_p50_trial_latency_ms".into(), pct(&forked, 50)));
+    metrics.push(("fork_p99_trial_latency_ms".into(), pct(&forked, 99)));
+    metrics.push(("rollback_p50_trial_latency_ms".into(), pct(&journaled, 50)));
+    metrics.push(("rollback_p99_trial_latency_ms".into(), pct(&journaled, 99)));
+}
+
 /// Warm-walk and batched-translation hot paths for the paging-structure
 /// caches. A 128-page sweep inside one 2 MiB region overflows the 64-entry
 /// TLB — every set cycles through 8 tags, so every translate misses — while
@@ -656,7 +759,7 @@ fn bench_psc(quick: bool, metrics: &mut Vec<(String, f64)>, tel: &mut Counters) 
         let pid = k.create_process(false).unwrap();
         let va = VirtAddr(0x4000_0000);
         k.mmap_anonymous(pid, va, pages * PAGE_SIZE, true).unwrap();
-        let per_sweep = time_per_iter(sweeps, || {
+        let per_sweep = time_per_iter_warm(sweeps / 10, sweeps, || {
             for p in 0..pages {
                 std::hint::black_box(
                     k.translate(pid, va.offset(p * PAGE_SIZE), Access::user_read()).unwrap(),
@@ -713,6 +816,7 @@ fn main() {
     bench_table4_smoke(opts.quick, &mut metrics, &mut tel);
     bench_backends(opts.quick, &mut metrics);
     bench_service(opts.quick, &mut metrics, &mut tel);
+    bench_rollback(opts.quick, &mut metrics);
     bench_psc(opts.quick, &mut metrics, &mut tel);
     bench_flip_engine(opts.quick, &mut metrics);
     bench_datapath(opts.quick, &mut metrics);

@@ -23,14 +23,17 @@
 //! boot-time cell profiling on the copy-on-write backend; `--stock`
 //! drops protection. `cta evaluate --jsonl` streams one strict-JSON
 //! line per completed campaign (the `json-check --schema` gate validates
-//! the stream's shape).
+//! the stream's shape). `--isolation fork|journal` (attack and evaluate)
+//! picks how trials are isolated from the pooled parent kernel:
+//! fork-per-trial (the default) or journaled in-place rollback — the
+//! output is byte-identical either way.
 
 use std::process::ExitCode;
 use std::time::Instant;
 
 use cta_attack::{
     CampaignExecutor, CampaignRequest, ExecutorConfig, RecordedAttack, RecordingSpec, ReplayTarget,
-    SprayAttack, TemplatingAttack, TenantLimits,
+    SprayAttack, TemplatingAttack, TenantLimits, TrialIsolation,
 };
 use cta_bench::{emit_telemetry, header, kv};
 use cta_dram::StoreBackend;
@@ -39,8 +42,10 @@ use cta_telemetry::Counters;
 const USAGE: &str = "usage: cta <profile|evaluate|attack> [options]
   profile   [--seed N] [--memory-mb N] [--stock]
   attack    [--seed N] [--attack spray|templating] [--stock]
+            [--isolation fork|journal]
   evaluate  [--tenants N] [--campaigns N] [--trials N] [--workers N]
-            [--seed N] [--attack spray|templating] [--stock] [--jsonl PATH]";
+            [--seed N] [--attack spray|templating] [--stock] [--jsonl PATH]
+            [--isolation fork|journal]";
 
 struct Options {
     seed: u64,
@@ -52,6 +57,7 @@ struct Options {
     trials: usize,
     workers: usize,
     jsonl: Option<std::path::PathBuf>,
+    isolation: TrialIsolation,
 }
 
 impl Default for Options {
@@ -66,6 +72,7 @@ impl Default for Options {
             trials: 4,
             workers: 2,
             jsonl: None,
+            isolation: TrialIsolation::Fork,
         }
     }
 }
@@ -86,6 +93,7 @@ fn parse_options(args: &mut std::env::Args) -> Result<Options, String> {
             "--trials" => opts.trials = parse_num(&need(args, "--trials")?)? as usize,
             "--workers" => opts.workers = parse_num(&need(args, "--workers")?)? as usize,
             "--jsonl" => opts.jsonl = Some(need(args, "--jsonl")?.into()),
+            "--isolation" => opts.isolation = need(args, "--isolation")?.parse()?,
             "--help" | "-h" => {
                 println!("{USAGE}");
                 std::process::exit(0);
@@ -183,7 +191,9 @@ fn cmd_attack(opts: &Options) -> ExitCode {
     let mut spec = spec(opts);
     spec.seeds = vec![opts.seed];
     let exec = CampaignExecutor::new(ExecutorConfig { workers: 1, parents_per_worker: 1 });
-    let output = match exec.run(CampaignRequest::new("cli", spec)) {
+    let mut request = CampaignRequest::new("cli", spec);
+    request.isolation = opts.isolation;
+    let output = match exec.run(request) {
         Ok(output) => output,
         Err(e) => {
             eprintln!("cta attack: {e}");
@@ -206,8 +216,12 @@ fn cmd_attack(opts: &Options) -> ExitCode {
 
 fn cmd_evaluate(opts: &Options) -> ExitCode {
     header(&format!(
-        "cta evaluate — {} tenants x {} campaigns x {} trials, {} workers",
-        opts.tenants, opts.campaigns, opts.trials, opts.workers
+        "cta evaluate — {} tenants x {} campaigns x {} trials, {} workers, {} isolation",
+        opts.tenants,
+        opts.campaigns,
+        opts.trials,
+        opts.workers,
+        opts.isolation.name()
     ));
     let exec =
         CampaignExecutor::new(ExecutorConfig { workers: opts.workers, parents_per_worker: 2 });
@@ -234,6 +248,7 @@ fn cmd_evaluate(opts: &Options) -> ExitCode {
             spec.seeds = vec![opts.seed + tenant_idx as u64; opts.trials];
             let mut request = CampaignRequest::new(tenant, spec);
             request.target = target();
+            request.isolation = opts.isolation;
             match exec.submit(request) {
                 Ok(ticket) => tickets.push((round, tenant_idx, ticket)),
                 Err(e) => {
@@ -275,6 +290,7 @@ fn cmd_evaluate(opts: &Options) -> ExitCode {
     kv("p99_trial_latency_ms", format!("{:.1}", pct(99)));
     kv("parent_boots", stats.parent_boots);
     kv("fork_hits", stats.fork_hits);
+    kv("journal_runs", stats.journal_runs);
     kv("steals", stats.steals);
     kv("pool_parents", stats.pool_parents);
     kv("pool_model_cache_bytes", stats.pool_model_cache_bytes);

@@ -1,0 +1,83 @@
+//! Write-ahead undo journal for [`crate::DramModule`].
+//!
+//! A journaled trial runs **in place** on a pooled parent module and rolls
+//! back in O(touched state) instead of paying a full fork per trial. The
+//! journal has two planes:
+//!
+//! - **Row pre-images** (the lazily-journaled plane): the first time a
+//!   trial dirties a backing row — a write, a charge touch, decay, or a
+//!   disturbance — the row's full pre-image (cell bytes + charge
+//!   timestamp) is captured, or a `None` marker if the row had never been
+//!   materialized. Rollback restores captured rows byte-for-byte and
+//!   [`crate::RowStore::unmaterialize`]s the `None`-marked ones. This is
+//!   the plane that makes journaling cheap: a trial that touches a few
+//!   dozen rows of a multi-megabyte machine journals a few dozen rows.
+//! - **Snapshots** (the eagerly-journaled plane): everything else the
+//!   module mutates — model caches, remap table, clock/window state,
+//!   activation counters, open-row registers, statistics (including the
+//!   bounded flip log, so `take_flip_log` drains and capacity changes roll
+//!   back exactly), and the installed defense — is cloned wholesale at
+//!   `journal_begin`. These clones are cheap by construction: the model
+//!   caches hold `Rc` values (a clone is O(cached entries) refcount
+//!   bumps, never a regeneration), and the remaining state is O(total
+//!   rows) words of metadata, orders of magnitude smaller than the row
+//!   contents a fork would copy.
+//!
+//! The rollback invariant — pinned by the differential suites — is that a
+//! module after `journal_begin → trial → journal_rollback` is
+//! byte-identical (contents, charge plane, caches, stats, clock) to the
+//! module before `journal_begin`.
+
+use std::collections::HashMap;
+
+use crate::defense::{DefenseStats, RowDefense};
+use crate::remap::RemapTable;
+use crate::retention::RetentionModel;
+use crate::stats::DramStats;
+use crate::store::RowStore;
+use crate::vuln::VulnerabilityModel;
+
+/// Pre-image of one backing row at `journal_begin` time: `Some((bytes,
+/// last_charge_ns))` if the row was materialized, `None` if it was not.
+pub(crate) type RowPreImage = Option<(Box<[u8]>, u64)>;
+
+/// The undo journal of one in-place trial. Constructed by
+/// `DramModule::journal_begin`, consumed by `DramModule::journal_rollback`.
+pub(crate) struct DramJournal {
+    /// Lazily-captured row pre-images, keyed by backing-row id.
+    pub(crate) rows: HashMap<u64, RowPreImage>,
+    pub(crate) vuln: VulnerabilityModel,
+    pub(crate) retention: RetentionModel,
+    pub(crate) remap: RemapTable,
+    pub(crate) row_cache: (u64, u64),
+    pub(crate) clock_ns: u64,
+    pub(crate) window_end_ns: u64,
+    pub(crate) refresh_disabled_at: Option<u64>,
+    pub(crate) generation: u64,
+    pub(crate) activations: Vec<(u64, u64, u64)>,
+    pub(crate) open_rows: Vec<u64>,
+    pub(crate) stats: DramStats,
+    pub(crate) defense: Option<Box<dyn RowDefense>>,
+    pub(crate) defense_stats: DefenseStats,
+}
+
+impl DramJournal {
+    /// Captures `row`'s pre-image on first touch; later touches of the
+    /// same row are O(1) no-ops. Must be called *before* the mutation.
+    #[inline]
+    pub(crate) fn capture_row(&mut self, row: u64, store: &impl RowStore) {
+        self.rows.entry(row).or_insert_with(|| {
+            // A row with a charge timestamp is materialized on every
+            // backend (a Dense store answers `bytes` even for untouched
+            // rows, so the charge plane is the materialization oracle).
+            store.last_charge_ns(row).map(|charge| {
+                (store.bytes(row).expect("materialized row has bytes").into(), charge)
+            })
+        });
+    }
+
+    /// Number of distinct rows captured so far (dirty-row footprint).
+    pub(crate) fn dirty_rows(&self) -> usize {
+        self.rows.len()
+    }
+}

@@ -53,6 +53,7 @@ pub mod defense;
 mod ecc;
 mod error;
 mod geometry;
+mod journal;
 mod module;
 mod profiler;
 mod remap;

@@ -6,6 +6,7 @@ use crate::config::{DramConfig, FlipEngine};
 use crate::defense::{ActivationCtx, DefenseSnapshot, DefenseStats, RowDefense, Verdict};
 use crate::error::DramError;
 use crate::geometry::{DramGeometry, RowId};
+use crate::journal::DramJournal;
 use crate::remap::RemapTable;
 use crate::retention::{get_bit, set_bit, RetentionModel};
 use crate::stats::{DramStats, FlipEvent, FlipLog};
@@ -129,6 +130,9 @@ pub struct DramModule {
     /// Intervention accounting for the installed defense, separate from
     /// [`DramStats`] so undefended telemetry is unchanged.
     defense_stats: DefenseStats,
+    /// Active undo journal, if a trial is running in place on this module
+    /// (see [`crate::journal`]). `None` on the hot path costs one branch.
+    journal: Option<Box<DramJournal>>,
 }
 
 impl std::fmt::Debug for DramModule {
@@ -176,6 +180,7 @@ impl DramModule {
             stats: DramStats::default(),
             defense: None,
             defense_stats: DefenseStats::default(),
+            journal: None,
             config,
         }
     }
@@ -187,6 +192,7 @@ impl DramModule {
     /// the other backends deep-copy. Behavior after the fork is identical
     /// for all backends.
     pub fn fork(&self) -> DramModule {
+        assert!(self.journal.is_none(), "cannot fork a module with an active journal");
         DramModule {
             config: self.config.clone(),
             store: self.store.clone(),
@@ -203,6 +209,96 @@ impl DramModule {
             stats: self.stats.clone(),
             defense: self.defense.clone(),
             defense_stats: self.defense_stats.clone(),
+            journal: None,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Undo journal
+    // ------------------------------------------------------------------
+
+    /// Starts an undo journal: snapshots the module's metadata planes
+    /// (model caches, remap, clock/window state, activation counters,
+    /// stats including the flip log, defense) and begins capturing row
+    /// pre-images on first touch. Until [`Self::journal_rollback`], the
+    /// module may be mutated freely in place; rollback restores it
+    /// byte-identically. See the `journal` module for the cost model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a journal is already active (journals do not nest).
+    pub fn journal_begin(&mut self) {
+        assert!(self.journal.is_none(), "DRAM journal already active");
+        self.journal = Some(Box::new(DramJournal {
+            rows: std::collections::HashMap::new(),
+            vuln: self.vuln.clone(),
+            retention: self.retention.clone(),
+            remap: self.remap.clone(),
+            row_cache: self.row_cache.get(),
+            clock_ns: self.clock_ns,
+            window_end_ns: self.window_end_ns,
+            refresh_disabled_at: self.refresh_disabled_at,
+            generation: self.generation,
+            activations: self.activations.clone(),
+            open_rows: self.open_rows.clone(),
+            stats: self.stats.clone(),
+            defense: self.defense.clone(),
+            defense_stats: self.defense_stats.clone(),
+        }));
+    }
+
+    /// Rolls the module back to its [`Self::journal_begin`] state: every
+    /// captured row pre-image is restored (rows that were unmaterialized
+    /// are unmaterialized again), and all snapshotted metadata planes are
+    /// reinstated. O(touched rows) plus the metadata restore.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no journal is active.
+    pub fn journal_rollback(&mut self) {
+        let j = *self.journal.take().expect("journal_rollback without journal_begin");
+        for (row, pre) in j.rows {
+            match pre {
+                Some((bytes, charge)) => {
+                    let r = self.store.materialize(row, charge);
+                    r.bytes.copy_from_slice(&bytes);
+                    *r.last_charge_ns = charge;
+                }
+                None => self.store.unmaterialize(row),
+            }
+        }
+        self.vuln = j.vuln;
+        self.retention = j.retention;
+        self.remap = j.remap;
+        self.row_cache.set(j.row_cache);
+        self.clock_ns = j.clock_ns;
+        self.window_end_ns = j.window_end_ns;
+        self.refresh_disabled_at = j.refresh_disabled_at;
+        self.generation = j.generation;
+        self.activations = j.activations;
+        self.open_rows = j.open_rows;
+        self.stats = j.stats;
+        self.defense = j.defense;
+        self.defense_stats = j.defense_stats;
+    }
+
+    /// Whether an undo journal is currently active.
+    pub fn journal_active(&self) -> bool {
+        self.journal.is_some()
+    }
+
+    /// Distinct backing rows captured by the active journal (`0` without
+    /// one) — the dirty-row footprint a rollback will restore.
+    pub fn journal_dirty_rows(&self) -> usize {
+        self.journal.as_ref().map_or(0, |j| j.dirty_rows())
+    }
+
+    /// Captures `backing`'s pre-image if a journal is active. Must run
+    /// *before* any mutation of the row's bytes or charge timestamp.
+    #[inline]
+    fn journal_capture(&mut self, backing: RowId) {
+        if let Some(j) = self.journal.as_deref_mut() {
+            j.capture_row(backing.0, &self.store);
         }
     }
 
@@ -743,6 +839,7 @@ impl DramModule {
         }
         let backing = self.resolve_row(row);
         for victim in self.config.geometry.adjacent_rows(backing)? {
+            self.journal_capture(victim);
             self.store.touch(victim.0, self.clock_ns);
         }
         self.activations[backing.0 as usize] = NO_ACTIVATIONS;
@@ -882,6 +979,7 @@ impl DramModule {
     /// Ordinary-access bookkeeping for `row` (already remap-resolved):
     /// pending decay, row-buffer hit/miss, recharge.
     fn touch_row(&mut self, backing: RowId) {
+        self.journal_capture(backing);
         if self.refresh_disabled_at.is_some() {
             self.apply_decay_to(backing, self.clock_ns);
         }
@@ -1000,6 +1098,7 @@ impl DramModule {
         }
         if let Ok(victims) = self.config.geometry.adjacent_rows(backing) {
             for victim in victims {
+                self.journal_capture(victim);
                 self.store.touch(victim.0, self.clock_ns);
             }
         }
@@ -1010,6 +1109,7 @@ impl DramModule {
     /// Applies retention decay to a materialized row up to time `now`.
     fn apply_decay_to(&mut self, backing: RowId, now: u64) {
         let Some(last_charge) = self.store.last_charge_ns(backing.0) else { return };
+        self.journal_capture(backing);
         let since = match self.refresh_disabled_at {
             Some(t0) => last_charge.max(t0),
             // Power-off path calls with refresh nominally enabled; decay
@@ -1049,6 +1149,7 @@ impl DramModule {
     /// events in the same (ascending-bit) order, same statistics — which
     /// `tests/flip_engine_differential.rs` proves over whole campaigns.
     fn disturb(&mut self, victim: RowId) {
+        self.journal_capture(victim);
         let bits = self.vuln.vulnerable_bits(victim);
         if bits.is_empty() {
             self.stats.disturbances += 1;
@@ -1455,6 +1556,70 @@ mod tests {
             }
             prop_assert_eq!(m.peek(0, cap as usize).unwrap(), shadow);
         }
+    }
+
+    /// Full observable state of a module, for byte-identity assertions.
+    #[cfg(test)]
+    fn observe(m: &DramModule) -> (Vec<u8>, Vec<u64>, u64, String, usize) {
+        let contents = m.peek(0, m.capacity_bytes() as usize).unwrap();
+        let charges: Vec<u64> = (0..m.geometry().total_rows())
+            .map(|r| match m.store.last_charge_ns(r) {
+                Some(c) => c + 1,
+                None => 0,
+            })
+            .collect();
+        (contents, charges, m.now_ns(), format!("{:?}", m.stats()), m.rows_materialized())
+    }
+
+    #[test]
+    fn journal_rollback_restores_the_module_byte_identically() {
+        for backend in StoreBackend::ALL {
+            let mut cfg = DramConfig::small_test();
+            cfg.backend = backend;
+            let mut m = DramModule::new(cfg);
+            m.fill(0, 128, 0xFF).unwrap();
+            m.write_u64(4096 + 16, 0x1234_5678).unwrap();
+            let before = observe(&m);
+
+            m.journal_begin();
+            assert!(m.journal_active());
+            // A trial-shaped mutation mix: writes (materializing fresh
+            // rows), hammering past the threshold, a refresh outage with
+            // decay, a remap, a flip-log drain, and a power cycle.
+            m.fill(3 * 4096, 4096, 0xA5).unwrap();
+            m.hammer_double_sided(RowId(2)).unwrap();
+            m.disable_refresh();
+            m.advance(m.config().retention.max_ns + 1);
+            m.enable_refresh();
+            m.remap_row(RowId(4), RowId(6)).unwrap();
+            let _ = m.take_flip_log();
+            m.power_off(m.config().retention.min_ns / 2);
+            assert!(m.journal_dirty_rows() > 0);
+
+            m.journal_rollback();
+            assert!(!m.journal_active());
+            assert_eq!(observe(&m), before, "backend {backend}");
+            assert!(m.remap_table().is_empty());
+        }
+    }
+
+    #[test]
+    fn journal_rollback_unmaterializes_fresh_rows() {
+        let mut m = module();
+        let base = m.rows_materialized();
+        m.journal_begin();
+        m.write(5 * 4096, &[1, 2, 3]).unwrap();
+        assert!(m.rows_materialized() > base);
+        m.journal_rollback();
+        assert_eq!(m.rows_materialized(), base);
+    }
+
+    #[test]
+    #[should_panic(expected = "active journal")]
+    fn forking_with_an_active_journal_is_refused() {
+        let mut m = module();
+        m.journal_begin();
+        let _ = m.fork();
     }
 
     #[test]

@@ -107,6 +107,11 @@ pub trait RowStore {
 
     /// Number of materialized rows.
     fn materialized_count(&self) -> usize;
+
+    /// Returns the row to the never-materialized state: contents read as
+    /// all-zeros, no charge timestamp, not counted as materialized. The
+    /// undo journal uses this to roll back rows a trial materialized.
+    fn unmaterialize(&mut self, row: u64);
 }
 
 /// One materialized row: contents plus charge timestamp.
@@ -173,6 +178,10 @@ impl RowStore for SparseStore {
 
     fn materialized_count(&self) -> usize {
         self.rows.iter().filter(|r| r.is_some()).count()
+    }
+
+    fn unmaterialize(&mut self, row: u64) {
+        self.rows[row as usize] = None;
     }
 }
 
@@ -256,6 +265,19 @@ impl RowStore for DenseStore {
     fn materialized_count(&self) -> usize {
         self.touched_count
     }
+
+    fn unmaterialize(&mut self, row: u64) {
+        // Untouched dense rows must read as all-zeros with no charge, so
+        // restore both planes, not just the bitmap.
+        let i = row as usize;
+        if self.touched[i] {
+            self.touched[i] = false;
+            self.touched_count -= 1;
+        }
+        let lo = i * self.row_bytes;
+        self.data[lo..lo + self.row_bytes].fill(0);
+        self.last_charge[i] = 0;
+    }
 }
 
 /// Copy-on-write backend: each materialized row lives behind an [`Arc`],
@@ -324,6 +346,10 @@ impl RowStore for CowStore {
 
     fn materialized_count(&self) -> usize {
         self.rows.iter().filter(|r| r.is_some()).count()
+    }
+
+    fn unmaterialize(&mut self, row: u64) {
+        self.rows[row as usize] = None;
     }
 }
 
@@ -410,6 +436,10 @@ impl RowStore for AnyRowStore {
     fn materialized_count(&self) -> usize {
         dispatch!(self, s => s.materialized_count())
     }
+
+    fn unmaterialize(&mut self, row: u64) {
+        dispatch!(self, s => s.unmaterialize(row))
+    }
 }
 
 #[cfg(test)]
@@ -481,6 +511,25 @@ mod tests {
                 store.materialize(row, 0);
             }
             assert_eq!(store.materialized_rows(), vec![1, 3, 5], "{b}");
+        }
+    }
+
+    #[test]
+    fn unmaterialize_restores_the_fresh_row_state() {
+        for mut store in stores() {
+            let b = store.backend();
+            store.materialize(2, 100).bytes[5] = 0xAB;
+            store.materialize(4, 200).bytes[0] = 0xCD;
+            store.unmaterialize(2);
+            if let Some(bytes) = store.bytes(2) {
+                assert!(bytes.iter().all(|x| *x == 0), "{b}");
+            }
+            assert_eq!(store.last_charge_ns(2), None, "{b}");
+            assert_eq!(store.materialized_rows(), vec![4], "{b}");
+            assert_eq!(store.materialized_count(), 1, "{b}");
+            // Unmaterializing a never-touched row is a no-op.
+            store.unmaterialize(7);
+            assert_eq!(store.materialized_count(), 1, "{b}");
         }
     }
 

@@ -1,0 +1,203 @@
+//! Randomized op-sequence fuzz of the DRAM undo journal.
+//!
+//! The rollback invariant: for *any* trial body, `journal_begin` →
+//! ops → `journal_rollback` leaves the module observably identical to a
+//! module that never ran the trial. The proptest below drives a random
+//! interleaving of every journaled mutation class — writes, fills,
+//! hammering, reads (charge touches), clock advances, refresh
+//! enable/disable, decay windows, row remapping, flip-log drains and
+//! capacity changes, power-off remanence — against a reference fork taken
+//! before the journal opened, then compares:
+//!
+//! * the full contents fingerprint (FNV-1a over every byte),
+//! * the simulated clock, statistics, remap table, and materialization
+//!   footprint,
+//! * and, to expose charge-plane divergence that identical contents could
+//!   mask, the contents again after an identical decay probe (refresh
+//!   off, clock past the retention horizon) applied to both modules.
+
+use cta_dram::{DisturbanceParams, DramConfig, DramModule, RowId};
+use proptest::prelude::*;
+
+/// One randomized mutation. Parameters are raw and clamped at apply time
+/// so every generated sequence is valid.
+#[derive(Debug, Clone)]
+enum Op {
+    Write { addr: u64, byte: u8, len: u8 },
+    Fill { addr: u64, byte: u8, len: u8 },
+    WriteU64 { addr: u64, value: u64 },
+    Read { addr: u64, len: u8 },
+    HammerDouble { row: u64 },
+    Hammer { row: u64, count: u16 },
+    Advance { ns: u32 },
+    DisableRefresh,
+    EnableRefresh,
+    Remap { faulty: u64, spare: u64 },
+    TakeFlipLog,
+    SetFlipLogCapacity { capacity: u8 },
+    PowerOff { ns: u32 },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (any::<u64>(), any::<u8>(), any::<u8>()).prop_map(|(addr, byte, len)| Op::Write {
+            addr,
+            byte,
+            len
+        }),
+        (any::<u64>(), any::<u8>(), any::<u8>()).prop_map(|(addr, byte, len)| Op::Fill {
+            addr,
+            byte,
+            len
+        }),
+        (any::<u64>(), any::<u64>()).prop_map(|(addr, value)| Op::WriteU64 { addr, value }),
+        (any::<u64>(), any::<u8>()).prop_map(|(addr, len)| Op::Read { addr, len }),
+        any::<u64>().prop_map(|row| Op::HammerDouble { row }),
+        (any::<u64>(), any::<u16>()).prop_map(|(row, count)| Op::Hammer { row, count }),
+        any::<u32>().prop_map(|ns| Op::Advance { ns }),
+        Just(Op::DisableRefresh),
+        Just(Op::EnableRefresh),
+        (any::<u64>(), any::<u64>()).prop_map(|(faulty, spare)| Op::Remap { faulty, spare }),
+        Just(Op::TakeFlipLog),
+        any::<u8>().prop_map(|capacity| Op::SetFlipLogCapacity { capacity }),
+        any::<u32>().prop_map(|ns| Op::PowerOff { ns }),
+    ]
+}
+
+fn apply(m: &mut DramModule, op: &Op) {
+    let capacity = m.capacity_bytes();
+    let rows = m.geometry().total_rows();
+    match op {
+        Op::Write { addr, byte, len } => {
+            let len = (*len as u64 % 64 + 1).min(capacity) as usize;
+            let addr = addr % (capacity - len as u64);
+            m.write(addr, &vec![*byte; len]).expect("in-bounds write");
+        }
+        Op::Fill { addr, byte, len } => {
+            let len = (*len as u64 % 256 + 1).min(capacity) as usize;
+            let addr = addr % (capacity - len as u64);
+            m.fill(addr, len, *byte).expect("in-bounds fill");
+        }
+        Op::WriteU64 { addr, value } => {
+            let addr = (addr % (capacity - 8)) & !7;
+            m.write_u64(addr, *value).expect("in-bounds write_u64");
+        }
+        Op::Read { addr, len } => {
+            let len = (*len as u64 % 64 + 1).min(capacity) as usize;
+            let addr = addr % (capacity - len as u64);
+            m.read(addr, len).expect("in-bounds read");
+        }
+        Op::HammerDouble { row } => {
+            m.hammer_double_sided(RowId(row % rows)).expect("valid victim");
+        }
+        Op::Hammer { row, count } => {
+            m.hammer(RowId(row % rows), u64::from(*count) % 512 + 1).expect("valid row");
+        }
+        Op::Advance { ns } => m.advance(u64::from(*ns) % 10_000_000),
+        Op::DisableRefresh => m.disable_refresh(),
+        Op::EnableRefresh => m.enable_refresh(),
+        Op::Remap { faulty, spare } => {
+            let faulty = RowId(faulty % rows);
+            let spare = RowId(spare % rows);
+            // Remapping can legitimately refuse (same row, already
+            // remapped, cell-type mismatch); rejection mutates nothing.
+            let _ = m.remap_row(faulty, spare);
+        }
+        Op::TakeFlipLog => {
+            m.take_flip_log();
+        }
+        Op::SetFlipLogCapacity { capacity } => {
+            m.set_flip_log_capacity(*capacity as usize % 128 + 1);
+        }
+        Op::PowerOff { ns } => m.power_off(u64::from(*ns) % 5_000_000_000),
+    }
+}
+
+/// FNV-1a 64 over the module's full contents via the non-mutating peek.
+fn contents_hash(m: &DramModule) -> u64 {
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+    let capacity = m.capacity_bytes();
+    let row_bytes = m.geometry().row_bytes();
+    let mut buf = vec![0u8; row_bytes as usize];
+    let mut hash = FNV_OFFSET;
+    let mut addr = 0u64;
+    while addr < capacity {
+        let take = row_bytes.min(capacity - addr) as usize;
+        m.peek_into(addr, &mut buf[..take]).expect("in-bounds peek");
+        for &b in &buf[..take] {
+            hash ^= u64::from(b);
+            hash = hash.wrapping_mul(FNV_PRIME);
+        }
+        addr += take as u64;
+    }
+    hash
+}
+
+/// Everything cheaply observable about a module, as one comparable blob.
+fn observe(m: &DramModule) -> (u64, u64, String, usize, usize) {
+    (
+        contents_hash(m),
+        m.now_ns(),
+        format!("{:?}|{:?}", m.stats(), m.remap_table()),
+        m.rows_materialized(),
+        m.remap_table().len(),
+    )
+}
+
+proptest! {
+    // Each case builds two small modules and replays a full op sequence;
+    // 48 cases keeps the suite under a few seconds while still covering
+    // thousands of op interleavings across runs.
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn rollback_restores_the_module_for_any_op_sequence(
+        seed in any::<u64>(),
+        ops in proptest::collection::vec(op_strategy(), 1..40),
+    ) {
+        let cfg = DramConfig::small_test()
+            .with_seed(seed)
+            .with_disturbance(DisturbanceParams { pf: 0.05, ..DisturbanceParams::default() });
+        let mut m = DramModule::new(cfg);
+        // Pre-trial state with some materialized rows and history, so
+        // rollback must restore *dirty* pre-images, not just blanks.
+        m.fill(0, 4096, 0x5A).expect("prefill");
+        m.hammer_double_sided(RowId(1)).expect("prehammer");
+        let reference = m.fork();
+        let before = observe(&m);
+
+        m.journal_begin();
+        for op in &ops {
+            apply(&mut m, op);
+        }
+        m.journal_rollback();
+
+        prop_assert_eq!(observe(&m), before, "rollback must restore the pre-trial observation");
+
+        // Decay probe: identical futures prove the charge plane (which
+        // identical contents alone could mask) was restored too. Reads —
+        // not peeks — force decay to apply, so any last_charge_ns
+        // divergence shows up as different decay flips.
+        let horizon = 3 * 64_000_000; // well past the retention window
+        let probe = |m: &mut DramModule| {
+            m.disable_refresh();
+            m.advance(horizon);
+            let capacity = m.capacity_bytes();
+            let row_bytes = m.geometry().row_bytes() as usize;
+            let mut contents = Vec::with_capacity(capacity as usize);
+            let mut addr = 0u64;
+            while addr < capacity {
+                let take = row_bytes.min((capacity - addr) as usize);
+                contents.extend(m.read(addr, take).expect("in-bounds read"));
+                addr += take as u64;
+            }
+            (contents, m.stats().clone())
+        };
+        let mut reference = reference;
+        let expected = probe(&mut reference);
+        let actual = probe(&mut m);
+        prop_assert_eq!(actual.0, expected.0, "decay probe contents diverged");
+        prop_assert_eq!(actual.1, expected.1, "decay probe stats diverged");
+    }
+}

@@ -168,7 +168,27 @@ pub struct Ticket<R> {
     batch: Arc<BatchState<R>>,
 }
 
+/// Cloneable identity of one submitted batch, for [`Executor::cancel`].
+///
+/// Unlike [`Ticket`] (which is consumed by `wait`), a handle can be
+/// cloned and stashed in a registry so that *other* threads can cancel
+/// the batch's still-queued jobs while the submitter waits.
+pub struct BatchHandle<R> {
+    batch: Arc<BatchState<R>>,
+}
+
+impl<R> Clone for BatchHandle<R> {
+    fn clone(&self) -> Self {
+        BatchHandle { batch: Arc::clone(&self.batch) }
+    }
+}
+
 impl<R> Ticket<R> {
+    /// A cloneable handle identifying this batch for cancellation.
+    pub fn handle(&self) -> BatchHandle<R> {
+        BatchHandle { batch: Arc::clone(&self.batch) }
+    }
+
     /// Blocks until every job in the batch has run (and the completion
     /// hook, if any, has returned), then yields the results in submission
     /// index order.
@@ -361,6 +381,52 @@ where
         Ticket { batch }
     }
 
+    /// Removes the batch's still-queued jobs from every worker deque,
+    /// filling their result slots with `filler(index)` instead of running
+    /// them, and returns how many jobs were dropped.
+    ///
+    /// Jobs already claimed by a worker are *not* interrupted — they
+    /// drain normally, so cancellation never tears state out from under a
+    /// running handler. The batch still completes as usual: dropped slots
+    /// count toward the `completed` counter (their filler results are
+    /// results like any other), the completion hook runs once the last
+    /// in-flight job finishes, and `Ticket::wait` returns the full
+    /// index-ordered slice with filler values in the dropped positions.
+    /// Cancelling a batch with nothing queued (already drained, or
+    /// already finished) is a no-op returning 0.
+    pub fn cancel<F>(&self, handle: &BatchHandle<R>, filler: F) -> usize
+    where
+        F: Fn(usize) -> R,
+    {
+        let mut dropped = 0usize;
+        for queue in &self.shared.queues {
+            let mut removed = Vec::new();
+            {
+                let mut q = queue.lock().expect("queue poisoned");
+                let mut kept = VecDeque::with_capacity(q.len());
+                for task in q.drain(..) {
+                    if Arc::ptr_eq(&task.batch, &handle.batch) {
+                        removed.push(task.index);
+                    } else {
+                        kept.push_back(task);
+                    }
+                }
+                *q = kept;
+            }
+            if removed.is_empty() {
+                continue;
+            }
+            self.shared.pending.fetch_sub(removed.len() as u64, Ordering::AcqRel);
+            // Outside the queue lock: the last fill may run the batch's
+            // completion hook, which can do real work.
+            for index in removed {
+                self.shared.complete(&handle.batch, index, filler(index));
+                dropped += 1;
+            }
+        }
+        dropped
+    }
+
     /// Snapshot of the executor's cumulative counters.
     pub fn stats(&self) -> ExecutorStats {
         ExecutorStats {
@@ -518,6 +584,73 @@ mod tests {
         assert_eq!(stats.completed, 20);
         assert_eq!(stats.batches, 5);
         assert_eq!(stats.panics, 0);
+    }
+
+    #[test]
+    fn cancel_drops_queued_jobs_and_fills_their_slots() {
+        use std::sync::mpsc;
+        let (started_tx, started_rx) = mpsc::channel::<()>();
+        let (release_tx, release_rx) = mpsc::channel::<()>();
+        let release_rx = Arc::new(Mutex::new(release_rx));
+        let exec = Executor::new(
+            1, // one worker: jobs 1..8 stay queued while job 0 blocks
+            |_| (),
+            move |(), job: u64| {
+                if job == 0 {
+                    started_tx.send(()).unwrap();
+                    release_rx.lock().unwrap().recv().unwrap();
+                }
+                job + 100
+            },
+        );
+        let ticket = exec.submit((0..8).collect());
+        let handle = ticket.handle();
+        started_rx.recv().unwrap(); // job 0 is in flight, 1..8 queued
+        let dropped = exec.cancel(&handle, |index| index as u64);
+        assert_eq!(dropped, 7);
+        release_tx.send(()).unwrap();
+        let out = ticket.wait();
+        // Slot 0 ran; slots 1..8 hold the filler values.
+        assert_eq!(out, vec![100, 1, 2, 3, 4, 5, 6, 7]);
+        // Filled slots count as completed, so the ledger still balances.
+        let stats = exec.stats();
+        assert_eq!(stats.submitted, 8);
+        assert_eq!(stats.completed, 8);
+    }
+
+    #[test]
+    fn cancel_after_completion_is_a_noop() {
+        let exec = Executor::new(2, |_| (), |(), job: u64| job);
+        let ticket = exec.submit(vec![1, 2, 3]);
+        let handle = ticket.handle();
+        assert_eq!(ticket.wait(), vec![1, 2, 3]);
+        assert_eq!(exec.cancel(&handle, |_| 999), 0);
+    }
+
+    #[test]
+    fn cancel_leaves_other_batches_untouched() {
+        use std::sync::mpsc;
+        let (started_tx, started_rx) = mpsc::channel::<()>();
+        let (release_tx, release_rx) = mpsc::channel::<()>();
+        let release_rx = Arc::new(Mutex::new(release_rx));
+        let exec = Executor::new(
+            1,
+            |_| (),
+            move |(), job: u64| {
+                if job == 0 {
+                    started_tx.send(()).unwrap();
+                    release_rx.lock().unwrap().recv().unwrap();
+                }
+                job * 2
+            },
+        );
+        let doomed = exec.submit(vec![0, 1, 2]);
+        let survivor = exec.submit(vec![10, 11]);
+        started_rx.recv().unwrap();
+        assert_eq!(exec.cancel(&doomed.handle(), |_| 0), 2);
+        release_tx.send(()).unwrap();
+        assert_eq!(doomed.wait(), vec![0, 0, 0]);
+        assert_eq!(survivor.wait(), vec![20, 22]);
     }
 
     #[test]

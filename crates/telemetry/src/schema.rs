@@ -221,16 +221,35 @@ const EXECUTOR_EVENT_FIELDS: &[KeyReq] = &[
     KeyReq { key: "tenant", kind: ValueKind::Text },
     KeyReq { key: "campaign", kind: ValueKind::UInt },
     KeyReq { key: "trials", kind: ValueKind::UInt },
+    KeyReq { key: "dropped_trials", kind: ValueKind::UInt },
     KeyReq { key: "successes", kind: ValueKind::UInt },
     KeyReq { key: "total_flips", kind: ValueKind::UInt },
     KeyReq { key: "wall_ns", kind: ValueKind::UInt },
     KeyReq { key: "p99_trial_ns", kind: ValueKind::UInt },
 ];
 
-/// Validates one line of the campaign executor's JSONL stream: exactly the
-/// declared scheduling fields (see EXPERIMENTS.md) plus a `telemetry`
-/// member that must itself pass [`validate_snapshot`] — so a streamed
-/// campaign carries the same schema-checked counters as a recorded one.
+/// Top-level fields of one executor JSONL `cancelled` event, in emission
+/// order. Cancellation drops queued trials before any kernel runs, so
+/// there is no merged telemetry to embed — just which campaign lost how
+/// many trials.
+const EXECUTOR_CANCELLED_FIELDS: &[KeyReq] = &[
+    KeyReq { key: "event", kind: ValueKind::Text },
+    KeyReq { key: "seq", kind: ValueKind::UInt },
+    KeyReq { key: "tenant", kind: ValueKind::Text },
+    KeyReq { key: "campaign", kind: ValueKind::UInt },
+    KeyReq { key: "dropped_trials", kind: ValueKind::UInt },
+];
+
+/// Validates one line of the campaign executor's JSONL stream, dispatching
+/// on the `event` member (see EXPERIMENTS.md):
+///
+/// * `"campaign"` — exactly the declared scheduling fields plus a
+///   `telemetry` member that must itself pass [`validate_snapshot`], so a
+///   streamed campaign carries the same schema-checked counters as a
+///   recorded one;
+/// * `"cancelled"` — exactly the drop-accounting fields, with no embedded
+///   telemetry (the dropped trials never ran).
+///
 /// Returns every violation found (empty ⇒ valid).
 #[must_use]
 pub fn validate_executor_event(doc: &JsonValue) -> Vec<SchemaError> {
@@ -238,13 +257,23 @@ pub fn validate_executor_event(doc: &JsonValue) -> Vec<SchemaError> {
     let Some(members) = doc.as_object() else {
         return vec![err("$", "executor event must be a JSON object")];
     };
+    let (fields, telemetry) = match doc.get("event") {
+        Some(JsonValue::String(event)) if event == "campaign" => (EXECUTOR_EVENT_FIELDS, true),
+        Some(JsonValue::String(event)) if event == "cancelled" => {
+            (EXECUTOR_CANCELLED_FIELDS, false)
+        }
+        _ => {
+            errors.push(err("event", "must be \"campaign\" or \"cancelled\""));
+            (EXECUTOR_EVENT_FIELDS, true)
+        }
+    };
     for (key, _) in members {
-        let known = key == "telemetry" || EXECUTOR_EVENT_FIELDS.iter().any(|f| f.key == key);
+        let known = (telemetry && key == "telemetry") || fields.iter().any(|f| f.key == key);
         if !known {
             errors.push(err(key, "unknown executor-event key"));
         }
     }
-    for field in EXECUTOR_EVENT_FIELDS {
+    for field in fields {
         match doc.get(field.key) {
             None => errors.push(err(field.key, "missing")),
             Some(v) if !field.kind.admits(v) => {
@@ -253,16 +282,13 @@ pub fn validate_executor_event(doc: &JsonValue) -> Vec<SchemaError> {
             Some(_) => {}
         }
     }
-    if let Some(JsonValue::String(event)) = doc.get("event") {
-        if event != "campaign" {
-            errors.push(err("event", "must be \"campaign\""));
-        }
-    }
-    match doc.get("telemetry") {
-        None => errors.push(err("telemetry", "missing")),
-        Some(snapshot) => {
-            for e in validate_snapshot(snapshot) {
-                errors.push(err(format!("telemetry.{}", e.path), e.message));
+    if telemetry {
+        match doc.get("telemetry") {
+            None => errors.push(err("telemetry", "missing")),
+            Some(snapshot) => {
+                for e in validate_snapshot(snapshot) {
+                    errors.push(err(format!("telemetry.{}", e.path), e.message));
+                }
             }
         }
     }
@@ -427,14 +453,17 @@ pub fn validate_baseline(doc: &JsonValue) -> Vec<SchemaError> {
                         ));
                     }
                 }
-                if label == "service" {
-                    for required in SERVICE_BASELINE_METRICS {
-                        if !metrics.iter().any(|(metric, _)| metric == required) {
-                            errors.push(err(
-                                format!("{label}.metrics.{required}"),
-                                "required service metric missing",
-                            ));
-                        }
+                let required: &[&str] = match label.as_str() {
+                    "service" => SERVICE_BASELINE_METRICS,
+                    "rollback" => ROLLBACK_BASELINE_METRICS,
+                    _ => &[],
+                };
+                for required in required {
+                    if !metrics.iter().any(|(metric, _)| metric == required) {
+                        errors.push(err(
+                            format!("{label}.metrics.{required}"),
+                            format!("required {label} metric missing"),
+                        ));
                     }
                 }
             }
@@ -450,6 +479,17 @@ pub fn validate_baseline(doc: &JsonValue) -> Vec<SchemaError> {
 /// amortization win over booting per campaign (the label's whole point).
 pub const SERVICE_BASELINE_METRICS: &[&str] =
     &["service_trials_per_sec", "service_p99_trial_latency_ms", "service_speedup_vs_reboot"];
+
+/// Metrics the `rollback` baseline section must record: journaled
+/// in-place trial throughput against the fork path it replaces, the tail
+/// latencies of both, and the speedup ratio (the label's whole point).
+pub const ROLLBACK_BASELINE_METRICS: &[&str] = &[
+    "rollback_trials_per_sec",
+    "fork_trials_per_sec",
+    "rollback_speedup_vs_fork",
+    "rollback_p50_trial_latency_ms",
+    "rollback_p99_trial_latency_ms",
+];
 
 #[cfg(test)]
 mod tests {
@@ -559,8 +599,8 @@ mod tests {
     fn executor_event_envelope_validates() {
         let good = parse(
             r#"{"event": "campaign", "seq": 0, "tenant": "t0", "campaign": 3,
-                "trials": 2, "successes": 1, "total_flips": 9, "wall_ns": 120,
-                "p99_trial_ns": 55,
+                "trials": 2, "dropped_trials": 0, "successes": 1, "total_flips": 9,
+                "wall_ns": 120, "p99_trial_ns": 55,
                 "telemetry": {"label": "executor", "flags": [], "groups": {
                     "campaign": {"trials": 2, "total_flips": 9, "successes": 1,
                                  "total_rows_hammered": 4, "total_sim_time_ns": 9},
@@ -578,8 +618,8 @@ mod tests {
         // snapshot that lost its campaign group: all reported.
         let bad = parse(
             r#"{"event": "trial", "tenant": "t0", "campaign": 3, "trials": 2,
-                "successes": 1, "total_flips": 9, "wall_ns": 120,
-                "p99_trial_ns": 55, "stray": 1,
+                "dropped_trials": 0, "successes": 1, "total_flips": 9,
+                "wall_ns": 120, "p99_trial_ns": 55, "stray": 1,
                 "telemetry": {"label": "executor", "flags": [], "groups": {}}}"#,
         )
         .unwrap();
@@ -589,6 +629,29 @@ mod tests {
         assert!(paths.contains(&"seq"), "{errors:?}");
         assert!(paths.contains(&"stray"), "{errors:?}");
         assert!(paths.contains(&"telemetry.groups.campaign"), "{errors:?}");
+    }
+
+    #[test]
+    fn cancelled_event_validates_without_telemetry() {
+        let good = parse(
+            r#"{"event": "cancelled", "seq": 4, "tenant": "t0", "campaign": 3,
+                "dropped_trials": 7}"#,
+        )
+        .unwrap();
+        assert_eq!(validate_executor_event(&good), vec![]);
+
+        // A cancelled event must not smuggle campaign-only members: the
+        // dropped trials never ran, so there is no telemetry to embed.
+        let bad = parse(
+            r#"{"event": "cancelled", "seq": 4, "tenant": "t0", "campaign": 3,
+                "dropped_trials": 7, "trials": 9,
+                "telemetry": {"label": "executor", "flags": [], "groups": {}}}"#,
+        )
+        .unwrap();
+        let errors = validate_executor_event(&bad);
+        let paths: Vec<&str> = errors.iter().map(|e| e.path.as_str()).collect();
+        assert!(paths.contains(&"trials"), "{errors:?}");
+        assert!(paths.contains(&"telemetry"), "{errors:?}");
     }
 
     #[test]
@@ -616,6 +679,31 @@ mod tests {
                 "service_trials_per_sec": 50.0,
                 "service_p99_trial_latency_ms": 12.5,
                 "service_speedup_vs_reboot": 4.2}}}"#,
+        )
+        .unwrap();
+        assert_eq!(validate_baseline(&complete), vec![]);
+    }
+
+    #[test]
+    fn rollback_baseline_section_requires_its_metrics() {
+        let missing = parse(
+            r#"{"rollback": {"quick": false, "metrics": {"rollback_trials_per_sec": 90.0}}}"#,
+        )
+        .unwrap();
+        let errors = validate_baseline(&missing);
+        let paths: Vec<&str> = errors.iter().map(|e| e.path.as_str()).collect();
+        assert!(paths.contains(&"rollback.metrics.fork_trials_per_sec"), "{errors:?}");
+        assert!(paths.contains(&"rollback.metrics.rollback_speedup_vs_fork"), "{errors:?}");
+        assert!(paths.contains(&"rollback.metrics.rollback_p50_trial_latency_ms"), "{errors:?}");
+        assert!(paths.contains(&"rollback.metrics.rollback_p99_trial_latency_ms"), "{errors:?}");
+
+        let complete = parse(
+            r#"{"rollback": {"quick": false, "metrics": {
+                "rollback_trials_per_sec": 90.0,
+                "fork_trials_per_sec": 45.0,
+                "rollback_speedup_vs_fork": 2.0,
+                "rollback_p50_trial_latency_ms": 8.0,
+                "rollback_p99_trial_latency_ms": 20.0}}}"#,
         )
         .unwrap();
         assert_eq!(validate_baseline(&complete), vec![]);

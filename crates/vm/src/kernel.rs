@@ -264,6 +264,31 @@ pub struct Kernel {
     stats: KernelStats,
     multi_level: bool,
     secret: Option<(Pfn, [u8; 16])>,
+    /// Active undo journal, if a trial is running in place on this kernel
+    /// (see [`Self::journal_begin`]). `None` outside journaled trials.
+    journal: Option<Box<KernelJournal>>,
+}
+
+/// Snapshot of every kernel-side plane a journaled trial may mutate. The
+/// DRAM module journals itself (row pre-images plus metadata snapshots,
+/// see `cta_dram`'s journal); this struct covers the seams above it: PTE
+/// stores land in DRAM rows (journaled there), but the allocator's
+/// free-lists, the TLB/PSC arrays, and the process/file/owner maps live
+/// outside DRAM and must be restored exactly — they are all O(machine
+/// metadata), orders of magnitude smaller than the row contents a fork
+/// would deep-copy.
+struct KernelJournal {
+    alloc: ZonedAllocator,
+    walker: Walker,
+    tlb: Tlb,
+    psc: Psc,
+    processes: BTreeMap<u64, Process>,
+    files: BTreeMap<u64, FileObject>,
+    owners: HashMap<u64, FrameOwner>,
+    next_pid: u64,
+    next_file: u64,
+    stats: KernelStats,
+    secret: Option<(Pfn, [u8; 16])>,
 }
 
 impl fmt::Debug for Kernel {
@@ -330,6 +355,7 @@ impl Kernel {
             stats: KernelStats::default(),
             multi_level,
             secret: None,
+            journal: None,
         };
         // Reserve the zero frame so that pfn 0 never appears in a PTE, and
         // plant the kernel secret used to verify privilege escalation.
@@ -385,7 +411,71 @@ impl Kernel {
             stats: self.stats,
             multi_level: self.multi_level,
             secret: self.secret,
+            journal: None,
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Undo journal
+    // ------------------------------------------------------------------
+
+    /// Starts an undo journal so a trial can run **in place** on this
+    /// kernel and be rolled back with [`Self::journal_rollback`] instead
+    /// of paying a full [`Self::fork`] per trial. The DRAM module journals
+    /// its own planes (row pre-images captured on first touch, metadata
+    /// snapshots); this layer snapshots the allocator, TLB, page-structure
+    /// cache, and the process/file/owner maps — O(machine metadata), not
+    /// O(machine memory).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a journal is already active (journals do not nest).
+    pub fn journal_begin(&mut self) {
+        assert!(self.journal.is_none(), "kernel journal already active");
+        self.dram.journal_begin();
+        self.journal = Some(Box::new(KernelJournal {
+            alloc: self.alloc.clone(),
+            walker: self.walker,
+            tlb: self.tlb.clone(),
+            psc: self.psc.clone(),
+            processes: self.processes.clone(),
+            files: self.files.clone(),
+            owners: self.owners.clone(),
+            next_pid: self.next_pid,
+            next_file: self.next_file,
+            stats: self.stats,
+            secret: self.secret,
+        }));
+    }
+
+    /// Rolls the kernel back to its [`Self::journal_begin`] state:
+    /// byte-identical DRAM (contents, charge plane, caches, clock, flip
+    /// log), exact allocator free-lists, TLB/PSC arrays, and metadata
+    /// maps. A rolled-back kernel is indistinguishable from a fresh fork
+    /// of the pre-journal parent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no journal is active.
+    pub fn journal_rollback(&mut self) {
+        let j = *self.journal.take().expect("journal_rollback without journal_begin");
+        self.dram.journal_rollback();
+        self.alloc = j.alloc;
+        self.walker = j.walker;
+        self.tlb = j.tlb;
+        self.psc = j.psc;
+        self.processes = j.processes;
+        self.files = j.files;
+        self.owners = j.owners;
+        self.next_pid = j.next_pid;
+        self.next_file = j.next_file;
+        self.stats = j.stats;
+        self.secret = j.secret;
+    }
+
+    /// Whether an undo journal is currently active on this kernel.
+    pub fn journal_active(&self) -> bool {
+        self.journal.is_some()
     }
 
     /// The zoned allocator.

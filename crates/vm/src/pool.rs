@@ -4,20 +4,36 @@
 //! compiling the vulnerability map — dominates a trial's cost, while
 //! [`Kernel::fork`] on the CoW backend is O(changed rows). A long-running
 //! campaign service therefore keeps *parent* kernels (one per distinct
-//! boot configuration) alive and hands out forks per trial.
+//! boot configuration) alive and hands out forks per trial — or, with
+//! [`KernelPool::run_journaled`], runs the trial **in place** on the
+//! parent under an undo journal and rolls it back, skipping the per-trial
+//! copy entirely.
 //!
 //! [`KernelPool`] is that cache: an LRU map from an opaque configuration
-//! key to a booted parent. It is deliberately **not** thread-safe —
-//! `Kernel` is `!Send` by design (its DRAM model shares `Rc` state), so a
-//! pool lives inside one worker's local context and parents never cross
-//! threads. The executor layer gives each worker its own pool; capacity
-//! and the per-parent model-cache byte budget bound a worker's resident
-//! memory at O(parents + in-flight forks).
+//! key to a booted parent, order-indexed (hash map plus a recency-stamped
+//! [`BTreeMap`]) so hits, touches, and LRU evictions are all O(log
+//! parents) instead of the former O(parents) scan-and-rotate. It is
+//! deliberately **not** thread-safe — `Kernel` is `!Send` by design (its
+//! DRAM model shares `Rc` state), so a pool lives inside one worker's
+//! local context and parents never cross threads. The executor layer
+//! gives each worker its own pool; capacity and the per-parent
+//! model-cache byte budget bound a worker's resident memory at
+//! O(parents + in-flight forks).
 //!
 //! Determinism: `fork()` of a freshly-booted kernel is bit-identical to a
 //! second boot from the same config (pinned by the backend differential
-//! suites), so *whether* a trial's kernel came from a pool hit or a fresh
-//! boot is invisible in its results.
+//! suites), and a journaled trial's rollback restores the parent
+//! byte-identically (pinned by the isolation differential suites), so
+//! *how* a trial's kernel was served — pool hit, fresh boot, fork, or
+//! in-place journal — is invisible in its results.
+//!
+//! A parent abandoned mid-journal (a trial body that panicked before its
+//! rollback) is repaired defensively: the pool rolls the open journal
+//! back before the parent is forked, served again, or evicted, so dirty
+//! trial state can never leak into a later trial.
+
+use std::collections::{BTreeMap, HashMap};
+use std::hash::Hash;
 
 use crate::error::VmError;
 use crate::kernel::Kernel;
@@ -27,28 +43,48 @@ use crate::kernel::Kernel;
 pub struct PoolStats {
     /// Parents booted because no cached parent matched the key.
     pub boots: u64,
-    /// Forks served from an already-resident parent.
+    /// Trials served from an already-resident parent.
     pub fork_hits: u64,
-    /// Forks handed out in total (`boots + fork_hits`).
+    /// Trials served in total (`boots + fork_hits`), whether by fork or
+    /// in-place journal.
     pub forks: u64,
+    /// The subset of trials served in place under an undo journal.
+    pub journal_runs: u64,
     /// Parents evicted (LRU) to stay within capacity.
     pub evictions: u64,
+}
+
+/// One resident parent: its booted kernel plus the recency stamp indexing
+/// it in the pool's LRU order.
+#[derive(Debug)]
+struct Parent {
+    stamp: u64,
+    kernel: Kernel,
 }
 
 /// An LRU cache of booted parent kernels, keyed by an opaque
 /// configuration key `K`.
 #[derive(Debug)]
-pub struct KernelPool<K: Eq + Clone> {
-    /// LRU order: least-recently-used first, most-recently-used last.
-    parents: Vec<(K, Kernel)>,
+pub struct KernelPool<K: Eq + Hash + Clone> {
+    parents: HashMap<K, Parent>,
+    /// Recency index: stamp → key, smallest stamp least-recently used.
+    /// Stamps are unique (monotonic counter), so this is a total order.
+    order: BTreeMap<u64, K>,
+    next_stamp: u64,
     capacity: usize,
     stats: PoolStats,
 }
 
-impl<K: Eq + Clone> KernelPool<K> {
+impl<K: Eq + Hash + Clone> KernelPool<K> {
     /// Creates a pool holding at most `capacity` parents (clamped to 1).
     pub fn new(capacity: usize) -> Self {
-        KernelPool { parents: Vec::new(), capacity: capacity.max(1), stats: PoolStats::default() }
+        KernelPool {
+            parents: HashMap::new(),
+            order: BTreeMap::new(),
+            next_stamp: 0,
+            capacity: capacity.max(1),
+            stats: PoolStats::default(),
+        }
     }
 
     /// Returns a fork of the parent for `key`, booting (and caching) the
@@ -63,21 +99,76 @@ impl<K: Eq + Clone> KernelPool<K> {
     where
         F: FnOnce() -> Result<Kernel, VmError>,
     {
-        if let Some(position) = self.parents.iter().position(|(k, _)| k == key) {
-            let entry = self.parents.remove(position);
-            self.parents.push(entry);
-            self.stats.fork_hits += 1;
-        } else {
-            let parent = boot()?;
-            self.stats.boots += 1;
-            if self.parents.len() >= self.capacity {
-                self.parents.remove(0);
-                self.stats.evictions += 1;
-            }
-            self.parents.push((key.clone(), parent));
-        }
+        self.ensure_resident(key, boot)?;
         self.stats.forks += 1;
-        Ok(self.parents.last().expect("parent just touched").1.fork())
+        Ok(self.parents.get(key).expect("parent just ensured").kernel.fork())
+    }
+
+    /// Runs `trial` **in place** on the parent for `key` under an undo
+    /// journal, rolling the parent back afterwards — the O(touched state)
+    /// alternative to [`Self::fork_for`]. The parent is booted via `boot`
+    /// if not resident and touched to most-recently-used exactly as a
+    /// fork would.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the boot error; the pool is unchanged in that case.
+    pub fn run_journaled<F, B, R>(&mut self, key: &K, boot: B, trial: F) -> Result<R, VmError>
+    where
+        B: FnOnce() -> Result<Kernel, VmError>,
+        F: FnOnce(&mut Kernel) -> R,
+    {
+        self.ensure_resident(key, boot)?;
+        self.stats.forks += 1;
+        self.stats.journal_runs += 1;
+        let kernel = &mut self.parents.get_mut(key).expect("parent just ensured").kernel;
+        kernel.journal_begin();
+        let out = trial(kernel);
+        kernel.journal_rollback();
+        Ok(out)
+    }
+
+    /// Boots or touches the parent for `key`, repairing any journal left
+    /// open by an abandoned trial so the caller always sees a clean
+    /// parent.
+    fn ensure_resident<B>(&mut self, key: &K, boot: B) -> Result<(), VmError>
+    where
+        B: FnOnce() -> Result<Kernel, VmError>,
+    {
+        if let Some(parent) = self.parents.get_mut(key) {
+            if parent.kernel.journal_active() {
+                parent.kernel.journal_rollback();
+            }
+            self.order.remove(&parent.stamp);
+            parent.stamp = self.next_stamp;
+            self.order.insert(self.next_stamp, key.clone());
+            self.next_stamp += 1;
+            self.stats.fork_hits += 1;
+            return Ok(());
+        }
+        let kernel = boot()?;
+        self.stats.boots += 1;
+        if self.parents.len() >= self.capacity {
+            self.evict_lru();
+        }
+        let stamp = self.next_stamp;
+        self.next_stamp += 1;
+        self.order.insert(stamp, key.clone());
+        self.parents.insert(key.clone(), Parent { stamp, kernel });
+        Ok(())
+    }
+
+    /// Evicts the least-recently-used parent. A parent abandoned with an
+    /// open journal is rolled back first, so its drop never carries dirty
+    /// trial state (and a caller holding stale observations of it — model
+    /// cache gauges, for instance — saw the clean parent).
+    fn evict_lru(&mut self) {
+        let Some((_, key)) = self.order.pop_first() else { return };
+        let mut parent = self.parents.remove(&key).expect("order and parents agree");
+        if parent.kernel.journal_active() {
+            parent.kernel.journal_rollback();
+        }
+        self.stats.evictions += 1;
     }
 
     /// Number of resident parents.
@@ -100,20 +191,20 @@ impl<K: Eq + Clone> KernelPool<K> {
     pub fn set_capacity(&mut self, capacity: usize) {
         self.capacity = capacity.max(1);
         while self.parents.len() > self.capacity {
-            self.parents.remove(0);
-            self.stats.evictions += 1;
+            self.evict_lru();
         }
     }
 
     /// True if a parent for `key` is resident.
     pub fn contains(&self, key: &K) -> bool {
-        self.parents.iter().any(|(k, _)| k == key)
+        self.parents.contains_key(key)
     }
 
     /// Drops every resident parent (counted as evictions).
     pub fn clear(&mut self) {
         self.stats.evictions += self.parents.len() as u64;
         self.parents.clear();
+        self.order.clear();
     }
 
     /// Cumulative counters.
@@ -124,7 +215,7 @@ impl<K: Eq + Clone> KernelPool<K> {
     /// Total DRAM model-cache bytes held by resident parents — the gauge
     /// a service publishes against its per-tenant memory limits.
     pub fn model_cache_bytes(&self) -> u64 {
-        self.parents.iter().map(|(_, kernel)| kernel.dram().model_cache_bytes() as u64).sum()
+        self.parents.values().map(|p| p.kernel.dram().model_cache_bytes() as u64).sum()
     }
 }
 
@@ -195,5 +286,72 @@ mod tests {
         assert_eq!(pool.model_cache_bytes(), 0);
         assert!(pool.is_empty());
         assert_eq!(pool.stats().evictions, 2);
+    }
+
+    #[test]
+    fn journaled_run_leaves_the_parent_clean_and_counts_a_hit() {
+        let mut pool: KernelPool<u32> = KernelPool::new(2);
+        let reference = pool.fork_for(&1, boot).expect("boot");
+        let before = reference.dram().stats().clone();
+        let flips = pool
+            .run_journaled(&1, boot, |kernel| {
+                kernel.dram_mut().fill(0, 4096, 0xFF).expect("fill");
+                kernel.dram_mut().hammer_double_sided(cta_dram::RowId(2)).expect("hammer");
+                kernel.dram_mut().stats().total_flips()
+            })
+            .expect("journaled trial");
+        assert!(flips > 0, "the trial really ran");
+        // The parent rolled back: a fresh fork matches the pre-trial fork.
+        let after = pool.fork_for(&1, boot).expect("fork");
+        assert_eq!(after.dram().stats(), &before);
+        let stats = pool.stats();
+        assert_eq!((stats.boots, stats.fork_hits, stats.journal_runs), (1, 2, 1));
+        assert_eq!(stats.forks, stats.boots + stats.fork_hits);
+    }
+
+    #[test]
+    fn eviction_rolls_back_an_abandoned_journal() {
+        let mut pool: KernelPool<u32> = KernelPool::new(2);
+        pool.fork_for(&1, boot).expect("boot 1");
+        // Simulate a trial that panicked mid-journal: the resident parent
+        // is left with an open journal and dirty state.
+        pool.parents.get_mut(&1).expect("resident").kernel.journal_begin();
+        pool.parents
+            .get_mut(&1)
+            .expect("resident")
+            .kernel
+            .dram_mut()
+            .fill(0, 4096, 0xAA)
+            .expect("dirty the parent");
+        assert!(pool.parents[&1].kernel.journal_active());
+
+        // Capacity pressure evicts the abandoned parent: the journal must
+        // be rolled back before the drop (evicting a dirty parent would
+        // otherwise be the one path where trial state escapes).
+        pool.fork_for(&2, boot).expect("boot 2");
+        pool.fork_for(&3, boot).expect("boot 3 evicts 1");
+        assert!(!pool.contains(&1));
+        assert_eq!(pool.stats().evictions, 1);
+    }
+
+    #[test]
+    fn serving_a_parent_with_an_abandoned_journal_repairs_it_first() {
+        let mut pool: KernelPool<u32> = KernelPool::new(2);
+        let clean = pool.fork_for(&1, boot).expect("boot");
+        let want = clean.dram().peek(0, 64).expect("peek");
+        pool.parents.get_mut(&1).expect("resident").kernel.journal_begin();
+        pool.parents
+            .get_mut(&1)
+            .expect("resident")
+            .kernel
+            .dram_mut()
+            .fill(0, 64, 0xEE)
+            .expect("dirty the parent");
+
+        // A fork served from the abandoned parent must see the clean
+        // (rolled-back) machine, not the dead trial's bytes.
+        let fork = pool.fork_for(&1, boot).expect("fork repairs");
+        assert_eq!(fork.dram().peek(0, 64).expect("peek"), want);
+        assert!(!pool.parents[&1].kernel.journal_active());
     }
 }

@@ -87,7 +87,8 @@ if [ -n "$PREV_CHECK" ] && [ -n "$NEW_CHECK" ]; then
     done
     for metric in dram_write_u64_ops_per_sec dram_fill_mb_per_sec \
         mc_serial_samples_per_sec vuln_map_rows_per_sec \
-        partial_decay_mb_per_sec service_trials_per_sec; do
+        partial_decay_mb_per_sec service_trials_per_sec \
+        rollback_trials_per_sec; do
         drift_watch rate "$metric"
     done
 else
@@ -140,6 +141,15 @@ echo "==> golden recording replay (all backends x flip engines, scoped + executo
 # invisible in the bytes). After an *intentional* simulation change,
 # regenerate with `replay-check --record` and commit the diff.
 cargo run --release -q -p cta-bench --bin replay-check -- --executor
+
+echo "==> journal-isolation smoke (one golden under --isolation journal)"
+# The `--isolation` CLI dimension end to end: one golden fixture replayed
+# through the executor with trials journaled and rolled back in place on
+# the pooled parents instead of forked. The full grid above already
+# covers both modes; this gate additionally pins the flag-parsing path
+# that narrows the grid to the journal mode.
+cargo run --release -q -p cta-bench --bin replay-check -- \
+    --isolation journal fixtures/recordings/spray-small.recording.json
 
 echo "==> telemetry sanity: no NaN/inf, no sanitizer flags"
 # Word-boundary patterns: a substring match like `flip_info` or a
